@@ -1,0 +1,72 @@
+// Ablation — deadline decomposition vs progress plans.
+//
+// EDF-JOB decomposes workflow deadlines into per-job virtual deadlines
+// along the critical path (the real-time-literature approach the paper
+// surveys) and runs job-level EDF. It knows the DAG depths but not the task
+// *counts* or cluster capacity; WOHA's progress requirements encode both.
+// This bench quantifies the difference on both paper workloads.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+int main() {
+  bench::banner("Ablation", "critical-path deadline decomposition (EDF-JOB) vs WOHA");
+
+  // Restrict to the deadline-aware contenders; FIFO/Fair add nothing here.
+  std::vector<metrics::SchedulerEntry> entries;
+  for (const auto& e : metrics::extended_schedulers()) {
+    if (e.label == "EDF" || e.label == "EDF-JOB" || e.label == "WOHA-LPF") {
+      entries.push_back(e);
+    }
+  }
+
+  // Part 1: Fig. 11 scenario.
+  {
+    hadoop::EngineConfig config;
+    config.cluster = hadoop::ClusterConfig::paper_32_slaves();
+    const auto workload = trace::fig11_scenario();
+    TextTable table({"scheduler", "W-1", "W-2", "W-3", "misses"});
+    for (const auto& entry : entries) {
+      const auto result = metrics::run_experiment(config, workload, entry);
+      int misses = 0;
+      std::vector<std::string> row{entry.label};
+      for (const auto& wf : result.summary.workflows) {
+        row.push_back(format_duration(wf.workspan) + (wf.met_deadline ? "" : " *MISS*"));
+        misses += !wf.met_deadline;
+      }
+      row.push_back(std::to_string(misses));
+      table.add_row(row);
+    }
+    std::printf("Fig. 11 workload (3x fig7, 32 slaves):\n%s\n", table.to_string().c_str());
+  }
+
+  // Part 2: Fig. 8 trace at the contended cluster sizes.
+  {
+    hadoop::EngineConfig base;
+    const auto workload = trace::fig8_trace(42);
+    const auto cells = metrics::sweep_cluster_sizes(
+        base, workload, {{"200m-200r", 200, 200}, {"240m-240r", 240, 240}}, entries);
+    TextTable table({"cluster", "scheduler", "miss ratio", "total tardiness"});
+    for (const auto& c : cells) {
+      table.add_row({c.cluster_label, c.scheduler,
+                     TextTable::percent(c.deadline_miss_ratio),
+                     format_duration(c.total_tardiness)});
+    }
+    std::printf("Yahoo-like trace:\n%s\n", table.to_string().c_str());
+  }
+
+  bench::note("an honest repo-added finding: critical-path decomposition makes "
+              "job-level EDF a strong contender — it beats workflow-EDF "
+              "everywhere and edges WOHA at the scarcest cluster, while WOHA "
+              "stays ahead in the paper's mid-resource regime (240m-240r). A "
+              "decomposition-based Scheduling Plan Generator would be a natural "
+              "WOHA plug-in (the paper's 'future direction').");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation — robustness to task-duration estimation error.
+//
+// The scheduling plan is built from *estimated* task durations (paper
+// Sec. IV-A: estimates come from history or models; accuracy is out of
+// scope). Here the engine executes tasks with a systematic scale and/or
+// random jitter relative to the estimates the plan saw, probing how much
+// misestimation WOHA tolerates before deadlines slip.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "metrics/report.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+int main() {
+  bench::banner("Ablation", "task duration estimation error (WOHA-LPF, Fig. 11)");
+
+  const auto workload = trace::fig11_scenario();
+  const auto entry = metrics::paper_schedulers()[3];  // WOHA-LPF
+
+  struct Case {
+    double scale;
+    double jitter_sigma;
+  };
+  const Case cases[] = {
+      {0.75, 0.0}, {1.0, 0.0}, {1.1, 0.0}, {1.25, 0.0}, {1.5, 0.0},
+      {1.0, 0.2},  {1.0, 0.4},
+  };
+
+  TextTable table({"actual/estimated scale", "jitter sigma", "misses",
+                   "max tardiness", "makespan"});
+  for (const auto& c : cases) {
+    hadoop::EngineConfig config;
+    config.cluster = hadoop::ClusterConfig::paper_32_slaves();
+    config.duration_scale = c.scale;
+    config.duration_jitter_sigma = c.jitter_sigma;
+    config.seed = 17;
+    const auto result = metrics::run_experiment(config, workload, entry);
+    int misses = 0;
+    for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
+    table.add_row({TextTable::num(c.scale, 2), TextTable::num(c.jitter_sigma, 1),
+                   std::to_string(misses),
+                   format_duration(result.summary.max_tardiness),
+                   format_duration(result.summary.makespan)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::note("the plan's 10% deadline headroom absorbs overestimates and small "
+              "noise; systematic underestimation beyond ~10% (scale >= 1.1) eats "
+              "the margin and deadlines slip — accurate estimates matter.");
+  return 0;
+}

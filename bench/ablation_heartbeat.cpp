@@ -1,0 +1,42 @@
+// Ablation — heartbeat period sensitivity.
+//
+// WOHA schedules only on heartbeats (as Hadoop-1 does); longer periods
+// waste slot time between a task finishing and its slot being re-offered.
+// This bench quantifies how much headroom the plan needs as the heartbeat
+// stretches from 1 s to 30 s.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "metrics/report.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+int main() {
+  bench::banner("Ablation", "heartbeat period (WOHA-LPF, Fig. 11 workload)");
+
+  const auto workload = trace::fig11_scenario();
+  const auto entry = metrics::paper_schedulers()[3];  // WOHA-LPF
+
+  TextTable table({"heartbeat", "W-1 workspan", "W-2 workspan", "W-3 workspan",
+                   "misses", "utilization"});
+  for (const Duration hb : {seconds(1), seconds(3), seconds(10), seconds(30)}) {
+    hadoop::EngineConfig config;
+    config.cluster = hadoop::ClusterConfig::paper_32_slaves();
+    config.cluster.heartbeat_period = hb;
+    const auto result = metrics::run_experiment(config, workload, entry);
+    int misses = 0;
+    for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
+    table.add_row({format_duration(hb),
+                   format_duration(result.summary.workflows[0].workspan),
+                   format_duration(result.summary.workflows[1].workspan),
+                   format_duration(result.summary.workflows[2].workspan),
+                   std::to_string(misses),
+                   TextTable::percent(result.summary.overall_utilization)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::note("Hadoop-1 default is 3 s; the paper's cluster used that setting.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation — HDFS data locality and failure injection.
+//
+// The paper's testbed ran real HDFS (locality effects) and real machines
+// (task failures); the published numbers fold both in. This ablation shows
+// how the Fig. 11 result degrades as remote-map penalties and task failures
+// grow, and that WOHA's relative advantage over FIFO is preserved.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "metrics/report.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+int main() {
+  bench::banner("Ablation", "data locality and failure injection (Fig. 11 workload)");
+
+  const auto workload = trace::fig11_scenario();
+  const auto schedulers = metrics::paper_schedulers();
+  const auto& fifo = schedulers[1];
+  const auto& woha = schedulers[3];  // WOHA-LPF
+
+  struct Case {
+    const char* label;
+    double remote_penalty;
+    double failure_prob;
+  };
+  const Case cases[] = {
+      {"ideal (all-local, no failures)", 1.0, 0.0},
+      {"remote maps 1.3x", 1.3, 0.0},
+      {"remote maps 1.3x + 2% failures", 1.3, 0.02},
+      {"remote maps 1.3x + 5% failures", 1.3, 0.05},
+      {"remote maps 2.0x + 5% failures", 2.0, 0.05},
+  };
+
+  TextTable table({"environment", "scheduler", "misses", "makespan",
+                   "local maps", "retries"});
+  for (const auto& c : cases) {
+    for (const auto* entry : {&fifo, &woha}) {
+      hadoop::EngineConfig config;
+      config.cluster = hadoop::ClusterConfig::paper_32_slaves();
+      config.remote_map_penalty = c.remote_penalty;
+      config.task_failure_prob = c.failure_prob;
+      config.seed = 23;
+      const auto result = metrics::run_experiment(config, workload, *entry);
+      int misses = 0;
+      for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
+      table.add_row({c.label, entry->label, std::to_string(misses),
+                     format_duration(result.summary.makespan),
+                     TextTable::percent(result.summary.map_locality_ratio),
+                     TextTable::num(static_cast<std::int64_t>(
+                         result.summary.tasks_failed))});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::note("uniform placement with 3 replicas over 32 slaves gives ~9% "
+              "node-local maps (real clusters recover locality via delay "
+              "scheduling, which is out of scope). The hidden duration "
+              "inflation hits the plan-based scheduler at least as hard as "
+              "FIFO: WOHA's plans assume the estimated durations, so accurate, "
+              "locality-aware estimates are a real deployment requirement.");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Shared helpers for the bench binaries: a banner that names the paper
+// figure being reproduced and the common sweep plumbing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace woha::bench {
+
+inline void banner(const std::string& figure, const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+}  // namespace woha::bench

@@ -1,0 +1,47 @@
+// Fig. 6 — Task count statistics of the (synthetic) Yahoo trace.
+//
+// (a) CDFs of per-job map and reduce task counts.
+// (b) CDF of per-job map-count / reduce-count ratio.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "trace/yahoo_like.hpp"
+
+using namespace woha;
+
+int main() {
+  bench::banner("Fig. 6", "task count CDFs (synthetic Yahoo-like trace)");
+
+  Distribution maps, reduces, ratio;
+  for (const auto& job : trace::sample_jobs(2027, 40'000)) {
+    maps.add(static_cast<double>(job.num_maps));
+    reduces.add(static_cast<double>(job.num_reduces));
+    if (job.num_reduces > 0) {
+      ratio.add(static_cast<double>(job.num_maps) /
+                static_cast<double>(job.num_reduces));
+    }
+  }
+
+  TextTable cdf({"task count", "map CDF", "reduce CDF"});
+  for (const double n : {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 10000.0}) {
+    cdf.add_row({TextTable::num(static_cast<std::int64_t>(n)),
+                 TextTable::num(maps.cdf(n), 3), TextTable::num(reduces.cdf(n), 3)});
+  }
+  std::printf("(a) per-job task count CDF\n%s\n", cdf.to_string().c_str());
+
+  TextTable rt({"map/reduce count ratio", "CDF"});
+  for (const double r : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0, 1000.0}) {
+    rt.add_row({TextTable::num(r, 1), TextTable::num(ratio.cdf(r), 3)});
+  }
+  std::printf("(b) per-job map/reduce count ratio CDF\n%s\n", rt.to_string().c_str());
+
+  std::printf("calibration checks:\n");
+  std::printf("  jobs with > 100 mappers   : %.1f%%  (paper: ~30%%)\n",
+              100.0 * (1.0 - maps.cdf(100.0)));
+  std::printf("  jobs with < 10 reducers   : %.1f%%  (paper: >60%%)\n",
+              100.0 * reduces.cdf(9.0));
+  bench::note("mappers outnumber reducers while reducers run longer (paper Sec. V-A).");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 13(b) — Scheduling plan size vs. workflow task count.
+//
+// The plan travels from client to master and lives in master memory, so it
+// must stay small. The paper reports <= ~7 KB at 1400+ tasks and mostly
+// <= 2 KB. We reproduce the curve with the Yahoo-like workflows plus
+// scaled-up variants reaching past 1400 tasks, for all three job
+// prioritization policies.
+#include <cstdio>
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/job_priority.hpp"
+#include "core/plan_serialization.hpp"
+#include "core/resource_cap.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+namespace {
+
+std::size_t plan_size(const wf::WorkflowSpec& spec, core::JobPriorityPolicy policy) {
+  const auto rank = core::job_priority_ranks(spec, policy);
+  const auto plan =
+      core::plan_for_submission(spec, rank, 480, core::CapPolicy::kMinFeasible);
+  return core::serialized_plan_size(plan);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 13(b)", "scheduling plan size vs workflow task count");
+
+  // Trace workflows plus scaled variants to stretch past 1400 tasks.
+  std::vector<wf::WorkflowSpec> workflows = trace::fig8_trace(7);
+  for (double scale : {2.0, 4.0}) {
+    for (auto spec : trace::fig8_trace(11)) {
+      for (auto& job : spec.jobs) {
+        job.num_maps = static_cast<std::uint32_t>(job.num_maps * scale);
+        job.num_reduces = static_cast<std::uint32_t>(job.num_reduces * scale);
+      }
+      workflows.push_back(std::move(spec));
+    }
+  }
+
+  // Bucket by task count for a readable curve.
+  struct Row {
+    std::size_t count = 0;
+    std::size_t hlf = 0, lpf = 0, mpf = 0;
+    std::uint64_t tasks = 0;
+  };
+  std::map<std::uint64_t, Row> buckets;
+  std::size_t max_bytes = 0;
+  std::uint64_t max_tasks = 0;
+  for (const auto& spec : workflows) {
+    const std::uint64_t tasks = spec.total_tasks();
+    auto& row = buckets[tasks / 200];
+    ++row.count;
+    row.tasks += tasks;
+    const std::size_t h = plan_size(spec, core::JobPriorityPolicy::kHlf);
+    const std::size_t l = plan_size(spec, core::JobPriorityPolicy::kLpf);
+    const std::size_t m = plan_size(spec, core::JobPriorityPolicy::kMpf);
+    row.hlf += h;
+    row.lpf += l;
+    row.mpf += m;
+    max_bytes = std::max({max_bytes, h, l, m});
+    max_tasks = std::max(max_tasks, tasks);
+  }
+
+  TextTable table({"tasks (avg)", "workflows", "HLF plan (KB)", "LPF plan (KB)",
+                   "MPF plan (KB)"});
+  for (const auto& [bucket, row] : buckets) {
+    const double n = static_cast<double>(row.count);
+    table.add_row({TextTable::num(static_cast<std::int64_t>(
+                       row.tasks / static_cast<std::uint64_t>(row.count))),
+                   TextTable::num(static_cast<std::int64_t>(row.count)),
+                   TextTable::num(static_cast<double>(row.hlf) / n / 1024.0, 2),
+                   TextTable::num(static_cast<double>(row.lpf) / n / 1024.0, 2),
+                   TextTable::num(static_cast<double>(row.mpf) / n / 1024.0, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("largest workflow: %llu tasks; largest plan: %.2f KB\n",
+              static_cast<unsigned long long>(max_tasks),
+              static_cast<double>(max_bytes) / 1024.0);
+  bench::note("paper Fig. 13(b): <= ~7 KB at 1400 tasks, mostly <= 2 KB.");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Shared sweep for Figs. 8-10: the 46 multi-job Yahoo-like workflows with
+// derived deadlines, across the paper's three cluster sizes and all six
+// schedulers.
+#pragma once
+
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "trace/paper_workloads.hpp"
+
+namespace woha::bench {
+
+inline std::vector<metrics::SweepCell> fig8_sweep(std::uint64_t seed = 42) {
+  hadoop::EngineConfig base;  // paper defaults: 3 s heartbeat, 3 s activation
+  const auto workload = trace::fig8_trace(seed);
+  return metrics::sweep_cluster_sizes(base, workload, metrics::paper_cluster_sizes(),
+                                      metrics::paper_schedulers());
+}
+
+}  // namespace woha::bench

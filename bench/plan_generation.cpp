@@ -1,0 +1,66 @@
+// Ablation — client-side plan generation cost (paper Sec. IV-A claims the
+// cost is acceptable because it runs on the client, not the master).
+// Measures GenerateReqs and the binary-searched cap end-to-end for growing
+// workflow sizes.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/job_priority.hpp"
+#include "core/resource_cap.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/topology.hpp"
+
+using namespace woha;
+
+namespace {
+
+double time_us(const std::function<void()>& fn, int reps) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() / reps;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "client-side plan generation cost");
+
+  Rng rng(5);
+  std::vector<std::pair<std::string, wf::WorkflowSpec>> cases;
+  cases.emplace_back("fig7 (33 jobs)", wf::paper_fig7_topology());
+  for (std::uint32_t jobs : {100u, 300u, 1000u}) {
+    wf::RandomDagParams params;
+    params.num_jobs = jobs;
+    params.num_layers = 8;
+    const auto spec = wf::random_dag(rng, params);
+    cases.emplace_back("random (" + std::to_string(jobs) + " jobs)", spec);
+  }
+
+  TextTable table({"workflow", "tasks", "GenerateReqs (us)",
+                   "min-cap search (us)", "plan steps"});
+  for (auto& [label, spec] : cases) {
+    spec.relative_deadline = wf::critical_path_length(spec) * 3;
+    const auto rank = core::job_priority_ranks(spec, core::JobPriorityPolicy::kLpf);
+    const int reps = spec.jobs.size() > 200 ? 5 : 50;
+
+    core::SchedulingPlan last;
+    const double gen_us = time_us(
+        [&] { last = core::generate_plan(spec, 480, rank); }, reps);
+    const double search_us = time_us(
+        [&] {
+          (void)core::min_feasible_cap(spec, rank, spec.relative_deadline, 480);
+        },
+        reps);
+    table.add_row({label, TextTable::num(static_cast<std::int64_t>(spec.total_tasks())),
+                   TextTable::num(gen_us, 1), TextTable::num(search_us, 1),
+                   TextTable::num(static_cast<std::int64_t>(last.steps.size()))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::note("all of this runs on the client at submission; the master only "
+              "walks the finished requirement list.");
+  return 0;
+}

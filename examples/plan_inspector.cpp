@@ -1,0 +1,75 @@
+// Plan inspector: shows exactly what a WOHA client computes at submission
+// time for a workflow — the intra-workflow job order under each policy, the
+// binary-searched resource cap, the progress requirement list, and the
+// serialized plan the master would store.
+//
+//   $ ./plan_inspector [workflow.xml] [total-cluster-slots]
+//
+// Without arguments it inspects the paper's Fig. 7 topology on the 32-slave
+// cluster (96 slots).
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/job_priority.hpp"
+#include "core/plan_serialization.hpp"
+#include "core/resource_cap.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/config.hpp"
+#include "workflow/topology.hpp"
+
+using namespace woha;
+
+int main(int argc, char** argv) {
+  wf::WorkflowSpec spec;
+  if (argc > 1) {
+    spec = wf::load_workflow_file(argv[1]);
+  } else {
+    spec = wf::paper_fig7_topology();
+    spec.relative_deadline = minutes(80);
+  }
+  const std::uint32_t slots =
+      argc > 2 ? static_cast<std::uint32_t>(parse_int(argv[2])) : 96;
+
+  std::printf("workflow '%s': %zu jobs, %llu tasks\n", spec.name.c_str(),
+              spec.job_count(), static_cast<unsigned long long>(spec.total_tasks()));
+  std::printf("  critical path : %s\n",
+              format_duration(wf::critical_path_length(spec)).c_str());
+  std::printf("  total work    : %s (slot-time)\n",
+              format_duration(wf::total_work(spec)).c_str());
+  std::printf("  deadline      : %s\n\n",
+              spec.relative_deadline > 0
+                  ? format_duration(spec.relative_deadline).c_str()
+                  : "(none)");
+
+  for (const auto policy : {core::JobPriorityPolicy::kHlf,
+                            core::JobPriorityPolicy::kLpf,
+                            core::JobPriorityPolicy::kMpf}) {
+    const auto rank = core::job_priority_ranks(spec, policy);
+    const auto order = core::job_priority_order(spec, policy);
+    const auto plan = core::plan_for_submission(spec, rank, slots,
+                                                core::CapPolicy::kMinFeasible);
+
+    std::printf("==== %s ====\n", core::to_string(policy));
+    std::printf("  top-5 priority jobs:");
+    for (std::size_t i = 0; i < order.size() && i < 5; ++i) {
+      std::printf(" %s", spec.jobs[order[i]].name.c_str());
+    }
+    std::printf("\n  resource cap %u / %u slots; simulated makespan %s; "
+                "%zu requirement steps; serialized %zu bytes\n",
+                plan.resource_cap, slots,
+                format_duration(plan.simulated_makespan).c_str(),
+                plan.steps.size(), core::serialized_plan_size(plan));
+
+    // Print the requirement curve coarsely (deciles of the step list).
+    TextTable table({"ttd", "tasks required"});
+    const std::size_t stride = std::max<std::size_t>(1, plan.steps.size() / 8);
+    for (std::size_t i = 0; i < plan.steps.size(); i += stride) {
+      table.add_row({format_duration(plan.steps[i].ttd),
+                     TextTable::num(static_cast<std::int64_t>(
+                         plan.steps[i].cumulative_req))});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Simulation components log through this so tests can
+// silence output and examples can turn on tracing with one call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace woha {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded (default kWarn so
+/// tests and benches stay quiet).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Core sink: writes "[level] component: message" to stderr.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+/// Stream-style helper: LOG_AT(LogLevel::kInfo, "engine") << "t=" << t;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace woha
+
+#define WOHA_LOG(level, component) ::woha::LogLine((level), (component))

@@ -1,0 +1,62 @@
+// Seeded pseudo-random number generation for deterministic experiments.
+//
+// Every stochastic component in the repository (trace synthesis, task-duration
+// jitter, deadline slack) draws from an `Rng` that is explicitly seeded by the
+// experiment harness, so a bench rerun reproduces the paper figure row for
+// row. The engine is xoshiro256**, which is small, fast, and has no libstdc++
+// implementation-defined distribution behaviour once we implement the
+// distributions ourselves (std::normal_distribution etc. are not portable
+// across standard libraries, which would make EXPERIMENTS.md numbers
+// machine-dependent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace woha {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Raw 64 random bits (UniformRandomBitGenerator interface).
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal();
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+  /// Log-normal: exp(N(mu, sigma)).
+  double log_normal(double mu, double sigma);
+  /// Exponential with the given rate lambda (mean 1/lambda).
+  double exponential(double lambda);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Bounded Pareto on [lo, hi] with shape alpha; heavy-tail generator used
+  /// for the long reducer durations in the Yahoo-like trace.
+  double bounded_pareto(double lo, double hi, double alpha);
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child stream; used to give each workflow its own
+  /// stream so that adding a workflow does not perturb the draws of others.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace woha

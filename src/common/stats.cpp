@@ -1,0 +1,137 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace woha {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+void Distribution::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Distribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Distribution::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("quantile of empty distribution");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Distribution::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Distribution::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Distribution::min() const {
+  if (samples_.empty()) throw std::logic_error("min of empty distribution");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Distribution::max() const {
+  if (samples_.empty()) throw std::logic_error("max of empty distribution");
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> Distribution::cdf_points(
+    const std::vector<double>& xs) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.emplace_back(x, cdf(x));
+  return out;
+}
+
+LogHistogram::LogHistogram(int lo_exp, int hi_exp) : lo_exp_(lo_exp) {
+  if (hi_exp <= lo_exp) throw std::invalid_argument("LogHistogram: hi_exp <= lo_exp");
+  counts_.assign(static_cast<std::size_t>(hi_exp - lo_exp), 0);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  int e = lo_exp_;
+  if (x > 0.0) {
+    e = static_cast<int>(std::floor(std::log10(x))) + 1;  // x < 10^e
+  }
+  const int idx = std::clamp(e - lo_exp_ - 1, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+std::string LogHistogram::label(std::size_t bucket) const {
+  return "<10^" + std::to_string(lo_exp_ + static_cast<int>(bucket) + 1);
+}
+
+double LogHistogram::fraction_at_least(int exp) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t n = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (lo_exp_ + static_cast<int>(b) >= exp) n += counts_[b];
+  }
+  return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+}  // namespace woha

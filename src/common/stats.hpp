@@ -1,0 +1,85 @@
+// Descriptive statistics used by the trace generator (to verify Fig. 5/6
+// marginals) and by the benchmark reporters (CDF rows, percentiles,
+// log-bucketed histograms like the paper's Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace woha {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1 denominator).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact empirical distribution: stores all samples, answers quantile and
+/// CDF queries. Fine at the scale of our experiments (<= millions of points).
+class Distribution {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// q in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  /// Fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// CDF sampled at the given x positions; one row per position, e.g. to
+  /// print the Fig. 5/6 curves.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_points(
+      const std::vector<double>& xs) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Histogram with power-of-ten buckets: [0,10^lo), [10^lo,10^lo+1), ...
+/// Matches the paper's Fig. 3 presentation ("<10^1", "<10^2", ... ms).
+class LogHistogram {
+ public:
+  /// Buckets cover 10^lo_exp .. 10^hi_exp; values outside are clamped into
+  /// the first/last bucket.
+  LogHistogram(int lo_exp, int hi_exp);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const { return counts_[bucket]; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Label like "<10^3" for the bucket's upper bound.
+  [[nodiscard]] std::string label(std::size_t bucket) const;
+  /// Fraction of samples at or above the bucket lower bound 10^e.
+  [[nodiscard]] double fraction_at_least(int exp) const;
+
+ private:
+  int lo_exp_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace woha

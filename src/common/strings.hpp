@@ -1,0 +1,37 @@
+// Small string utilities (no locale surprises, ASCII-only semantics).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace woha {
+
+/// Remove leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a decimal integer; throws std::invalid_argument on malformed input.
+[[nodiscard]] std::int64_t parse_int(std::string_view s);
+
+/// Parse a floating-point number; throws std::invalid_argument on failure.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// Parse a duration with unit suffix: "1500ms", "90s", "80min", "2h".
+/// A bare number is milliseconds.
+[[nodiscard]] Duration parse_duration(std::string_view s);
+
+/// Render a SimTime/Duration as a compact human string ("1h20m", "95s").
+[[nodiscard]] std::string format_duration(Duration d);
+
+/// printf-light: %s for pre-stringified args only. Kept trivial on purpose.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace woha

@@ -1,0 +1,34 @@
+// Fixed-width text table renderer. Every bench binary prints its figure's
+// rows through this so EXPERIMENTS.md tables can be pasted directly from
+// bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace woha {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// All rows must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Render with a separator line under the header.
+  [[nodiscard]] std::string to_string() const;
+  /// Render as CSV (no padding), for machine consumption.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace woha

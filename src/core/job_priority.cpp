@@ -1,0 +1,69 @@
+#include "core/job_priority.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "workflow/analysis.hpp"
+
+namespace woha::core {
+
+const char* to_string(JobPriorityPolicy policy) {
+  switch (policy) {
+    case JobPriorityPolicy::kHlf: return "HLF";
+    case JobPriorityPolicy::kLpf: return "LPF";
+    case JobPriorityPolicy::kMpf: return "MPF";
+  }
+  return "?";
+}
+
+JobPriorityPolicy parse_job_priority_policy(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "hlf") return JobPriorityPolicy::kHlf;
+  if (lower == "lpf") return JobPriorityPolicy::kLpf;
+  if (lower == "mpf") return JobPriorityPolicy::kMpf;
+  throw std::invalid_argument("unknown job priority policy: '" + name + "'");
+}
+
+std::vector<std::uint32_t> job_priority_order(const wf::WorkflowSpec& spec,
+                                              JobPriorityPolicy policy) {
+  const std::uint32_t n = static_cast<std::uint32_t>(spec.jobs.size());
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t j = 0; j < n; ++j) order[j] = j;
+
+  // Each policy produces a score where larger == higher priority.
+  std::vector<std::int64_t> score(n);
+  switch (policy) {
+    case JobPriorityPolicy::kHlf: {
+      const auto levels = wf::job_levels(spec);
+      for (std::uint32_t j = 0; j < n; ++j) score[j] = levels[j];
+      break;
+    }
+    case JobPriorityPolicy::kLpf: {
+      const auto paths = wf::downstream_path_length(spec);
+      for (std::uint32_t j = 0; j < n; ++j) score[j] = paths[j];
+      break;
+    }
+    case JobPriorityPolicy::kMpf: {
+      const auto deps = wf::dependent_counts(spec);
+      for (std::uint32_t j = 0; j < n; ++j) score[j] = deps[j];
+      break;
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;  // tie-break by job id
+  });
+  return order;
+}
+
+std::vector<std::uint32_t> job_priority_ranks(const wf::WorkflowSpec& spec,
+                                              JobPriorityPolicy policy) {
+  const auto order = job_priority_order(spec, policy);
+  std::vector<std::uint32_t> rank(order.size());
+  for (std::uint32_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+  return rank;
+}
+
+}  // namespace woha::core

@@ -1,0 +1,40 @@
+// Intra-workflow job prioritization (paper Section V-C).
+//
+// The Scheduling Plan Generator takes a total priority order over a
+// workflow's jobs as input. Three policies from the paper:
+//
+//  * HLF (Highest Level First)       — deeper jobs (longer chains of
+//    dependents, counted in jobs) first.
+//  * LPF (Longest Path First)        — jobs with the longest downstream path
+//    measured in estimated execution time first.
+//  * MPF (Maximum Parallelism First) — jobs with the most direct dependents
+//    first, to keep the workflow's frontier wide.
+//
+// All ties break by job index ("ties are broken by using their job IDs").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workflow/workflow.hpp"
+
+namespace woha::core {
+
+enum class JobPriorityPolicy : std::uint8_t { kHlf, kLpf, kMpf };
+
+[[nodiscard]] const char* to_string(JobPriorityPolicy policy);
+/// Parses "hlf" / "lpf" / "mpf" (case-insensitive); throws on other input.
+[[nodiscard]] JobPriorityPolicy parse_job_priority_policy(const std::string& name);
+
+/// rank[j] = position of job j in the priority order; 0 is the highest
+/// priority. A valid permutation of 0..n-1.
+[[nodiscard]] std::vector<std::uint32_t> job_priority_ranks(
+    const wf::WorkflowSpec& spec, JobPriorityPolicy policy);
+
+/// Job indices sorted from highest to lowest priority (the inverse
+/// permutation of job_priority_ranks).
+[[nodiscard]] std::vector<std::uint32_t> job_priority_order(
+    const wf::WorkflowSpec& spec, JobPriorityPolicy policy);
+
+}  // namespace woha::core

@@ -1,0 +1,77 @@
+// The Scheduling Plan: progress requirement list F_i (paper Section IV-A,
+// Algorithm 1 "Generate Progress Requirements").
+//
+// A plan is computed *client-side* at workflow submission by simulating the
+// workflow's execution on a capped number of slots under a fixed
+// intra-workflow job order. The result is a step function F_i: at ttd
+// (time-to-deadline) time units before the deadline, at least F_i(ttd) tasks
+// of W_i must have been handed to slots for the workflow to be on track.
+// Because the simulated finish is anchored at the deadline, a plan generated
+// with a generous cap is "lazy" (requires nothing early, everything late) —
+// the resource-cap binary search in resource_cap.hpp fixes that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workflow/workflow.hpp"
+
+namespace woha::core {
+
+/// One step of the progress requirement list. Steps are stored in
+/// chronological order == strictly decreasing ttd; `cumulative_req` is the
+/// total number of tasks that must have been scheduled once ttd has been
+/// reached (i.e. at absolute time deadline - ttd).
+struct ProgressStep {
+  Duration ttd = 0;
+  std::uint64_t cumulative_req = 0;
+  friend constexpr bool operator==(const ProgressStep&, const ProgressStep&) = default;
+};
+
+struct SchedulingPlan {
+  /// Progress requirement list F_i, strictly decreasing in ttd.
+  std::vector<ProgressStep> steps;
+  /// Job indices from highest to lowest intra-workflow priority.
+  std::vector<std::uint32_t> job_order;
+  /// rank[j] = position of job j in job_order (0 = schedule first).
+  std::vector<std::uint32_t> job_rank;
+  /// The resource cap n the plan was generated with.
+  std::uint32_t resource_cap = 0;
+  /// Simulated makespan of the workflow under the cap (start at 0).
+  Duration simulated_makespan = 0;
+
+  /// Total tasks in the workflow (the last step's cumulative requirement).
+  [[nodiscard]] std::uint64_t total_tasks() const {
+    return steps.empty() ? 0 : steps.back().cumulative_req;
+  }
+
+  /// F_i(ttd): tasks that must have been scheduled when `ttd` remains until
+  /// the deadline. Steps at larger-or-equal ttd have occurred.
+  /// O(log steps) binary search; the runtime scheduler uses the incremental
+  /// ProgressTracker walk instead.
+  [[nodiscard]] std::uint64_t required_at(Duration ttd) const;
+
+  /// Plan is usable for a deadline D - S iff simulated_makespan <= D - S.
+  [[nodiscard]] bool feasible_for(Duration relative_deadline) const {
+    return simulated_makespan <= relative_deadline;
+  }
+};
+
+/// Algorithm 1: simulate W_i on `resource_cap` slots, jobs picked by
+/// ascending `job_rank` (rank 0 first), maps before reduces within a job,
+/// reduces gated on map-phase completion, and record every scheduling
+/// instant. `resource_cap` must be >= 1. The spec is not required to have a
+/// deadline (ttd anchoring is relative to the simulated makespan).
+///
+/// Deviation from the paper's pseudo-code, documented in DESIGN.md: the
+/// printed Algorithm 1 never returns slots to the pool (no FREE events are
+/// generated after line 4), which cannot be intended — we emit a FREE event
+/// when each scheduled wave completes, and we drain all schedulable jobs per
+/// event time rather than one job per event (equivalent to processing the
+/// co-temporal event batch).
+[[nodiscard]] SchedulingPlan generate_plan(const wf::WorkflowSpec& spec,
+                                           std::uint32_t resource_cap,
+                                           const std::vector<std::uint32_t>& job_rank);
+
+}  // namespace woha::core

@@ -1,0 +1,138 @@
+#include "core/plan_serialization.hpp"
+
+#include <stdexcept>
+
+namespace woha::core {
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'W';
+constexpr std::uint8_t kMagic1 = 'P';
+constexpr std::uint8_t kVersion = 1;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t byte() {
+    if (pos_ >= bytes_.size()) throw std::invalid_argument("plan: truncated");
+    return bytes_[pos_++];
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t b = byte();
+      if (shift >= 64) throw std::invalid_argument("plan: varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_plan(const SchedulingPlan& plan) {
+  std::vector<std::uint8_t> out;
+  out.reserve(serialized_plan_size(plan));
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  put_varint(out, plan.resource_cap);
+  put_varint(out, static_cast<std::uint64_t>(plan.simulated_makespan));
+  put_varint(out, plan.job_order.size());
+  for (std::uint32_t j : plan.job_order) put_varint(out, j);
+  put_varint(out, plan.steps.size());
+  // Steps are chronological: ttd strictly decreasing, cumulative_req
+  // strictly increasing — delta-code both (ttd deltas from the previous
+  // step going down, req deltas going up).
+  Duration prev_ttd = plan.simulated_makespan;
+  std::uint64_t prev_req = 0;
+  for (const ProgressStep& s : plan.steps) {
+    put_varint(out, static_cast<std::uint64_t>(prev_ttd - s.ttd));
+    put_varint(out, s.cumulative_req - prev_req);
+    prev_ttd = s.ttd;
+    prev_req = s.cumulative_req;
+  }
+  return out;
+}
+
+std::size_t serialized_plan_size(const SchedulingPlan& plan) {
+  std::size_t n = 3;
+  n += varint_size(plan.resource_cap);
+  n += varint_size(static_cast<std::uint64_t>(plan.simulated_makespan));
+  n += varint_size(plan.job_order.size());
+  for (std::uint32_t j : plan.job_order) n += varint_size(j);
+  n += varint_size(plan.steps.size());
+  Duration prev_ttd = plan.simulated_makespan;
+  std::uint64_t prev_req = 0;
+  for (const ProgressStep& s : plan.steps) {
+    n += varint_size(static_cast<std::uint64_t>(prev_ttd - s.ttd));
+    n += varint_size(s.cumulative_req - prev_req);
+    prev_ttd = s.ttd;
+    prev_req = s.cumulative_req;
+  }
+  return n;
+}
+
+SchedulingPlan deserialize_plan(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.byte() != kMagic0 || r.byte() != kMagic1) {
+    throw std::invalid_argument("plan: bad magic");
+  }
+  if (r.byte() != kVersion) throw std::invalid_argument("plan: unsupported version");
+  SchedulingPlan plan;
+  plan.resource_cap = static_cast<std::uint32_t>(r.varint());
+  plan.simulated_makespan = static_cast<Duration>(r.varint());
+  const std::uint64_t njobs = r.varint();
+  plan.job_order.reserve(njobs);
+  for (std::uint64_t i = 0; i < njobs; ++i) {
+    plan.job_order.push_back(static_cast<std::uint32_t>(r.varint()));
+  }
+  plan.job_rank.assign(njobs, 0);
+  for (std::uint32_t pos = 0; pos < njobs; ++pos) {
+    const std::uint32_t j = plan.job_order[pos];
+    if (j >= njobs) throw std::invalid_argument("plan: job index out of range");
+    plan.job_rank[j] = pos;
+  }
+  const std::uint64_t nsteps = r.varint();
+  plan.steps.reserve(nsteps);
+  Duration prev_ttd = plan.simulated_makespan;
+  std::uint64_t prev_req = 0;
+  for (std::uint64_t i = 0; i < nsteps; ++i) {
+    const Duration ttd = prev_ttd - static_cast<Duration>(r.varint());
+    const std::uint64_t req = prev_req + r.varint();
+    if (ttd < 0) throw std::invalid_argument("plan: negative ttd");
+    plan.steps.push_back(ProgressStep{ttd, req});
+    prev_ttd = ttd;
+    prev_req = req;
+  }
+  if (!r.done()) throw std::invalid_argument("plan: trailing bytes");
+  return plan;
+}
+
+}  // namespace woha::core

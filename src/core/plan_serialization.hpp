@@ -1,0 +1,27 @@
+// Wire format for scheduling plans.
+//
+// In WOHA the client ships the plan to the JobTracker with the workflow
+// configuration, so its size is master-node memory and network overhead —
+// the paper's Fig. 13(b) shows plans stay under ~7 KB even for workflows of
+// 1400+ tasks. We use the obvious compact encoding: LEB128 varints with
+// delta-coding for the monotone step sequences. serialized_size() is what
+// the Fig. 13(b) bench reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace woha::core {
+
+/// Encode a plan. Deterministic: equal plans produce identical bytes.
+[[nodiscard]] std::vector<std::uint8_t> serialize_plan(const SchedulingPlan& plan);
+
+/// Decode; throws std::invalid_argument on malformed/truncated input.
+[[nodiscard]] SchedulingPlan deserialize_plan(const std::vector<std::uint8_t>& bytes);
+
+/// Size in bytes of the encoded plan (without building the buffer twice).
+[[nodiscard]] std::size_t serialized_plan_size(const SchedulingPlan& plan);
+
+}  // namespace woha::core

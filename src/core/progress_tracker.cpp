@@ -1,0 +1,34 @@
+#include "core/progress_tracker.hpp"
+
+#include <stdexcept>
+
+namespace woha::core {
+
+ProgressTracker::ProgressTracker(const SchedulingPlan* plan, SimTime deadline)
+    : plan_(plan), deadline_(deadline) {
+  if (!plan_) throw std::invalid_argument("ProgressTracker: null plan");
+}
+
+SimTime ProgressTracker::next_change_time() const {
+  if (deadline_ == kTimeInfinity || index_ >= plan_->steps.size()) {
+    return kTimeInfinity;
+  }
+  // Step index_ fires at absolute time D - ttd. ttd can exceed the relative
+  // deadline when the plan is lazier than the submission instant — such
+  // steps fire "immediately" (clamped by advance_to's <= now test).
+  return deadline_ - plan_->steps[index_].ttd;
+}
+
+void ProgressTracker::advance_to(SimTime now) {
+  if (deadline_ == kTimeInfinity) return;
+  while (index_ < plan_->steps.size() &&
+         deadline_ - plan_->steps[index_].ttd <= now) {
+    ++index_;
+  }
+}
+
+std::uint64_t ProgressTracker::current_requirement() const {
+  return index_ == 0 ? 0 : plan_->steps[index_ - 1].cumulative_req;
+}
+
+}  // namespace woha::core

@@ -1,0 +1,59 @@
+// Runtime progress state of one workflow under the progress-based scheduler
+// (paper Section IV-B).
+//
+// For workflow W_h the scheduler maintains:
+//   * W_h.i   — index of the next un-applied step in F_h       (index_)
+//   * W_h.t   — absolute time of the next requirement change   (next_change_time)
+//   * rho_h   — true progress: tasks handed to slots so far    (rho_)
+//   * W_h.p   — inter-workflow priority = F_h(ttd) - rho_h     (lag)
+//
+// advance_to(now) is Algorithm 2's lines 8-11 (walk to the latest fired
+// step); count_scheduled() is line 22 (rho+1 == p-1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/plan.hpp"
+
+namespace woha::core {
+
+class ProgressTracker {
+ public:
+  /// `plan` must outlive the tracker. `deadline` is absolute
+  /// (kTimeInfinity => the workflow never accrues requirements and its lag
+  /// is simply -rho, i.e. lowest effective priority).
+  ProgressTracker(const SchedulingPlan* plan, SimTime deadline);
+
+  /// Absolute time when the requirement next increases (kTimeInfinity once
+  /// every step has fired).
+  [[nodiscard]] SimTime next_change_time() const;
+
+  /// Walk W_h.i past every step whose absolute fire time (deadline - ttd)
+  /// is <= now. Idempotent; O(steps crossed).
+  void advance_to(SimTime now);
+
+  /// Current requirement F_h at the last advanced-to instant.
+  [[nodiscard]] std::uint64_t current_requirement() const;
+
+  /// Inter-workflow priority p = F_h(ttd) - rho_h; larger == more behind ==
+  /// schedule first.
+  [[nodiscard]] std::int64_t lag() const {
+    return static_cast<std::int64_t>(current_requirement()) -
+           static_cast<std::int64_t>(rho_);
+  }
+
+  [[nodiscard]] std::uint64_t rho() const { return rho_; }
+  void count_scheduled() { ++rho_; }
+
+  [[nodiscard]] const SchedulingPlan& plan() const { return *plan_; }
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+
+ private:
+  const SchedulingPlan* plan_;
+  SimTime deadline_;
+  std::size_t index_ = 0;  // first step that has NOT fired yet
+  std::uint64_t rho_ = 0;
+};
+
+}  // namespace woha::core

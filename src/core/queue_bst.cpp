@@ -1,0 +1,56 @@
+#include "core/queue_bst.hpp"
+
+#include <stdexcept>
+
+namespace woha::core {
+
+void BstQueue::insert(std::uint32_t id, ProgressTracker tracker) {
+  if (states_.count(id)) throw std::invalid_argument("BstQueue: duplicate id");
+  auto st = std::make_unique<WfState>(WfState{id, std::move(tracker), 0, 0});
+  st->ct_key = st->tracker.next_change_time();
+  st->pri_key = -st->tracker.lag();
+  ct_tree_.emplace(CtKey{st->ct_key, id}, st.get());
+  pri_tree_.emplace(PriKey{st->pri_key, id}, st.get());
+  states_.emplace(id, std::move(st));
+}
+
+void BstQueue::remove(std::uint32_t id) {
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;
+  ct_tree_.erase({it->second->ct_key, id});
+  pri_tree_.erase({it->second->pri_key, id});
+  states_.erase(it);
+}
+
+std::uint32_t BstQueue::assign(SimTime now,
+                               const std::function<bool(std::uint32_t)>& can_use) {
+  while (!ct_tree_.empty()) {
+    const auto head = tree_begin(ct_tree_);
+    if (head->first.first > now) break;
+    WfState* st = head->second;
+    ct_tree_.erase(head);
+    st->tracker.advance_to(now);
+    pri_tree_.erase({st->pri_key, st->id});
+    st->pri_key = -st->tracker.lag();
+    pri_tree_.emplace(PriKey{st->pri_key, st->id}, st);
+    st->ct_key = st->tracker.next_change_time();
+    ct_tree_.emplace(CtKey{st->ct_key, st->id}, st);
+  }
+
+  WfState* chosen = nullptr;
+  for (auto it = tree_begin(pri_tree_); it != pri_tree_.end(); ++it) {
+    if (can_use(it->second->id)) {
+      chosen = it->second;
+      break;
+    }
+  }
+  if (!chosen) return kNone;
+
+  pri_tree_.erase({chosen->pri_key, chosen->id});
+  chosen->tracker.count_scheduled();
+  chosen->pri_key = -chosen->tracker.lag();
+  pri_tree_.emplace(PriKey{chosen->pri_key, chosen->id}, chosen);
+  return chosen->id;
+}
+
+}  // namespace woha::core

@@ -1,0 +1,58 @@
+// Balanced-search-tree variant of the scheduler queue (paper Fig. 13(a),
+// "WOHA-BST"). Identical algorithm to the Double Skip List, but both
+// orderings live in red-black trees (std::map), so the frequent head
+// deletions cost O(log n) instead of O(1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "core/scheduler_queue.hpp"
+
+namespace woha::core {
+
+class BstQueue final : public SchedulerQueue {
+ public:
+  /// `cached_min` = true exploits std::map's O(1) begin(); false models the
+  /// textbook balanced BST of the paper's Fig. 13(a), paying a root-to-min
+  /// descent (lower_bound from the root) on every head access.
+  explicit BstQueue(bool cached_min = true) : cached_min_(cached_min) {}
+
+  [[nodiscard]] std::string name() const override {
+    return cached_min_ ? "BST" : "BSTplain";
+  }
+  void insert(std::uint32_t id, ProgressTracker tracker) override;
+  void remove(std::uint32_t id) override;
+  std::uint32_t assign(SimTime now,
+                       const std::function<bool(std::uint32_t)>& can_use) override;
+  [[nodiscard]] std::size_t size() const override { return states_.size(); }
+
+ private:
+  struct WfState {
+    std::uint32_t id;
+    ProgressTracker tracker;
+    SimTime ct_key;
+    std::int64_t pri_key;
+  };
+
+  using CtKey = std::pair<SimTime, std::uint32_t>;
+  using PriKey = std::pair<std::int64_t, std::uint32_t>;
+
+  template <class Tree>
+  [[nodiscard]] typename Tree::iterator tree_begin(Tree& tree) const {
+    if (cached_min_) return tree.begin();
+    // Textbook BST min: descend from the root.
+    return tree.lower_bound(typename Tree::key_type{
+        std::numeric_limits<typename Tree::key_type::first_type>::min(), 0});
+  }
+
+  bool cached_min_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<WfState>> states_;
+  std::map<CtKey, WfState*> ct_tree_;
+  std::map<PriKey, WfState*> pri_tree_;
+};
+
+}  // namespace woha::core

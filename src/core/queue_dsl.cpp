@@ -1,0 +1,73 @@
+#include "core/queue_dsl.hpp"
+
+#include <stdexcept>
+
+namespace woha::core {
+
+void DslQueue::insert(std::uint32_t id, ProgressTracker tracker) {
+  if (states_.count(id)) throw std::invalid_argument("DslQueue: duplicate id");
+  auto st = std::make_unique<WfState>(
+      WfState{id, std::move(tracker), 0, 0});
+  st->ct_key = st->tracker.next_change_time();
+  st->pri_key = -st->tracker.lag();
+  ct_list_.insert({st->ct_key, id}, st.get());
+  pri_list_.insert({st->pri_key, id}, st.get());
+  states_.emplace(id, std::move(st));
+}
+
+void DslQueue::remove(std::uint32_t id) {
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;
+  ct_list_.erase({it->second->ct_key, id});
+  pri_list_.erase({it->second->pri_key, id});
+  states_.erase(it);
+}
+
+void DslQueue::refresh(WfState& st, SimTime now) {
+  st.tracker.advance_to(now);
+  pri_list_.erase({st.pri_key, st.id});
+  st.pri_key = -st.tracker.lag();
+  pri_list_.insert({st.pri_key, st.id}, &st);
+  st.ct_key = st.tracker.next_change_time();
+  ct_list_.insert({st.ct_key, st.id}, &st);
+}
+
+std::uint32_t DslQueue::assign(SimTime now,
+                               const std::function<bool(std::uint32_t)>& can_use) {
+  // Phase 1 (Algorithm 2, lines 4-19): workflows whose next requirement
+  // change has fired leave the ct head (O(1) pop), get a fresh priority,
+  // and re-enter both lists.
+  while (!ct_list_.empty() && ct_list_.front().first.first <= now) {
+    auto [key, st] = ct_list_.pop_front();
+    refresh(*st, now);
+  }
+
+  // Phase 2 (lines 20-24): serve the most-lagging workflow that can use the
+  // slot. The head case is the common one — this is exactly where the
+  // Double Skip List earns its O(1) head deletion; the forward walk covers
+  // workflows that are temporarily unassignable (e.g. all jobs waiting on
+  // predecessors), keeping the scheduler work-conserving.
+  WfState* chosen = nullptr;
+  bool chosen_is_head = true;
+  pri_list_.for_each([&](const PriKey&, WfState* st) {
+    if (can_use(st->id)) {
+      chosen = st;
+      return false;
+    }
+    chosen_is_head = false;
+    return true;
+  });
+  if (!chosen) return kNone;
+
+  if (chosen_is_head) {
+    pri_list_.pop_front();  // O(1): the paper's common case
+  } else {
+    pri_list_.erase({chosen->pri_key, chosen->id});
+  }
+  chosen->tracker.count_scheduled();  // rho+1 <=> p-1
+  chosen->pri_key = -chosen->tracker.lag();
+  pri_list_.insert({chosen->pri_key, chosen->id}, chosen);
+  return chosen->id;
+}
+
+}  // namespace woha::core

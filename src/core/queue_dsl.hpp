@@ -1,0 +1,48 @@
+// The Double Skip List (paper Section IV-B, Algorithm 2, Fig. 4).
+//
+// Two correlated skip lists index the same per-workflow records:
+//   * ct list   keyed by (next-change-time, id)  — ascending,
+//   * priority  keyed by (-lag, id)              — so the front is the most
+//                                                  lagging workflow.
+// Head deletions (the common case: the fired ct head and the chosen
+// priority head) are O(1); repositioning is O(log n). Total AssignTask cost
+// is O((n_w / (n_f * l) + 1) * log n_w) per the paper's analysis.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "core/scheduler_queue.hpp"
+#include "core/skiplist.hpp"
+
+namespace woha::core {
+
+class DslQueue final : public SchedulerQueue {
+ public:
+  [[nodiscard]] std::string name() const override { return "DSL"; }
+  void insert(std::uint32_t id, ProgressTracker tracker) override;
+  void remove(std::uint32_t id) override;
+  std::uint32_t assign(SimTime now,
+                       const std::function<bool(std::uint32_t)>& can_use) override;
+  [[nodiscard]] std::size_t size() const override { return states_.size(); }
+
+ private:
+  struct WfState {
+    std::uint32_t id;
+    ProgressTracker tracker;
+    SimTime ct_key;        // cached key in the ct list
+    std::int64_t pri_key;  // cached key in the priority list (= -lag)
+  };
+
+  using CtKey = std::pair<SimTime, std::uint32_t>;
+  using PriKey = std::pair<std::int64_t, std::uint32_t>;
+
+  void refresh(WfState& st, SimTime now);
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<WfState>> states_;
+  SkipList<CtKey, WfState*> ct_list_;
+  SkipList<PriKey, WfState*> pri_list_;
+};
+
+}  // namespace woha::core

@@ -1,0 +1,34 @@
+#include "core/queue_naive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace woha::core {
+
+void NaiveQueue::insert(std::uint32_t id, ProgressTracker tracker) {
+  if (states_.count(id)) throw std::invalid_argument("NaiveQueue: duplicate id");
+  states_.emplace(id, WfState{id, std::move(tracker)});
+}
+
+void NaiveQueue::remove(std::uint32_t id) { states_.erase(id); }
+
+std::uint32_t NaiveQueue::assign(SimTime now,
+                                 const std::function<bool(std::uint32_t)>& can_use) {
+  // "Update all workflows' progress lags and then reorder them."
+  std::vector<std::pair<std::int64_t, std::uint32_t>> order;  // (-lag, id)
+  order.reserve(states_.size());
+  for (auto& [id, st] : states_) {
+    st.tracker.advance_to(now);
+    order.emplace_back(-st.tracker.lag(), id);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [neg_lag, id] : order) {
+    if (can_use(id)) {
+      states_.at(id).tracker.count_scheduled();
+      return id;
+    }
+  }
+  return kNone;
+}
+
+}  // namespace woha::core

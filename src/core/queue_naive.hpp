@@ -1,0 +1,32 @@
+// Naive variant of the scheduler queue (paper Fig. 13(a), "WOHA-Naive"):
+// on every AssignTask call, recompute every queued workflow's progress lag
+// and re-sort the whole set before serving the head. O(n log n) per call —
+// the strawman the paper shows collapsing around 10^4 workflows.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler_queue.hpp"
+
+namespace woha::core {
+
+class NaiveQueue final : public SchedulerQueue {
+ public:
+  [[nodiscard]] std::string name() const override { return "Naive"; }
+  void insert(std::uint32_t id, ProgressTracker tracker) override;
+  void remove(std::uint32_t id) override;
+  std::uint32_t assign(SimTime now,
+                       const std::function<bool(std::uint32_t)>& can_use) override;
+  [[nodiscard]] std::size_t size() const override { return states_.size(); }
+
+ private:
+  struct WfState {
+    std::uint32_t id;
+    ProgressTracker tracker;
+  };
+  std::unordered_map<std::uint32_t, WfState> states_;
+};
+
+}  // namespace woha::core

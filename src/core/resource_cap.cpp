@@ -1,0 +1,73 @@
+#include "core/resource_cap.hpp"
+
+#include <stdexcept>
+
+namespace woha::core {
+
+const char* to_string(CapPolicy policy) {
+  switch (policy) {
+    case CapPolicy::kFullCluster: return "full-cluster";
+    case CapPolicy::kMinFeasible: return "min-feasible";
+    case CapPolicy::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+std::optional<std::uint32_t> min_feasible_cap(
+    const wf::WorkflowSpec& spec, const std::vector<std::uint32_t>& job_rank,
+    Duration relative_deadline, std::uint32_t max_cap) {
+  if (max_cap == 0) throw std::invalid_argument("min_feasible_cap: max_cap == 0");
+  if (relative_deadline <= 0) return std::nullopt;
+
+  // Check feasibility at the top first: if the whole cluster cannot meet the
+  // deadline, no cap can.
+  if (generate_plan(spec, max_cap, job_rank).simulated_makespan > relative_deadline) {
+    return std::nullopt;
+  }
+  std::uint32_t lo = 1;
+  std::uint32_t hi = max_cap;  // invariant: hi is feasible
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (generate_plan(spec, mid, job_rank).simulated_makespan <= relative_deadline) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+SchedulingPlan plan_for_submission(const wf::WorkflowSpec& spec,
+                                   const std::vector<std::uint32_t>& job_rank,
+                                   std::uint32_t total_cluster_slots,
+                                   CapPolicy policy, std::uint32_t fixed_cap,
+                                   double deadline_factor) {
+  if (total_cluster_slots == 0) {
+    throw std::invalid_argument("plan_for_submission: cluster has no slots");
+  }
+  if (deadline_factor <= 0.0 || deadline_factor > 1.0) {
+    throw std::invalid_argument("plan_for_submission: deadline_factor in (0, 1]");
+  }
+  switch (policy) {
+    case CapPolicy::kFullCluster:
+      return generate_plan(spec, total_cluster_slots, job_rank);
+    case CapPolicy::kFixed:
+      if (fixed_cap == 0) throw std::invalid_argument("fixed cap must be >= 1");
+      return generate_plan(spec, fixed_cap, job_rank);
+    case CapPolicy::kMinFeasible: {
+      const auto target = static_cast<Duration>(
+          static_cast<double>(spec.relative_deadline) * deadline_factor);
+      auto cap = min_feasible_cap(spec, job_rank, target, total_cluster_slots);
+      if (!cap) {
+        // The padded deadline is infeasible; retry against the true
+        // deadline before falling back to the full cluster.
+        cap = min_feasible_cap(spec, job_rank, spec.relative_deadline,
+                               total_cluster_slots);
+      }
+      return generate_plan(spec, cap.value_or(total_cluster_slots), job_rank);
+    }
+  }
+  throw std::logic_error("plan_for_submission: unreachable");
+}
+
+}  // namespace woha::core

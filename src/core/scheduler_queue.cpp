@@ -1,0 +1,31 @@
+#include "core/scheduler_queue.hpp"
+
+#include <stdexcept>
+
+#include "core/queue_bst.hpp"
+#include "core/queue_dsl.hpp"
+#include "core/queue_naive.hpp"
+
+namespace woha::core {
+
+const char* to_string(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kDsl: return "DSL";
+    case QueueKind::kBst: return "BST";
+    case QueueKind::kBstPlain: return "BSTplain";
+    case QueueKind::kNaive: return "Naive";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchedulerQueue> make_queue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kDsl: return std::make_unique<DslQueue>();
+    case QueueKind::kBst: return std::make_unique<BstQueue>(/*cached_min=*/true);
+    case QueueKind::kBstPlain: return std::make_unique<BstQueue>(/*cached_min=*/false);
+    case QueueKind::kNaive: return std::make_unique<NaiveQueue>();
+  }
+  throw std::invalid_argument("make_queue: unknown kind");
+}
+
+}  // namespace woha::core

@@ -1,0 +1,60 @@
+// The master-side workflow queue behind WOHA's AssignTask (Algorithm 2).
+//
+// The scheduler keeps two orderings over queued workflows:
+//   * the ct list   — by the absolute time of the next progress-requirement
+//                     change (ascending), and
+//   * the priority list — by progress lag p = F(ttd) - rho (descending).
+//
+// AssignTask (a) refreshes the priorities of the workflows at the head of
+// the ct list whose change events have fired, then (b) serves the
+// highest-priority workflow that can actually use the slot, bumps its rho,
+// and repositions it. Three implementations back the paper's Fig. 13(a)
+// ablation: the Double Skip List (the contribution), a balanced-BST
+// composition, and the naive recompute-and-rescan loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/progress_tracker.hpp"
+
+namespace woha::core {
+
+class SchedulerQueue {
+ public:
+  virtual ~SchedulerQueue() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Add a workflow with its freshly-built tracker. `id` must be new.
+  virtual void insert(std::uint32_t id, ProgressTracker tracker) = 0;
+
+  /// Remove a finished workflow. No-op when absent.
+  virtual void remove(std::uint32_t id) = 0;
+
+  /// Algorithm 2: update stale orderings up to `now`, then offer the slot to
+  /// workflows in descending-priority order; `can_use(id)` says whether the
+  /// workflow has an assignable task. On acceptance the workflow's rho is
+  /// incremented and its position updated; returns its id. Returns
+  /// UINT32_MAX when no queued workflow can use the slot.
+  virtual std::uint32_t assign(SimTime now,
+                               const std::function<bool(std::uint32_t)>& can_use) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+};
+
+/// kBst uses std::map, whose red-black tree caches the leftmost node — a
+/// stronger baseline than the paper's. kBstPlain models the textbook
+/// balanced BST the paper compared against: every head access pays a
+/// root-to-leftmost descent.
+enum class QueueKind : std::uint8_t { kDsl, kBst, kBstPlain, kNaive };
+
+[[nodiscard]] const char* to_string(QueueKind kind);
+[[nodiscard]] std::unique_ptr<SchedulerQueue> make_queue(QueueKind kind);
+
+}  // namespace woha::core

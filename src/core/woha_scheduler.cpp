@@ -1,0 +1,96 @@
+#include "core/woha_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace woha::core {
+
+WohaScheduler::WohaScheduler(WohaConfig config)
+    : config_(config), queue_(make_queue(config.queue)) {}
+
+std::string WohaScheduler::name() const {
+  return std::string("WOHA-") + core::to_string(config_.job_priority);
+}
+
+void WohaScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
+  (void)now;
+  const hadoop::WorkflowRuntime& rt = tracker_->workflow(wf);
+
+  // ---- Client-side work (Fig. 1 steps (c)-(d)) ----
+  const std::uint32_t total_slots =
+      config_.cluster_slots_override ? config_.cluster_slots_override : cluster_slots_;
+  if (total_slots == 0) {
+    throw std::logic_error("WohaScheduler: cluster slot count not set");
+  }
+  // The estimator supplies the durations the client plans with; when
+  // absent, the configuration's values are trusted as-is.
+  const wf::WorkflowSpec planning_spec =
+      config_.estimator ? config_.estimator->estimated_spec(rt.spec()) : rt.spec();
+  const auto rank = job_priority_ranks(planning_spec, config_.job_priority);
+  auto plan = std::make_unique<SchedulingPlan>(
+      plan_for_submission(planning_spec, rank, total_slots, config_.cap_policy,
+                          config_.fixed_cap, config_.plan_deadline_factor));
+  WOHA_LOG(LogLevel::kInfo, "woha")
+      << "plan for workflow " << wf.value() << ": cap=" << plan->resource_cap
+      << " makespan=" << plan->simulated_makespan << " steps=" << plan->steps.size();
+
+  // ---- Master-side registration ----
+  WorkflowState st;
+  st.plan = std::move(plan);
+  ProgressTracker progress(st.plan.get(), rt.deadline());
+  states_.emplace(wf.value(), std::move(st));
+  queue_->insert(wf.value(), std::move(progress));
+}
+
+void WohaScheduler::on_job_activated(hadoop::JobRef job, SimTime now) {
+  (void)now;
+  WorkflowState& st = states_.at(job.workflow);
+  const auto& rank = st.plan->job_rank;
+  // Keep active_jobs sorted by ascending rank (rank 0 served first).
+  const auto pos = std::lower_bound(
+      st.active_jobs.begin(), st.active_jobs.end(), job.job,
+      [&rank](std::uint32_t a, std::uint32_t b) { return rank[a] < rank[b]; });
+  st.active_jobs.insert(pos, job.job);
+}
+
+void WohaScheduler::on_job_completed(hadoop::JobRef job, SimTime now) {
+  (void)now;
+  WorkflowState& st = states_.at(job.workflow);
+  std::erase(st.active_jobs, job.job);
+}
+
+void WohaScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
+  (void)now;
+  queue_->remove(wf.value());
+  // Keep the plan alive (tests inspect it); drop only the job list.
+  states_.at(wf.value()).active_jobs.clear();
+}
+
+std::optional<std::uint32_t> WohaScheduler::pick_job(std::uint32_t wf,
+                                                     SlotType t) const {
+  const WorkflowState& st = states_.at(wf);
+  for (std::uint32_t j : st.active_jobs) {
+    if (tracker_->job(hadoop::JobRef{wf, j}).has_available(t)) return j;
+  }
+  return std::nullopt;
+}
+
+std::optional<hadoop::JobRef> WohaScheduler::select_task(SlotType t, SimTime now) {
+  const std::uint32_t wf = queue_->assign(
+      now, [this, t](std::uint32_t id) { return pick_job(id, t).has_value(); });
+  if (wf == SchedulerQueue::kNone) return std::nullopt;
+  const auto j = pick_job(wf, t);
+  if (!j) {
+    throw std::logic_error("WohaScheduler: queue accepted a workflow without tasks");
+  }
+  return hadoop::JobRef{wf, *j};
+}
+
+const SchedulingPlan* WohaScheduler::plan_of(WorkflowId wf) const {
+  const auto it = states_.find(wf.value());
+  return it == states_.end() ? nullptr : it->second.plan.get();
+}
+
+}  // namespace woha::core

@@ -1,0 +1,90 @@
+// WOHA's progress-based workflow scheduler: the paper's default
+// Scheduling Plan Generator + Workflow Scheduler pair (Sections IV-A/IV-B).
+//
+// Client side (modelled inside on_workflow_submitted, since plan generation
+// is *not* master work — Fig. 1 steps (a)-(d)): compute the intra-workflow
+// job order, pick the resource cap (binary search by default), run
+// Algorithm 1, and hand the resulting plan to the master.
+//
+// Master side: a SchedulerQueue (Double Skip List by default) orders
+// workflows by progress lag F(ttd) - rho; per idle slot, the most lagging
+// workflow with an assignable task wins, and within it the highest
+// plan-ranked active job.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/job_priority.hpp"
+#include "core/resource_cap.hpp"
+#include "core/scheduler_queue.hpp"
+#include "estimate/estimator.hpp"
+#include "hadoop/job_tracker.hpp"
+#include "hadoop/scheduler.hpp"
+
+namespace woha::core {
+
+struct WohaConfig {
+  JobPriorityPolicy job_priority = JobPriorityPolicy::kLpf;
+  CapPolicy cap_policy = CapPolicy::kMinFeasible;
+  std::uint32_t fixed_cap = 0;  ///< only with CapPolicy::kFixed
+  /// Headroom for the kMinFeasible cap search: the plan targets finishing
+  /// by deadline * plan_deadline_factor, leaving slack for heartbeat and
+  /// activation latencies that the client-side simulation does not model.
+  double plan_deadline_factor = 0.9;
+  QueueKind queue = QueueKind::kDsl;
+  /// Resource cap ceiling used by the plan generator; 0 = ask the cluster
+  /// (total slot count) — the client's "consult the JobTracker about the
+  /// maximum number of slots" step.
+  std::uint32_t cluster_slots_override = 0;
+  /// Task-time estimator feeding the plan generator (paper Sec. IV-A:
+  /// estimates come from history logs or models). Null = trust the
+  /// configuration's durations (SpecEstimator behaviour). Shared so a
+  /// HistoryEstimator can accumulate knowledge across runs.
+  std::shared_ptr<est::TaskTimeEstimator> estimator;
+};
+
+class WohaScheduler final : public hadoop::WorkflowScheduler {
+ public:
+  explicit WohaScheduler(WohaConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+
+  /// The engine reports the cluster size before the run (stand-in for the
+  /// client's slot-count query).
+  void set_cluster_slots(std::uint32_t total_slots) { cluster_slots_ = total_slots; }
+
+  void on_cluster_configured(std::uint32_t total_map_slots,
+                             std::uint32_t total_reduce_slots) override {
+    set_cluster_slots(total_map_slots + total_reduce_slots);
+  }
+
+  void on_workflow_submitted(WorkflowId wf, SimTime now) override;
+  void on_job_activated(hadoop::JobRef job, SimTime now) override;
+  void on_job_completed(hadoop::JobRef job, SimTime now) override;
+  void on_workflow_completed(WorkflowId wf, SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+
+  /// Introspection for tests and benches.
+  [[nodiscard]] const SchedulingPlan* plan_of(WorkflowId wf) const;
+  [[nodiscard]] const SchedulerQueue& queue() const { return *queue_; }
+
+ private:
+  struct WorkflowState {
+    std::unique_ptr<SchedulingPlan> plan;
+    /// Active (schedulable) jobs sorted by ascending plan rank.
+    std::vector<std::uint32_t> active_jobs;
+  };
+
+  /// Highest-ranked active job of `wf` with an available task of type `t`.
+  [[nodiscard]] std::optional<std::uint32_t> pick_job(std::uint32_t wf,
+                                                      SlotType t) const;
+
+  WohaConfig config_;
+  std::uint32_t cluster_slots_ = 0;
+  std::unique_ptr<SchedulerQueue> queue_;
+  std::unordered_map<std::uint32_t, WorkflowState> states_;
+};
+
+}  // namespace woha::core

@@ -1,0 +1,52 @@
+#include "estimate/estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace woha::est {
+
+wf::WorkflowSpec TaskTimeEstimator::estimated_spec(const wf::WorkflowSpec& spec) const {
+  wf::WorkflowSpec out = spec;
+  for (auto& job : out.jobs) {
+    if (job.num_maps > 0) job.map_duration = estimate(job, SlotType::kMap);
+    if (job.num_reduces > 0) job.reduce_duration = estimate(job, SlotType::kReduce);
+  }
+  return out;
+}
+
+HistoryEstimator::HistoryEstimator() : HistoryEstimator(Options{}) {}
+
+HistoryEstimator::HistoryEstimator(Options options) : options_(options) {
+  if (options_.alpha <= 0.0 || options_.alpha > 1.0) {
+    throw std::invalid_argument("HistoryEstimator: alpha must be in (0, 1]");
+  }
+}
+
+Duration HistoryEstimator::estimate(const wf::JobSpec& job, SlotType type) const {
+  const auto it = history_.find(key(job.name, type));
+  if (it == history_.end() || it->second.count < options_.min_samples) {
+    return type == SlotType::kMap ? job.map_duration : job.reduce_duration;
+  }
+  return std::max<Duration>(1, static_cast<Duration>(std::llround(it->second.ewma_ms)));
+}
+
+void HistoryEstimator::record(const std::string& job_name, SlotType type,
+                              Duration observed) {
+  if (observed <= 0) throw std::invalid_argument("HistoryEstimator: non-positive duration");
+  Entry& entry = history_[key(job_name, type)];
+  if (entry.count == 0) {
+    entry.ewma_ms = static_cast<double>(observed);
+  } else {
+    entry.ewma_ms = options_.alpha * static_cast<double>(observed) +
+                    (1.0 - options_.alpha) * entry.ewma_ms;
+  }
+  ++entry.count;
+}
+
+std::uint64_t HistoryEstimator::samples(const std::string& job_name,
+                                        SlotType type) const {
+  const auto it = history_.find(key(job_name, type));
+  return it == history_.end() ? 0 : it->second.count;
+}
+
+}  // namespace woha::est

@@ -1,0 +1,94 @@
+// Task execution-time estimation (paper Section IV-A: "Estimations of task
+// execution times can be acquired from logs of historical executions [17]
+// or by using models based on task properties [9]").
+//
+// The scheduling plan is only as good as its duration estimates (see the
+// estimation-error ablation). This module supplies the estimates:
+//
+//  * SpecEstimator     — trust the durations in the workflow configuration
+//                        (the default; models an oracle or a prior model).
+//  * HistoryEstimator  — learn per-job-name durations from observed task
+//                        completions (EWMA), falling back to the spec until
+//                        enough samples arrive. With recurrent workflows
+//                        the second instance onward plans with measured
+//                        reality instead of the user's guess.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "workflow/workflow.hpp"
+
+namespace woha::est {
+
+class TaskTimeEstimator {
+ public:
+  virtual ~TaskTimeEstimator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Expected duration of one map / reduce task of this job.
+  [[nodiscard]] virtual Duration estimate(const wf::JobSpec& job,
+                                          SlotType type) const = 0;
+
+  /// Feed one observed task completion (job identified by name, as in a
+  /// job-history log). Default: estimator ignores observations.
+  virtual void record(const std::string& job_name, SlotType type,
+                      Duration observed) {
+    (void)job_name;
+    (void)type;
+    (void)observed;
+  }
+
+  /// Copy of `spec` with every job's durations replaced by this
+  /// estimator's view — the workflow description a WOHA client would feed
+  /// to the plan generator.
+  [[nodiscard]] wf::WorkflowSpec estimated_spec(const wf::WorkflowSpec& spec) const;
+};
+
+/// Pass-through: the configuration's durations are the estimates.
+class SpecEstimator final : public TaskTimeEstimator {
+ public:
+  [[nodiscard]] std::string name() const override { return "spec"; }
+  [[nodiscard]] Duration estimate(const wf::JobSpec& job, SlotType type) const override {
+    return type == SlotType::kMap ? job.map_duration : job.reduce_duration;
+  }
+};
+
+/// Exponentially-weighted moving average over observed durations, keyed by
+/// job name. Falls back to the spec duration until `min_samples`
+/// observations of that (job, phase) have been seen.
+class HistoryEstimator final : public TaskTimeEstimator {
+ public:
+  struct Options {
+    double alpha = 0.3;             ///< EWMA weight of the newest sample
+    std::uint32_t min_samples = 3;  ///< observations before trusting history
+  };
+
+  HistoryEstimator();
+  explicit HistoryEstimator(Options options);
+
+  [[nodiscard]] std::string name() const override { return "history"; }
+  [[nodiscard]] Duration estimate(const wf::JobSpec& job, SlotType type) const override;
+  void record(const std::string& job_name, SlotType type, Duration observed) override;
+
+  /// Number of observations recorded for (job_name, type).
+  [[nodiscard]] std::uint64_t samples(const std::string& job_name, SlotType type) const;
+
+ private:
+  struct Entry {
+    double ewma_ms = 0.0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] static std::string key(const std::string& job_name, SlotType type) {
+    return job_name + (type == SlotType::kMap ? "#m" : "#r");
+  }
+
+  Options options_;
+  std::unordered_map<std::string, Entry> history_;
+};
+
+}  // namespace woha::est

@@ -1,0 +1,30 @@
+// Bridges the engine's task-event stream into a TaskTimeEstimator — the
+// "logs of historical executions" pipeline. Attach as (part of) the
+// engine's task observer; successful attempts feed the estimator keyed by
+// job name, so recurring jobs are recognized across workflow instances and
+// across runs.
+#pragma once
+
+#include "estimate/estimator.hpp"
+#include "hadoop/engine.hpp"
+
+namespace woha::est {
+
+class HistoryRecorder {
+ public:
+  /// Both references must outlive the recorder.
+  HistoryRecorder(TaskTimeEstimator& estimator, const hadoop::Engine& engine)
+      : estimator_(&estimator), engine_(&engine) {}
+
+  void observe(const hadoop::TaskEvent& event) {
+    if (event.started || event.failed || event.duration <= 0) return;
+    const auto& job = engine_->job_tracker().job(event.job);
+    estimator_->record(job.spec().name, event.slot, event.duration);
+  }
+
+ private:
+  TaskTimeEstimator* estimator_;
+  const hadoop::Engine* engine_;
+};
+
+}  // namespace woha::est

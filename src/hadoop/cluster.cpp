@@ -1,0 +1,89 @@
+#include "hadoop/cluster.hpp"
+
+#include <numeric>
+
+namespace woha::hadoop {
+
+ClusterConfig ClusterConfig::paper_80_servers() {
+  ClusterConfig c;
+  c.num_trackers = 80;
+  c.map_slots_per_tracker = 2;
+  c.reduce_slots_per_tracker = 1;
+  return c;
+}
+
+ClusterConfig ClusterConfig::paper_32_slaves() {
+  ClusterConfig c;
+  c.num_trackers = 32;
+  c.map_slots_per_tracker = 2;
+  c.reduce_slots_per_tracker = 1;
+  return c;
+}
+
+ClusterConfig ClusterConfig::with_totals(std::uint32_t map_slots,
+                                         std::uint32_t reduce_slots) {
+  if (map_slots == 0 || reduce_slots == 0) {
+    throw std::invalid_argument("with_totals: slot counts must be positive");
+  }
+  ClusterConfig c;
+  // Find the largest tracker count <= 128 dividing both, so per-tracker slot
+  // counts stay realistic (small integers).
+  const std::uint32_t g = std::gcd(map_slots, reduce_slots);
+  std::uint32_t trackers = g;
+  while (trackers > 128) trackers /= 2;
+  // Fall back to 1 tracker when gcd is odd and too large to halve evenly.
+  while (trackers > 1 && (map_slots % trackers || reduce_slots % trackers)) {
+    --trackers;
+  }
+  c.num_trackers = trackers;
+  c.map_slots_per_tracker = map_slots / trackers;
+  c.reduce_slots_per_tracker = reduce_slots / trackers;
+  return c;
+}
+
+void TrackerState::occupy(SlotType t) {
+  auto& free = free_[static_cast<std::size_t>(t)];
+  if (free == 0) {
+    throw std::logic_error("TrackerState::occupy: no free slot");
+  }
+  --free;
+}
+
+void TrackerState::release(SlotType t) {
+  auto& free = free_[static_cast<std::size_t>(t)];
+  if (free >= capacity_[static_cast<std::size_t>(t)]) {
+    throw std::logic_error("TrackerState::release: all slots already free");
+  }
+  ++free;
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  if (config.num_trackers == 0) {
+    throw std::invalid_argument("Cluster: num_trackers must be positive");
+  }
+  trackers_.reserve(config.num_trackers);
+  for (std::uint32_t i = 0; i < config.num_trackers; ++i) {
+    trackers_.emplace_back(TrackerId(i), config.map_slots_per_tracker,
+                           config.reduce_slots_per_tracker);
+  }
+  total_free_[0] = config.total_map_slots();
+  total_free_[1] = config.total_reduce_slots();
+}
+
+std::uint32_t Cluster::total_busy(SlotType t) const {
+  const std::uint32_t cap = t == SlotType::kMap ? config_.total_map_slots()
+                                                : config_.total_reduce_slots();
+  return cap - total_free(t);
+}
+
+void Cluster::occupy(std::size_t tracker_index, SlotType t) {
+  trackers_.at(tracker_index).occupy(t);
+  --total_free_[static_cast<std::size_t>(t)];
+}
+
+void Cluster::release(std::size_t tracker_index, SlotType t) {
+  trackers_.at(tracker_index).release(t);
+  ++total_free_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace woha::hadoop

@@ -1,0 +1,100 @@
+// Static cluster description and per-TaskTracker runtime slot state.
+//
+// Hadoop-1 statically partitions each slave (TaskTracker) into map slots and
+// reduce slots; the JobTracker learns about idle slots only through periodic
+// heartbeats. Both facts matter for fidelity: schedulers see slot-granular,
+// heartbeat-delayed availability, exactly as the paper's evaluation cluster
+// did (80 servers x (2 map + 1 reduce), 3 s heartbeat).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace woha::hadoop {
+
+struct ClusterConfig {
+  std::uint32_t num_trackers = 80;
+  std::uint32_t map_slots_per_tracker = 2;
+  std::uint32_t reduce_slots_per_tracker = 1;
+  /// TaskTracker heartbeat period (Hadoop-1 default: 3 s).
+  Duration heartbeat_period = seconds(3);
+  /// Stagger first heartbeats uniformly over one period so the master does
+  /// not see all trackers in the same tick (true in any real cluster).
+  bool stagger_heartbeats = true;
+
+  [[nodiscard]] std::uint32_t total_map_slots() const {
+    return num_trackers * map_slots_per_tracker;
+  }
+  [[nodiscard]] std::uint32_t total_reduce_slots() const {
+    return num_trackers * reduce_slots_per_tracker;
+  }
+  [[nodiscard]] std::uint32_t total_slots() const {
+    return total_map_slots() + total_reduce_slots();
+  }
+
+  /// The paper's evaluation cluster: 80 servers, 2 map + 1 reduce slot each.
+  [[nodiscard]] static ClusterConfig paper_80_servers();
+  /// The paper's Fig. 11 setup: 32 slaves, 2 map + 1 reduce slot each.
+  [[nodiscard]] static ClusterConfig paper_32_slaves();
+  /// A cluster with the given slot totals, e.g. "200m-200r" from Fig. 8:
+  /// `with_totals(200, 200)`. Picks a tracker count that divides both.
+  [[nodiscard]] static ClusterConfig with_totals(std::uint32_t map_slots,
+                                                 std::uint32_t reduce_slots);
+};
+
+/// Runtime slot occupancy of one TaskTracker.
+class TrackerState {
+ public:
+  TrackerState(TrackerId id, std::uint32_t map_slots, std::uint32_t reduce_slots)
+      : id_(id), free_{map_slots, reduce_slots}, capacity_{map_slots, reduce_slots} {}
+
+  [[nodiscard]] TrackerId id() const { return id_; }
+  [[nodiscard]] std::uint32_t free_slots(SlotType t) const {
+    return free_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::uint32_t capacity(SlotType t) const {
+    return capacity_[static_cast<std::size_t>(t)];
+  }
+
+  /// Claim one slot for a starting task. Throws if no slot is free — the
+  /// engine must never over-assign.
+  void occupy(SlotType t);
+  /// Release one slot at task completion. Throws if already all free.
+  void release(SlotType t);
+
+ private:
+  TrackerId id_;
+  std::uint32_t free_[2];
+  std::uint32_t capacity_[2];
+};
+
+/// All trackers of a cluster plus aggregate free-slot counters.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t tracker_count() const { return trackers_.size(); }
+  [[nodiscard]] TrackerState& tracker(std::size_t i) { return trackers_[i]; }
+  [[nodiscard]] const TrackerState& tracker(std::size_t i) const { return trackers_[i]; }
+
+  [[nodiscard]] std::uint32_t total_free(SlotType t) const {
+    return total_free_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] std::uint32_t total_busy(SlotType t) const;
+
+  /// Aggregate bookkeeping wrappers — keep the totals in sync with the
+  /// per-tracker state.
+  void occupy(std::size_t tracker_index, SlotType t);
+  void release(std::size_t tracker_index, SlotType t);
+
+ private:
+  ClusterConfig config_;
+  std::vector<TrackerState> trackers_;
+  std::uint32_t total_free_[2];
+};
+
+}  // namespace woha::hadoop

@@ -1,0 +1,171 @@
+// The simulation engine: wires the discrete-event core, the cluster, the
+// JobTracker, and a WorkflowScheduler into a runnable experiment.
+//
+// Faithfulness notes (all observable in tests):
+//  * Scheduling happens only on heartbeats: a slot freed mid-period is not
+//    reassigned until its tracker's next heartbeat (Hadoop-1 behaviour;
+//    paper: "scheduling events in WOHA are triggered by heartbeat
+//    messages").
+//  * Each heartbeat lets the scheduler fill every idle slot of that tracker
+//    (Hadoop-1 assigns multiple tasks per heartbeat).
+//  * Job activation models WOHA's submitter job: when a wjob's last
+//    prerequisite finishes, it becomes schedulable only after
+//    `activation_latency` (jar loading + task init on a slave).
+//  * Actual task durations can deviate from the spec durations the
+//    schedulers/plans see, via multiplicative log-normal jitter
+//    (duration_jitter_sigma) and a systematic scale factor — used by the
+//    estimation-error ablation bench.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "hadoop/cluster.hpp"
+#include "hadoop/job_tracker.hpp"
+#include "hadoop/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace woha::hadoop {
+
+struct EngineConfig {
+  ClusterConfig cluster;
+  /// Delay between "all prerequisites finished" and "job schedulable"
+  /// (submitter map task: jar load + split init). The paper's design shifts
+  /// this cost off the master; it still takes wall-clock time on a slave.
+  Duration activation_latency = seconds(3);
+  /// Multiplicative log-normal sigma applied to actual task durations
+  /// (0 = deterministic: actual == estimated).
+  double duration_jitter_sigma = 0.0;
+  /// Systematic scale on actual durations (1.0 = estimates are unbiased).
+  /// The plan generator always sees the *spec* durations, so values != 1
+  /// model estimation error.
+  double duration_scale = 1.0;
+  /// RNG seed for duration jitter and tracker selection tie-breaks.
+  std::uint64_t seed = 1;
+  /// Stop the simulation at this time even if work remains (safety net).
+  SimTime horizon = kTimeInfinity;
+
+  // --- failure injection -------------------------------------------------
+  /// Probability that a task attempt fails (at a uniformly random point of
+  /// its execution). Failed attempts release their slot and the task
+  /// returns to the pending pool, exactly like a Hadoop task retry.
+  double task_failure_prob = 0.0;
+
+  // --- data locality model ------------------------------------------------
+  /// Factor applied to a map task's duration when it runs on a tracker that
+  /// does not hold a replica of its input split (1.0 disables the model).
+  /// Mirrors HDFS's node-local vs remote read cost.
+  double remote_map_penalty = 1.0;
+  /// HDFS replication factor used by the locality model.
+  std::uint32_t hdfs_replication = 3;
+};
+
+/// One task start/finish observation, for slot-allocation timelines
+/// (paper Fig. 14-19) and utilization accounting.
+struct TaskEvent {
+  SimTime time = 0;
+  WorkflowId workflow;
+  JobRef job;
+  SlotType slot = SlotType::kMap;
+  bool started = true;  ///< false == attempt ended (success or failure)
+  bool failed = false;  ///< only meaningful when started == false
+  /// Actual execution time of the attempt; set on finish events (0 on
+  /// start events). Feeds history-based task-time estimators.
+  Duration duration = 0;
+};
+
+/// Final per-workflow outcome.
+struct WorkflowResult {
+  WorkflowId id;
+  std::string name;
+  SimTime submit_time = 0;
+  SimTime deadline = kTimeInfinity;
+  SimTime finish_time = -1;       ///< -1 if unfinished at horizon
+  Duration workspan = -1;         ///< finish - submit
+  Duration tardiness = 0;         ///< max(0, finish - deadline)
+  bool met_deadline = false;
+};
+
+struct RunSummary {
+  std::vector<WorkflowResult> workflows;
+  SimTime makespan = 0;              ///< last finish time
+  double deadline_miss_ratio = 0.0;  ///< misses / workflows-with-deadline
+  Duration max_tardiness = 0;
+  Duration total_tardiness = 0;
+  double map_slot_utilization = 0.0;     ///< busy map-slot-time / offered
+  double reduce_slot_utilization = 0.0;  ///< busy reduce-slot-time / offered
+  double overall_utilization = 0.0;
+  std::uint64_t tasks_executed = 0;  ///< attempts started (incl. retried)
+  std::uint64_t tasks_failed = 0;    ///< attempts that failed and retried
+  std::uint64_t events_fired = 0;
+  /// Master-side scheduling overhead: WorkflowScheduler::select_task calls
+  /// and the wall-clock time spent inside them (the paper's claim that the
+  /// plan-following scheduler adds negligible master overhead).
+  std::uint64_t select_calls = 0;
+  double select_wall_ms = 0.0;
+  /// Fraction of map tasks that ran node-local (1.0 when the locality
+  /// model is disabled).
+  double map_locality_ratio = 1.0;
+};
+
+class Engine {
+ public:
+  Engine(EngineConfig config, std::unique_ptr<WorkflowScheduler> scheduler);
+
+  /// Queue a workflow for submission at spec.submit_time. Must be called
+  /// before run().
+  void submit(wf::WorkflowSpec spec);
+
+  /// Optional observer invoked on every task start/finish (timelines).
+  void set_task_observer(std::function<void(const TaskEvent&)> observer) {
+    task_observer_ = std::move(observer);
+  }
+
+  /// Run to completion (or to config.horizon).
+  void run();
+
+  [[nodiscard]] const JobTracker& job_tracker() const { return job_tracker_; }
+  [[nodiscard]] const Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] const WorkflowScheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] SimTime now() const { return sim_.now(); }
+
+  /// Collect results after run().
+  [[nodiscard]] RunSummary summarize() const;
+
+ private:
+  void do_submit(wf::WorkflowSpec spec);
+  void heartbeat(std::size_t tracker_index);
+  void activate_job(JobRef ref);
+  void start_task(JobRef ref, SlotType type, std::size_t tracker_index);
+  void finish_task(JobRef ref, SlotType type, std::size_t tracker_index,
+                   bool failed, Duration duration);
+  [[nodiscard]] Duration actual_duration(Duration estimated);
+  /// True when the map input split of the next task of `ref` has a replica
+  /// on `tracker_index` under the randomized HDFS placement model.
+  [[nodiscard]] bool map_is_local(JobRef ref, std::size_t tracker_index);
+
+  EngineConfig config_;
+  sim::Simulation sim_;
+  Cluster cluster_;
+  JobTracker job_tracker_;
+  std::unique_ptr<WorkflowScheduler> scheduler_;
+  Rng rng_;
+  std::vector<wf::WorkflowSpec> pending_submissions_;
+  std::function<void(const TaskEvent&)> task_observer_;
+  bool started_ = false;
+
+  // Accounting for utilization: integral of busy slots over time.
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t tasks_failed_ = 0;
+  std::uint64_t local_maps_ = 0;
+  std::uint64_t total_maps_ = 0;
+  std::uint64_t select_calls_ = 0;
+  double select_wall_ms_ = 0.0;
+  SimTime first_submit_ = kTimeInfinity;
+  double busy_ms_[2] = {0.0, 0.0};  // per SlotType: sum of task durations
+};
+
+}  // namespace woha::hadoop

@@ -1,0 +1,108 @@
+#include "hadoop/job.hpp"
+
+#include <stdexcept>
+
+namespace woha::hadoop {
+
+void JobInProgress::mark_active(SimTime now) {
+  if (state_ == JobState::kActive || state_ == JobState::kComplete) {
+    throw std::logic_error("JobInProgress::mark_active: already active/complete");
+  }
+  state_ = JobState::kActive;
+  activation_time_ = now;
+}
+
+void JobInProgress::start_task(SlotType t) {
+  if (!has_available(t)) {
+    throw std::logic_error("JobInProgress::start_task: no available " +
+                           std::string(to_string(t)) + " task");
+  }
+  if (t == SlotType::kMap) {
+    --pending_maps_;
+    ++running_maps_;
+  } else {
+    --pending_reduces_;
+    ++running_reduces_;
+  }
+}
+
+void JobInProgress::fail_task(SlotType t) {
+  if (t == SlotType::kMap) {
+    if (running_maps_ == 0) {
+      throw std::logic_error("JobInProgress::fail_task: no running map");
+    }
+    --running_maps_;
+    ++pending_maps_;
+  } else {
+    if (running_reduces_ == 0) {
+      throw std::logic_error("JobInProgress::fail_task: no running reduce");
+    }
+    --running_reduces_;
+    ++pending_reduces_;
+  }
+  ++failed_attempts_;
+}
+
+bool JobInProgress::finish_task(SlotType t, SimTime now) {
+  if (t == SlotType::kMap) {
+    if (running_maps_ == 0) {
+      throw std::logic_error("JobInProgress::finish_task: no running map");
+    }
+    --running_maps_;
+    ++finished_maps_;
+  } else {
+    if (running_reduces_ == 0) {
+      throw std::logic_error("JobInProgress::finish_task: no running reduce");
+    }
+    --running_reduces_;
+    ++finished_reduces_;
+  }
+  const bool all_done =
+      finished_maps_ == spec_->num_maps && finished_reduces_ == spec_->num_reduces;
+  if (all_done && state_ != JobState::kComplete) {
+    state_ = JobState::kComplete;
+    finish_time_ = now;
+    return true;
+  }
+  return false;
+}
+
+WorkflowRuntime::WorkflowRuntime(WorkflowId id, wf::WorkflowSpec spec,
+                                 SimTime submit_time)
+    : id_(id), spec_(std::move(spec)), submit_time_(submit_time) {
+  wf::validate(spec_);
+  deadline_ = spec_.relative_deadline > 0 ? submit_time_ + spec_.relative_deadline
+                                          : kTimeInfinity;
+  const std::uint32_t n = static_cast<std::uint32_t>(spec_.jobs.size());
+  jobs_.reserve(n);
+  remaining_prereqs_.reserve(n);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    jobs_.emplace_back(JobRef{id_.value(), j}, spec_.jobs[j]);
+    remaining_prereqs_.push_back(
+        static_cast<std::uint32_t>(spec_.jobs[j].prerequisites.size()));
+  }
+  dependents_ = wf::dependents(spec_);
+  unfinished_jobs_ = n;
+}
+
+std::vector<std::uint32_t> WorkflowRuntime::on_job_complete(std::uint32_t j,
+                                                            SimTime now) {
+  if (!jobs_[j].complete()) {
+    throw std::logic_error("WorkflowRuntime::on_job_complete: job not complete");
+  }
+  if (unfinished_jobs_ == 0) {
+    throw std::logic_error("WorkflowRuntime::on_job_complete: workflow already done");
+  }
+  --unfinished_jobs_;
+  std::vector<std::uint32_t> unlocked;
+  for (std::uint32_t d : dependents_[j]) {
+    if (remaining_prereqs_[d] == 0) {
+      throw std::logic_error("WorkflowRuntime: dependent prereq counter underflow");
+    }
+    if (--remaining_prereqs_[d] == 0) unlocked.push_back(d);
+  }
+  if (unfinished_jobs_ == 0) finish_time_ = now;
+  return unlocked;
+}
+
+}  // namespace woha::hadoop

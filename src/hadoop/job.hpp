@@ -1,0 +1,158 @@
+// Runtime state of wjobs and workflows inside the (simulated) JobTracker.
+//
+// Mirrors Hadoop-1's JobInProgress: a job moves through
+//   waiting (predecessors unfinished) -> activating (submitter latency)
+//   -> active (tasks schedulable) -> complete,
+// with the map phase gating the reduce phase (all m maps must finish before
+// any reduce may start — Algorithm 1's model; Hadoop slow-start is out of
+// scope, see README).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workflow/workflow.hpp"
+
+namespace woha::hadoop {
+
+/// Identifies a job to the scheduler: (workflow index, wjob index) — both
+/// dense indices into the JobTracker's tables.
+struct JobRef {
+  std::uint32_t workflow = 0;
+  std::uint32_t job = 0;
+  friend constexpr auto operator<=>(const JobRef&, const JobRef&) = default;
+};
+
+enum class JobState : std::uint8_t {
+  kWaiting,     ///< Some prerequisite wjob has not finished.
+  kActivating,  ///< Prereqs done; submitter map task is loading jars / splits.
+  kActive,      ///< Schedulable: has pending or running tasks.
+  kComplete,    ///< All maps and reduces finished.
+};
+
+class JobInProgress {
+ public:
+  JobInProgress(JobRef ref, const wf::JobSpec& spec)
+      : ref_(ref),
+        spec_(&spec),
+        pending_maps_(spec.num_maps),
+        pending_reduces_(spec.num_reduces) {}
+
+  [[nodiscard]] JobRef ref() const { return ref_; }
+  [[nodiscard]] const wf::JobSpec& spec() const { return *spec_; }
+  [[nodiscard]] JobState state() const { return state_; }
+
+  [[nodiscard]] std::uint32_t pending(SlotType t) const {
+    return t == SlotType::kMap ? pending_maps_ : pending_reduces_;
+  }
+  [[nodiscard]] std::uint32_t running(SlotType t) const {
+    return t == SlotType::kMap ? running_maps_ : running_reduces_;
+  }
+  [[nodiscard]] std::uint32_t finished(SlotType t) const {
+    return t == SlotType::kMap ? finished_maps_ : finished_reduces_;
+  }
+  [[nodiscard]] std::uint32_t running_total() const {
+    return running_maps_ + running_reduces_;
+  }
+
+  [[nodiscard]] bool map_phase_done() const {
+    return finished_maps_ == spec_->num_maps;
+  }
+  /// A task of type `t` could be handed to a free slot right now.
+  [[nodiscard]] bool has_available(SlotType t) const {
+    if (state_ != JobState::kActive) return false;
+    if (t == SlotType::kMap) return pending_maps_ > 0;
+    return pending_reduces_ > 0 && map_phase_done();
+  }
+  /// True when any task (map or reduce) is currently assignable.
+  [[nodiscard]] bool has_any_available() const {
+    return has_available(SlotType::kMap) || has_available(SlotType::kReduce);
+  }
+  [[nodiscard]] bool complete() const { return state_ == JobState::kComplete; }
+
+  [[nodiscard]] SimTime activation_time() const { return activation_time_; }
+  [[nodiscard]] SimTime finish_time() const { return finish_time_; }
+
+  // --- state transitions (driven by the JobTracker/engine) -------------
+  void mark_activating() { state_ = JobState::kActivating; }
+  void mark_active(SimTime now);
+  /// Account a task handed to a slot. Requires has_available(t).
+  void start_task(SlotType t);
+  /// Account a finished task; flips the job to kComplete when the last
+  /// reduce (or last map of a map-only job) finishes. Returns true exactly
+  /// when this call completed the job.
+  bool finish_task(SlotType t, SimTime now);
+  /// Account a failed attempt: the task leaves the running set and returns
+  /// to the pending pool for a retry.
+  void fail_task(SlotType t);
+
+  [[nodiscard]] std::uint32_t failed_attempts() const { return failed_attempts_; }
+
+ private:
+  JobRef ref_;
+  const wf::JobSpec* spec_;
+  JobState state_ = JobState::kWaiting;
+  std::uint32_t pending_maps_;
+  std::uint32_t running_maps_ = 0;
+  std::uint32_t finished_maps_ = 0;
+  std::uint32_t pending_reduces_;
+  std::uint32_t running_reduces_ = 0;
+  std::uint32_t finished_reduces_ = 0;
+  std::uint32_t failed_attempts_ = 0;
+  SimTime activation_time_ = -1;
+  SimTime finish_time_ = -1;
+};
+
+/// Runtime state of one workflow W_i.
+class WorkflowRuntime {
+ public:
+  WorkflowRuntime(WorkflowId id, wf::WorkflowSpec spec, SimTime submit_time);
+
+  [[nodiscard]] WorkflowId id() const { return id_; }
+  [[nodiscard]] const wf::WorkflowSpec& spec() const { return spec_; }
+  [[nodiscard]] SimTime submit_time() const { return submit_time_; }
+  /// Absolute deadline D_i (kTimeInfinity if none).
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+  [[nodiscard]] SimTime finish_time() const { return finish_time_; }
+  [[nodiscard]] bool finished() const { return finish_time_ >= 0; }
+
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  [[nodiscard]] JobInProgress& job(std::uint32_t j) { return jobs_[j]; }
+  [[nodiscard]] const JobInProgress& job(std::uint32_t j) const { return jobs_[j]; }
+
+  /// Number of unfinished prerequisite wjobs of job j.
+  [[nodiscard]] std::uint32_t remaining_prereqs(std::uint32_t j) const {
+    return remaining_prereqs_[j];
+  }
+  /// Direct dependents of job j (inverse prerequisite relation).
+  [[nodiscard]] const std::vector<std::uint32_t>& dependents(std::uint32_t j) const {
+    return dependents_[j];
+  }
+
+  /// True progress rho_i: tasks of this workflow handed to slots so far.
+  [[nodiscard]] std::uint64_t tasks_scheduled() const { return tasks_scheduled_; }
+  void count_scheduled_task() { ++tasks_scheduled_; }
+
+  /// Called when job j finishes; decrements dependents' prereq counters and
+  /// returns the newly unlocked job indices. Marks the workflow finished
+  /// when the last job completes.
+  std::vector<std::uint32_t> on_job_complete(std::uint32_t j, SimTime now);
+
+  [[nodiscard]] std::uint32_t unfinished_jobs() const { return unfinished_jobs_; }
+
+ private:
+  WorkflowId id_;
+  wf::WorkflowSpec spec_;
+  SimTime submit_time_;
+  SimTime deadline_;
+  SimTime finish_time_ = -1;
+  std::vector<JobInProgress> jobs_;
+  std::vector<std::uint32_t> remaining_prereqs_;
+  std::vector<std::vector<std::uint32_t>> dependents_;
+  std::uint32_t unfinished_jobs_;
+  std::uint64_t tasks_scheduled_ = 0;
+};
+
+}  // namespace woha::hadoop

@@ -1,0 +1,12 @@
+#include "hadoop/job_tracker.hpp"
+
+namespace woha::hadoop {
+
+WorkflowId JobTracker::add_workflow(wf::WorkflowSpec spec, SimTime now) {
+  const WorkflowId id(static_cast<std::uint32_t>(workflows_.size()));
+  workflows_.push_back(std::make_unique<WorkflowRuntime>(id, std::move(spec), now));
+  ++active_workflows_;
+  return id;
+}
+
+}  // namespace woha::hadoop

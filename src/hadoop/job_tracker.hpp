@@ -1,0 +1,51 @@
+// The (simulated) JobTracker: the master-node bookkeeping for workflows,
+// wjobs, and their dependency-driven activation. The engine owns the clock;
+// this class owns the state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hadoop/job.hpp"
+
+namespace woha::hadoop {
+
+class JobTracker {
+ public:
+  /// Register a workflow at its submission time; returns its WorkflowId
+  /// (dense index, as in paper step (f): "gets a unique workflow ID").
+  WorkflowId add_workflow(wf::WorkflowSpec spec, SimTime now);
+
+  [[nodiscard]] std::size_t workflow_count() const { return workflows_.size(); }
+  [[nodiscard]] WorkflowRuntime& workflow(WorkflowId id) {
+    return *workflows_.at(id.value());
+  }
+  [[nodiscard]] const WorkflowRuntime& workflow(WorkflowId id) const {
+    return *workflows_.at(id.value());
+  }
+  [[nodiscard]] JobInProgress& job(JobRef ref) {
+    return workflows_.at(ref.workflow)->job(ref.job);
+  }
+  [[nodiscard]] const JobInProgress& job(JobRef ref) const {
+    return workflows_.at(ref.workflow)->job(ref.job);
+  }
+
+  /// All workflows, in submission order.
+  [[nodiscard]] const std::vector<std::unique_ptr<WorkflowRuntime>>& workflows() const {
+    return workflows_;
+  }
+
+  /// Workflows not yet finished.
+  [[nodiscard]] std::uint32_t active_workflows() const { return active_workflows_; }
+  void count_workflow_finished() { --active_workflows_; }
+
+ private:
+  // unique_ptr: WorkflowRuntime addresses must stay stable across
+  // submissions because schedulers hold references between calls.
+  std::vector<std::unique_ptr<WorkflowRuntime>> workflows_;
+  std::uint32_t active_workflows_ = 0;
+};
+
+}  // namespace woha::hadoop

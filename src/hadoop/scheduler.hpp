@@ -1,0 +1,78 @@
+// The Workflow Scheduler interface (paper Fig. 1, "Workflow Scheduler" box).
+//
+// The JobTracker consults this object whenever a heartbeat reports idle
+// slots. Implementations: the WOHA progress-based scheduler (src/core) and
+// the three ported baselines FIFO / Fair / EDF (src/sched). Users swap
+// implementations exactly like the paper's workflow-scheduler.xml switch —
+// here by passing a different factory to the engine.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "hadoop/job.hpp"
+
+namespace woha::hadoop {
+
+class JobTracker;
+
+class WorkflowScheduler {
+ public:
+  virtual ~WorkflowScheduler() = default;
+
+  /// Human-readable name used in benchmark tables ("WOHA-LPF", "EDF", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the simulation starts; gives the scheduler read
+  /// access to JobTracker state. The pointer outlives the scheduler.
+  virtual void attach(const JobTracker* tracker) { tracker_ = tracker; }
+
+  /// Reports the cluster's slot capacity before the run. WOHA clients use
+  /// this for plan generation (the "consult the JobTracker about the
+  /// maximum number of slots" step); baselines ignore it.
+  virtual void on_cluster_configured(std::uint32_t total_map_slots,
+                                     std::uint32_t total_reduce_slots) {
+    (void)total_map_slots;
+    (void)total_reduce_slots;
+  }
+
+  /// A new workflow arrived (its configuration — and, for WOHA, its
+  /// scheduling plan — is now on the master).
+  virtual void on_workflow_submitted(WorkflowId wf, SimTime now) = 0;
+
+  /// Job became schedulable (its submitter task finished loading it).
+  virtual void on_job_activated(JobRef job, SimTime now) = 0;
+
+  /// One task of `job` finished and its slot was released. Schedulers that
+  /// balance running-task counts (Fair) listen to this.
+  virtual void on_task_finished(JobRef job, SlotType t, SimTime now) {
+    (void)job;
+    (void)t;
+    (void)now;
+  }
+
+  /// Job finished all tasks.
+  virtual void on_job_completed(JobRef job, SimTime now) {
+    (void)job;
+    (void)now;
+  }
+
+  /// All jobs of the workflow finished.
+  virtual void on_workflow_completed(WorkflowId wf, SimTime now) {
+    (void)wf;
+    (void)now;
+  }
+
+  /// Pick the job whose task should occupy one idle slot of type `t`.
+  /// Contract: the returned job must satisfy has_available(t); the engine
+  /// WILL start exactly one task of it (so implementations may update their
+  /// progress accounting before returning). Return nullopt to leave the
+  /// slot idle until the next heartbeat.
+  virtual std::optional<JobRef> select_task(SlotType t, SimTime now) = 0;
+
+ protected:
+  const JobTracker* tracker_ = nullptr;
+};
+
+}  // namespace woha::hadoop

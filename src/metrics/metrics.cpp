@@ -1,0 +1,97 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace woha::metrics {
+
+std::vector<ClusterPoint> paper_cluster_sizes() {
+  return {
+      {"200m-200r", 200, 200},
+      {"240m-240r", 240, 240},
+      {"280m-280r", 280, 280},
+  };
+}
+
+std::vector<SweepCell> sweep_cluster_sizes(
+    const hadoop::EngineConfig& base, const std::vector<wf::WorkflowSpec>& workload,
+    const std::vector<ClusterPoint>& clusters,
+    const std::vector<SchedulerEntry>& schedulers) {
+  std::vector<SweepCell> cells;
+  for (const ClusterPoint& cp : clusters) {
+    hadoop::EngineConfig config = base;
+    config.cluster = hadoop::ClusterConfig::with_totals(cp.map_slots, cp.reduce_slots);
+    config.cluster.heartbeat_period = base.cluster.heartbeat_period;
+    for (const SchedulerEntry& entry : schedulers) {
+      const auto result = run_experiment(config, workload, entry);
+      cells.push_back(SweepCell{cp.label, entry.label,
+                                result.summary.deadline_miss_ratio,
+                                result.summary.max_tardiness,
+                                result.summary.total_tardiness,
+                                result.summary.overall_utilization,
+                                result.summary.makespan});
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+std::vector<std::string> ordered_unique(const std::vector<SweepCell>& cells,
+                                        bool scheduler_axis) {
+  std::vector<std::string> out;
+  for (const auto& c : cells) {
+    const std::string& v = scheduler_axis ? c.scheduler : c.cluster_label;
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+template <class Getter>
+std::string metric_table(const std::vector<SweepCell>& cells, const std::string& title,
+                         Getter get) {
+  const auto clusters = ordered_unique(cells, false);
+  const auto schedulers = ordered_unique(cells, true);
+  std::vector<std::string> header{"cluster"};
+  header.insert(header.end(), schedulers.begin(), schedulers.end());
+  TextTable table(header);
+  for (const auto& cl : clusters) {
+    std::vector<std::string> row{cl};
+    for (const auto& s : schedulers) {
+      std::string cell = "-";
+      for (const auto& c : cells) {
+        if (c.cluster_label == cl && c.scheduler == s) {
+          cell = get(c);
+          break;
+        }
+      }
+      row.push_back(cell);
+    }
+    table.add_row(row);
+  }
+  return title + "\n" + table.to_string() + "\n";
+}
+
+}  // namespace
+
+std::string format_sweep(const std::vector<SweepCell>& cells) {
+  std::string out;
+  out += metric_table(cells, "Deadline miss ratio (Fig. 8)", [](const SweepCell& c) {
+    return TextTable::percent(c.deadline_miss_ratio);
+  });
+  out += metric_table(cells, "Max tardiness (Fig. 9)", [](const SweepCell& c) {
+    return format_duration(c.max_tardiness);
+  });
+  out += metric_table(cells, "Total tardiness (Fig. 10)", [](const SweepCell& c) {
+    return format_duration(c.total_tardiness);
+  });
+  out += metric_table(cells, "Overall slot utilization", [](const SweepCell& c) {
+    return TextTable::percent(c.utilization);
+  });
+  return out;
+}
+
+}  // namespace woha::metrics

@@ -1,0 +1,44 @@
+// Aggregate metric helpers for the evaluation sweeps (Figs. 8-10): run one
+// workload across a grid of cluster sizes and schedulers and collect the
+// paper's three aggregate metrics per cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+
+namespace woha::metrics {
+
+struct SweepCell {
+  std::string cluster_label;   ///< e.g. "200m-200r"
+  std::string scheduler;       ///< e.g. "WOHA-LPF"
+  double deadline_miss_ratio;  ///< Fig. 8
+  Duration max_tardiness;      ///< Fig. 9
+  Duration total_tardiness;    ///< Fig. 10
+  double utilization;          ///< Fig. 12-style overall utilization
+  SimTime makespan;
+};
+
+struct ClusterPoint {
+  std::string label;
+  std::uint32_t map_slots;
+  std::uint32_t reduce_slots;
+};
+
+/// The paper's Fig. 8-10 x-axis.
+[[nodiscard]] std::vector<ClusterPoint> paper_cluster_sizes();
+
+/// Run `workload` on every (cluster, scheduler) pair. `base` provides the
+/// non-cluster engine settings (latency, jitter, seed).
+[[nodiscard]] std::vector<SweepCell> sweep_cluster_sizes(
+    const hadoop::EngineConfig& base, const std::vector<wf::WorkflowSpec>& workload,
+    const std::vector<ClusterPoint>& clusters,
+    const std::vector<SchedulerEntry>& schedulers);
+
+/// Render a sweep as one table per metric, rows = cluster size, columns =
+/// scheduler — the layout of the paper's bar charts.
+[[nodiscard]] std::string format_sweep(const std::vector<SweepCell>& cells);
+
+}  // namespace woha::metrics

@@ -1,0 +1,92 @@
+#include "metrics/report.hpp"
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/woha_scheduler.hpp"
+#include "sched/decomposed_edf_scheduler.hpp"
+#include "sched/edf_scheduler.hpp"
+#include "sched/fair_scheduler.hpp"
+#include "sched/fifo_scheduler.hpp"
+
+namespace woha::metrics {
+
+namespace {
+
+SchedulerEntry woha_entry(core::JobPriorityPolicy policy) {
+  return SchedulerEntry{
+      std::string("WOHA-") + core::to_string(policy), [policy]() {
+        core::WohaConfig config;
+        config.job_priority = policy;
+        return std::make_unique<core::WohaScheduler>(config);
+      }};
+}
+
+}  // namespace
+
+std::vector<SchedulerEntry> baseline_schedulers() {
+  return {
+      {"EDF", []() { return std::make_unique<sched::EdfScheduler>(); }},
+      {"FIFO", []() { return std::make_unique<sched::FifoScheduler>(); }},
+      {"Fair", []() { return std::make_unique<sched::FairScheduler>(); }},
+  };
+}
+
+std::vector<SchedulerEntry> paper_schedulers() {
+  auto entries = baseline_schedulers();
+  entries.push_back(woha_entry(core::JobPriorityPolicy::kLpf));
+  entries.push_back(woha_entry(core::JobPriorityPolicy::kHlf));
+  entries.push_back(woha_entry(core::JobPriorityPolicy::kMpf));
+  return entries;
+}
+
+std::vector<SchedulerEntry> extended_schedulers() {
+  auto entries = paper_schedulers();
+  entries.push_back(SchedulerEntry{
+      "EDF-JOB", []() { return std::make_unique<sched::DecomposedEdfScheduler>(); }});
+  return entries;
+}
+
+ExperimentResult run_experiment(const hadoop::EngineConfig& config,
+                                const std::vector<wf::WorkflowSpec>& workload,
+                                const SchedulerEntry& scheduler,
+                                TimelineRecorder* timeline) {
+  hadoop::Engine engine(config, scheduler.make());
+  if (timeline) {
+    engine.set_task_observer(
+        [timeline](const hadoop::TaskEvent& e) { timeline->record(e); });
+  }
+  for (const auto& spec : workload) engine.submit(spec);
+  engine.run();
+  return ExperimentResult{scheduler.label, engine.summarize()};
+}
+
+std::vector<ExperimentResult> run_comparison(
+    const hadoop::EngineConfig& config,
+    const std::vector<wf::WorkflowSpec>& workload,
+    const std::vector<SchedulerEntry>& entries) {
+  std::vector<ExperimentResult> out;
+  out.reserve(entries.size());
+  for (const auto& entry : entries) {
+    out.push_back(run_experiment(config, workload, entry));
+  }
+  return out;
+}
+
+std::string format_workflow_results(const hadoop::RunSummary& summary) {
+  TextTable table({"workflow", "submit", "deadline", "finish", "workspan",
+                   "tardiness", "met"});
+  for (const auto& r : summary.workflows) {
+    table.add_row({
+        r.name,
+        format_duration(r.submit_time),
+        r.deadline == kTimeInfinity ? "-" : format_duration(r.deadline),
+        r.finish_time < 0 ? "unfinished" : format_duration(r.finish_time),
+        r.workspan < 0 ? "-" : format_duration(r.workspan),
+        format_duration(r.tardiness),
+        r.met_deadline ? "yes" : "NO",
+    });
+  }
+  return table.to_string();
+}
+
+}  // namespace woha::metrics

@@ -1,0 +1,56 @@
+// Experiment harness shared by benches, examples, and integration tests:
+// the roster of the paper's six schedulers and a one-call "run this workload
+// under this scheduler" helper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hadoop/engine.hpp"
+#include "metrics/timeline.hpp"
+
+namespace woha::metrics {
+
+using SchedulerFactory = std::function<std::unique_ptr<hadoop::WorkflowScheduler>()>;
+
+struct SchedulerEntry {
+  std::string label;
+  SchedulerFactory make;
+};
+
+/// The six schedulers of the paper's evaluation, in its figure order:
+/// EDF, FIFO, Fair, WOHA-LPF, WOHA-HLF, WOHA-MPF (WOHA with the
+/// min-feasible resource cap and the Double Skip List queue).
+[[nodiscard]] std::vector<SchedulerEntry> paper_schedulers();
+
+/// Just the three baselines (EDF, FIFO, Fair).
+[[nodiscard]] std::vector<SchedulerEntry> baseline_schedulers();
+
+/// The paper roster plus schedulers this repo adds beyond the paper
+/// (job-level EDF with critical-path deadline decomposition).
+[[nodiscard]] std::vector<SchedulerEntry> extended_schedulers();
+
+struct ExperimentResult {
+  std::string scheduler;
+  hadoop::RunSummary summary;
+};
+
+/// Build an engine, submit the workload, run, summarize. If `timeline` is
+/// non-null it receives every task event.
+[[nodiscard]] ExperimentResult run_experiment(
+    const hadoop::EngineConfig& config,
+    const std::vector<wf::WorkflowSpec>& workload, const SchedulerEntry& scheduler,
+    TimelineRecorder* timeline = nullptr);
+
+/// Run the workload under every scheduler in `entries`.
+[[nodiscard]] std::vector<ExperimentResult> run_comparison(
+    const hadoop::EngineConfig& config,
+    const std::vector<wf::WorkflowSpec>& workload,
+    const std::vector<SchedulerEntry>& entries);
+
+/// Render per-workflow results of one run as a fixed-width table.
+[[nodiscard]] std::string format_workflow_results(const hadoop::RunSummary& summary);
+
+}  // namespace woha::metrics

@@ -1,0 +1,42 @@
+#include "sched/edf_scheduler.hpp"
+
+#include <algorithm>
+
+namespace woha::sched {
+
+void EdfScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
+  (void)now;
+  const SimTime deadline = tracker_->workflow(wf).deadline();
+  const auto pos = std::find_if(
+      by_deadline_.begin(), by_deadline_.end(), [&](WorkflowId other) {
+        const SimTime od = tracker_->workflow(other).deadline();
+        return od > deadline || (od == deadline && other > wf);
+      });
+  by_deadline_.insert(pos, wf);
+}
+
+void EdfScheduler::on_job_activated(hadoop::JobRef job, SimTime now) {
+  (void)now;
+  active_jobs_[job.workflow].push_back(job.job);
+}
+
+void EdfScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
+  (void)now;
+  std::erase(by_deadline_, wf);
+  active_jobs_.erase(wf.value());
+}
+
+std::optional<hadoop::JobRef> EdfScheduler::select_task(SlotType t, SimTime now) {
+  (void)now;
+  for (const WorkflowId wf : by_deadline_) {
+    const auto it = active_jobs_.find(wf.value());
+    if (it == active_jobs_.end()) continue;
+    for (std::uint32_t j : it->second) {
+      const hadoop::JobRef ref{wf.value(), j};
+      if (tracker_->job(ref).has_available(t)) return ref;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace woha::sched

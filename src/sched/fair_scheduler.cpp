@@ -1,0 +1,59 @@
+#include "sched/fair_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace woha::sched {
+
+void FairScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
+  (void)now;
+  workflows_.push_back(WorkflowShare{wf, 0});
+}
+
+void FairScheduler::on_job_activated(hadoop::JobRef job, SimTime now) {
+  (void)now;
+  active_jobs_[job.workflow].push_back(job.job);
+}
+
+void FairScheduler::on_task_finished(hadoop::JobRef job, SlotType t, SimTime now) {
+  (void)t;
+  (void)now;
+  for (auto& share : workflows_) {
+    if (share.id.value() == job.workflow) {
+      --share.running_tasks;
+      return;
+    }
+  }
+}
+
+void FairScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
+  (void)now;
+  std::erase_if(workflows_, [wf](const WorkflowShare& s) { return s.id == wf; });
+  active_jobs_.erase(wf.value());
+}
+
+std::optional<hadoop::JobRef> FairScheduler::select_task(SlotType t, SimTime now) {
+  (void)now;
+  // Most-starved workflow first: fewest running tasks, ties by workflow id
+  // (submission order) for determinism.
+  WorkflowShare* best = nullptr;
+  hadoop::JobRef best_job;
+  for (auto& share : workflows_) {
+    if (best && share.running_tasks >= best->running_tasks) continue;
+    const auto it = active_jobs_.find(share.id.value());
+    if (it == active_jobs_.end()) continue;
+    for (std::uint32_t j : it->second) {
+      const hadoop::JobRef ref{share.id.value(), j};
+      if (tracker_->job(ref).has_available(t)) {
+        best = &share;
+        best_job = ref;
+        break;
+      }
+    }
+  }
+  if (!best) return std::nullopt;
+  ++best->running_tasks;
+  return best_job;
+}
+
+}  // namespace woha::sched

@@ -1,0 +1,41 @@
+// "Oozie with Fair job scheduler" baseline (paper Section V-B).
+//
+// Mimics Facebook's FairScheduler ported to workflows: all unfinished
+// workflows share the cluster evenly, work-conservingly. At task-assignment
+// granularity this means: give the slot to the workflow that currently runs
+// the fewest tasks (its deficit from fair share is largest), among workflows
+// that can actually use the slot. Deadlines are ignored.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hadoop/job_tracker.hpp"
+#include "hadoop/scheduler.hpp"
+
+namespace woha::sched {
+
+class FairScheduler final : public hadoop::WorkflowScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Fair"; }
+
+  void on_workflow_submitted(WorkflowId wf, SimTime now) override;
+  void on_job_activated(hadoop::JobRef job, SimTime now) override;
+  void on_task_finished(hadoop::JobRef job, SlotType t, SimTime now) override;
+  void on_workflow_completed(WorkflowId wf, SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+
+ private:
+  struct WorkflowShare {
+    WorkflowId id;
+    std::uint32_t running_tasks = 0;
+  };
+  std::vector<WorkflowShare> workflows_;  // unfinished workflows
+  // Within a workflow, jobs are served in activation order (Oozie submits
+  // them independently; FairScheduler treats each as an equal job — we share
+  // at workflow granularity per the paper's port).
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> active_jobs_;
+};
+
+}  // namespace woha::sched

@@ -1,0 +1,28 @@
+#include "sched/fifo_scheduler.hpp"
+
+#include <algorithm>
+
+namespace woha::sched {
+
+void FifoScheduler::on_job_activated(hadoop::JobRef job, SimTime now) {
+  (void)now;
+  // Activation order == Hadoop submission order: the engine activates jobs
+  // in event order, so appending preserves FIFO semantics (ties broken by
+  // the deterministic event sequence).
+  queue_.push_back(job);
+}
+
+void FifoScheduler::on_job_completed(hadoop::JobRef job, SimTime now) {
+  (void)now;
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), job), queue_.end());
+}
+
+std::optional<hadoop::JobRef> FifoScheduler::select_task(SlotType t, SimTime now) {
+  (void)now;
+  for (const hadoop::JobRef ref : queue_) {
+    if (tracker_->job(ref).has_available(t)) return ref;
+  }
+  return std::nullopt;
+}
+
+}  // namespace woha::sched

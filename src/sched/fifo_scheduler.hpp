@@ -1,0 +1,32 @@
+// "Oozie with FIFO job scheduler" baseline (paper Section V-B).
+//
+// Oozie submits a wjob to the JobTracker as soon as its predecessors
+// complete; Hadoop's default JobQueueTaskScheduler keeps jobs ordered by
+// submission time and, per idle slot, walks the list until it finds a job
+// with an assignable task. The scheduler knows nothing about workflows or
+// deadlines — exactly the information separation the paper criticizes.
+#pragma once
+
+#include <vector>
+
+#include "hadoop/job_tracker.hpp"
+#include "hadoop/scheduler.hpp"
+
+namespace woha::sched {
+
+class FifoScheduler final : public hadoop::WorkflowScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+  void on_workflow_submitted(WorkflowId, SimTime) override {}
+  void on_job_activated(hadoop::JobRef job, SimTime now) override;
+  void on_job_completed(hadoop::JobRef job, SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+
+ private:
+  // Jobs in Hadoop submission (activation) order. Completed jobs are removed
+  // lazily in select_task and eagerly in on_job_completed.
+  std::vector<hadoop::JobRef> queue_;
+};
+
+}  // namespace woha::sched

@@ -1,0 +1,74 @@
+#include "sim/simulation.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace woha::sim {
+
+void EventHandle::cancel() {
+  if (token_) *token_ = true;
+}
+
+EventHandle Simulation::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  }
+  auto token = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(cb), token});
+  return EventHandle(std::move(token));
+}
+
+EventHandle Simulation::schedule_after(Duration delay, Callback cb) {
+  if (delay < 0) throw std::invalid_argument("Simulation::schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulation::schedule_every(SimTime first, Duration period, Callback cb) {
+  if (period <= 0) throw std::invalid_argument("Simulation::schedule_every: period <= 0");
+  // A shared cancellation token covers every future firing; each firing
+  // re-schedules the next one under the same token.
+  auto token = std::make_shared<bool>(false);
+  // The recursive lambda owns the callback by value.
+  auto fire = std::make_shared<std::function<void(SimTime)>>();
+  *fire = [this, period, cb = std::move(cb), token, fire](SimTime when) {
+    queue_.push(Event{when, next_seq_++,
+                      [this, period, cb, token, fire, when]() {
+                        cb();
+                        if (!*token) (*fire)(when + period);
+                      },
+                      token});
+  };
+  if (first < now_) first = now_;
+  (*fire)(first);
+  return EventHandle(std::move(token));
+}
+
+bool Simulation::step(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& head = queue_.top();
+    if (head.time > until) return false;
+    // Skip cancelled events without advancing the clock for them.
+    if (*head.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    Event ev = head;  // copy out: cb may schedule new events
+    queue_.pop();
+    now_ = ev.time;
+    ++fired_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run(SimTime until) {
+  stop_requested_ = false;
+  while (!stop_requested_ && step(until)) {
+  }
+  if (until != kTimeInfinity && now_ < until && queue_.empty()) {
+    // Queue drained before the horizon; leave now() at the last event time.
+  }
+}
+
+}  // namespace woha::sim

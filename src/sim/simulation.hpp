@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// The entire Hadoop cluster model runs on this engine: heartbeats, task
+// completions, workflow submissions, and submitter-job activations are all
+// events. Determinism is a hard requirement (EXPERIMENTS.md numbers must be
+// reproducible), so ties in firing time are broken by a monotonically
+// increasing sequence number — two events scheduled for the same tick fire in
+// scheduling order, never in heap order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace woha::sim {
+
+/// Handle that allows cancelling a scheduled event. Cancellation is lazy: the
+/// event stays in the queue but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if this handle refers to an event (cancelled or not).
+  [[nodiscard]] bool valid() const { return token_ != nullptr; }
+  /// Prevent the event from firing. Safe to call multiple times and after
+  /// the event fired (no-op then).
+  void cancel();
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> token) : token_(std::move(token)) {}
+  std::shared_ptr<bool> token_;  // *token_ == true -> cancelled
+};
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time (ms). 0 before the first event fires.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `when`. `when` must be >= now().
+  EventHandle schedule_at(SimTime when, Callback cb);
+  /// Schedule `cb` `delay` ms from now.
+  EventHandle schedule_after(Duration delay, Callback cb);
+  /// Schedule a repeating event every `period` ms, first firing at `first`.
+  /// Returns a handle that cancels all future firings.
+  EventHandle schedule_every(SimTime first, Duration period, Callback cb);
+
+  /// Number of pending (non-cancelled at scheduling time) events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+  /// Run until the queue drains or `until` is passed (events with
+  /// time > until stay queued; now() is clamped to `until` if reached).
+  void run(SimTime until = kTimeInfinity);
+  /// Fire exactly one event (if any); returns false when the queue is empty
+  /// or the head event is beyond `until`.
+  bool step(SimTime until = kTimeInfinity);
+  /// Ask run() to return after the current event completes.
+  void request_stop() { stop_requested_ = true; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+    // Min-heap by (time, seq): strict FIFO among same-tick events.
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace woha::sim

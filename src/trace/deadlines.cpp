@@ -1,0 +1,25 @@
+#include "trace/deadlines.hpp"
+
+#include <algorithm>
+
+#include "core/job_priority.hpp"
+#include "core/plan.hpp"
+
+namespace woha::trace {
+
+void assign_deadlines(std::vector<wf::WorkflowSpec>& workflows, std::uint64_t seed,
+                      const DeadlinePolicy& policy) {
+  Rng rng(seed);
+  for (auto& spec : workflows) {
+    const auto rank = core::job_priority_ranks(spec, core::JobPriorityPolicy::kLpf);
+    const auto plan = core::generate_plan(spec, policy.reference_cap, rank);
+    const double slack = rng.uniform(policy.slack_lo, policy.slack_hi);
+    spec.relative_deadline = std::max<Duration>(
+        seconds(30),
+        static_cast<Duration>(static_cast<double>(plan.simulated_makespan) * slack));
+    spec.submit_time =
+        policy.arrival_window > 0 ? rng.uniform_int(0, policy.arrival_window) : 0;
+  }
+}
+
+}  // namespace woha::trace

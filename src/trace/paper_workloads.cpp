@@ -1,0 +1,58 @@
+#include "trace/paper_workloads.hpp"
+
+#include "trace/yahoo_like.hpp"
+#include "workflow/recurrence.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha::trace {
+
+std::vector<wf::WorkflowSpec> fig2_scenario(Duration unit) {
+  std::vector<wf::WorkflowSpec> out;
+  const Duration deadlines[] = {9 * unit, 9 * unit, 50 * unit};
+  for (int i = 0; i < 3; ++i) {
+    wf::WorkflowSpec spec = wf::fig2_two_job_workflow(unit);
+    spec.name = "fig2-w" + std::to_string(i + 1);
+    spec.submit_time = 0;
+    spec.relative_deadline = deadlines[i];
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<wf::WorkflowSpec> fig11_scenario() {
+  std::vector<wf::WorkflowSpec> out;
+  const Duration deadlines[] = {minutes(80), minutes(70), minutes(60)};
+  for (int i = 0; i < 3; ++i) {
+    wf::WorkflowSpec spec = wf::paper_fig7_topology();
+    spec.name = "W-" + std::to_string(i + 1);
+    spec.submit_time = minutes(5) * i;
+    spec.relative_deadline = deadlines[i];
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<wf::WorkflowSpec> fig12_scenario(std::uint32_t recurrences,
+                                             Duration period) {
+  std::vector<wf::WorkflowSpec> out;
+  for (const wf::WorkflowSpec& base : fig11_scenario()) {
+    wf::RecurrenceSpec rec;
+    rec.count = recurrences;
+    rec.period = period;
+    for (auto& instance : wf::expand_recurrences(base, rec)) {
+      out.push_back(std::move(instance));
+    }
+  }
+  return out;
+}
+
+std::vector<wf::WorkflowSpec> fig8_trace(std::uint64_t seed) {
+  WorkflowTraceParams params;
+  params.drop_singletons = true;
+  auto workflows = yahoo_like_workflows(seed, params);
+  DeadlinePolicy policy;
+  assign_deadlines(workflows, seed ^ 0x9e3779b97f4a7c15ull, policy);
+  return workflows;
+}
+
+}  // namespace woha::trace

@@ -1,0 +1,34 @@
+// Ready-made workload scenarios matching the paper's experiments, so every
+// bench and example constructs exactly the same inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/deadlines.hpp"
+#include "workflow/workflow.hpp"
+
+namespace woha::trace {
+
+/// Fig. 2 scenario: three identical two-job workflows (3 maps + 3 reduces
+/// per job, `unit`-long tasks) all submitted at t=0 with deadlines 9, 9, and
+/// 50 units. Run on a 3-map/3-reduce-slot cluster.
+[[nodiscard]] std::vector<wf::WorkflowSpec> fig2_scenario(Duration unit = minutes(1));
+
+/// Fig. 11 scenario (also Figs. 12, 14-19): three instances of the 33-job
+/// Fig. 7 topology submitted at 0 / 5 min / 10 min with relative deadlines
+/// 80 / 70 / 60 min ("workflows with larger release time have to meet
+/// earlier deadline"). Cluster: 32 slaves, 2 map + 1 reduce slots each.
+[[nodiscard]] std::vector<wf::WorkflowSpec> fig11_scenario();
+
+/// Fig. 11 scenario repeated `recurrences` times back-to-back (Fig. 12 uses
+/// 3 recurrences): instance k's three workflows are shifted by k * period.
+[[nodiscard]] std::vector<wf::WorkflowSpec> fig12_scenario(
+    std::uint32_t recurrences = 3, Duration period = minutes(30));
+
+/// Fig. 8-10 scenario: the 46 multi-job Yahoo-like workflows (165 jobs)
+/// with derived deadlines and arrivals. Run on 200m-200r / 240m-240r /
+/// 280m-280r clusters.
+[[nodiscard]] std::vector<wf::WorkflowSpec> fig8_trace(std::uint64_t seed = 42);
+
+}  // namespace woha::trace

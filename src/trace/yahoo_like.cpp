@@ -1,0 +1,116 @@
+#include "trace/yahoo_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workflow/topology.hpp"
+
+namespace woha::trace {
+namespace {
+
+Duration clamp_duration(double ms, Duration lo, Duration hi) {
+  const auto v = static_cast<Duration>(std::llround(ms));
+  return std::clamp(v, lo, hi);
+}
+
+std::uint32_t clamp_count(double v, std::uint32_t lo, std::uint32_t hi) {
+  const double r = std::llround(v);
+  return static_cast<std::uint32_t>(
+      std::clamp<double>(r, static_cast<double>(lo), static_cast<double>(hi)));
+}
+
+}  // namespace
+
+wf::JobSpec sample_job(Rng& rng, const JobDistributions& dist, std::uint32_t index) {
+  wf::JobSpec job;
+  job.name = "trace-job-" + std::to_string(index);
+  job.num_maps = clamp_count(
+      dist.map_count_median * std::exp(rng.normal(0.0, dist.map_count_sigma)),
+      dist.map_count_min, dist.map_count_max);
+  job.map_duration = clamp_duration(
+      dist.map_dur_median_ms * std::exp(rng.normal(0.0, dist.map_dur_sigma)),
+      dist.map_dur_min, dist.map_dur_max);
+  if (rng.chance(dist.map_only_fraction)) {
+    job.num_reduces = 0;
+    job.reduce_duration = seconds(1);
+  } else {
+    job.num_reduces = clamp_count(
+        dist.reduce_count_median * std::exp(rng.normal(0.0, dist.reduce_count_sigma)),
+        dist.reduce_count_min, dist.reduce_count_max);
+    job.reduce_duration = clamp_duration(
+        dist.reduce_dur_median_ms * std::exp(rng.normal(0.0, dist.reduce_dur_sigma)),
+        dist.reduce_dur_min, dist.reduce_dur_max);
+  }
+  return job;
+}
+
+std::vector<wf::JobSpec> sample_jobs(std::uint64_t seed, std::size_t count,
+                                     const JobDistributions& dist) {
+  Rng rng(seed);
+  std::vector<wf::JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back(sample_job(rng, dist, static_cast<std::uint32_t>(i)));
+  }
+  return jobs;
+}
+
+std::vector<wf::WorkflowSpec> yahoo_like_workflows(std::uint64_t seed,
+                                                   const WorkflowTraceParams& params) {
+  Rng rng(seed);
+
+  // Section VI-A arrangement: 61 workflows / 180 jobs, 15 singletons,
+  // largest workflow 12 jobs.
+  std::vector<std::uint32_t> sizes;
+  auto add = [&sizes](std::uint32_t count, std::uint32_t size) {
+    for (std::uint32_t i = 0; i < count; ++i) sizes.push_back(size);
+  };
+  add(15, 1);
+  add(18, 2);
+  add(14, 3);
+  add(9, 5);
+  add(2, 6);
+  add(1, 8);
+  add(1, 10);
+  add(1, 12);
+
+  JobDistributions dist = params.jobs;
+  dist.map_count_max = std::min(dist.map_count_max, params.experiment_map_count_max);
+  dist.reduce_count_max =
+      std::min(dist.reduce_count_max, params.experiment_reduce_count_max);
+
+  std::vector<wf::WorkflowSpec> out;
+  std::uint32_t wf_index = 0;
+  std::uint32_t job_index = 0;
+  for (const std::uint32_t size : sizes) {
+    if (params.drop_singletons && size == 1) {
+      ++wf_index;
+      continue;
+    }
+    wf::WorkflowSpec spec;
+    if (size == 1) {
+      spec.jobs.push_back(sample_job(rng, dist, job_index++));
+    } else {
+      // Random layered topology, 2-4 layers depending on size, then fill
+      // each job's parameters from the trace marginals.
+      wf::RandomDagParams dag;
+      dag.num_jobs = size;
+      dag.num_layers = std::clamp<std::uint32_t>(size / 2, 2, 4);
+      dag.max_parents = 2;
+      spec = wf::random_dag(rng, dag);
+      for (auto& job : spec.jobs) {
+        const auto prereqs = std::move(job.prerequisites);
+        const std::string name = std::move(job.name);
+        job = sample_job(rng, dist, job_index++);
+        job.prerequisites = prereqs;
+        job.name = name;
+      }
+    }
+    spec.name = "yahoo-wf-" + std::to_string(wf_index++);
+    wf::validate(spec);
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace woha::trace

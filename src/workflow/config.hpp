@@ -1,0 +1,45 @@
+// Workflow XML configuration files.
+//
+// Mirrors the artifact a WOHA user writes and submits with
+// `hadoop dag /path/to/W_i.xml` (paper Section III-B). The schema:
+//
+//   <workflow name="user-log-analysis" deadline="80min">
+//     <job name="ingest" maps="40" reduces="6"
+//          map-duration="80s" reduce-duration="150s">
+//       <jar>hdfs:///apps/ingest.jar</jar>          <!-- optional -->
+//       <main-class>com.example.Ingest</main-class> <!-- optional -->
+//       <input>/data/raw</input>                    <!-- optional -->
+//       <output>/data/stage1</output>               <!-- optional -->
+//       <depends on="fetch"/>
+//     </job>
+//     ...
+//   </workflow>
+//
+// Dependencies are by job name; the loader resolves them to indices and
+// validates the result (the paper's Configuration Validator role). The
+// jar/main-class/input/output fields are carried through verbatim so examples
+// can show a full config, but the simulator does not interpret them.
+#pragma once
+
+#include <string>
+
+#include "workflow/workflow.hpp"
+#include "xml/xml.hpp"
+
+namespace woha::wf {
+
+/// Parse a workflow from an XML document. Throws xml::XmlError or
+/// std::invalid_argument on schema violations (unknown dependency names,
+/// duplicate job names, cycles, missing attributes).
+[[nodiscard]] WorkflowSpec load_workflow(const xml::Document& doc);
+
+/// Parse from an XML string.
+[[nodiscard]] WorkflowSpec load_workflow_string(const std::string& text);
+
+/// Parse from a file on disk.
+[[nodiscard]] WorkflowSpec load_workflow_file(const std::string& path);
+
+/// Serialize a spec back to the XML schema above.
+[[nodiscard]] std::string save_workflow(const WorkflowSpec& spec);
+
+}  // namespace woha::wf

@@ -1,0 +1,45 @@
+#include "workflow/dot.hpp"
+
+#include "common/strings.hpp"
+
+namespace woha::wf {
+namespace {
+
+std::string escape_label(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const WorkflowSpec& spec, const DotOptions& options) {
+  std::string out = "digraph \"" + escape_label(spec.name) + "\" {\n";
+  if (options.left_to_right) out += "  rankdir=LR;\n";
+  out += "  node [shape=box, style=rounded];\n";
+  for (std::uint32_t j = 0; j < spec.jobs.size(); ++j) {
+    const JobSpec& job = spec.jobs[j];
+    std::string label = escape_label(job.name);
+    if (options.include_sizes) {
+      label += "\\n" + std::to_string(job.num_maps) + "m x " +
+               format_duration(job.map_duration);
+      if (job.num_reduces > 0) {
+        label += " / " + std::to_string(job.num_reduces) + "r x " +
+                 format_duration(job.reduce_duration);
+      }
+    }
+    out += "  j" + std::to_string(j) + " [label=\"" + label + "\"];\n";
+  }
+  for (std::uint32_t j = 0; j < spec.jobs.size(); ++j) {
+    for (std::uint32_t p : spec.jobs[j].prerequisites) {
+      out += "  j" + std::to_string(p) + " -> j" + std::to_string(j) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace woha::wf

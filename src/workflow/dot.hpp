@@ -1,0 +1,22 @@
+// Graphviz export of workflow DAGs, used by the plan_inspector example and
+// handy for documenting topologies (`dot -Tsvg`).
+#pragma once
+
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace woha::wf {
+
+struct DotOptions {
+  /// Include per-job task counts and durations in node labels.
+  bool include_sizes = true;
+  /// Left-to-right layout (rankdir=LR) instead of top-down.
+  bool left_to_right = true;
+};
+
+/// Render the workflow as a Graphviz digraph. Node names are the job names
+/// (escaped); edges point from prerequisite to dependent.
+[[nodiscard]] std::string to_dot(const WorkflowSpec& spec, const DotOptions& options = {});
+
+}  // namespace woha::wf

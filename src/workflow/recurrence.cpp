@@ -1,0 +1,29 @@
+#include "workflow/recurrence.hpp"
+
+#include <stdexcept>
+
+namespace woha::wf {
+
+std::vector<WorkflowSpec> expand_recurrences(const WorkflowSpec& base,
+                                             const RecurrenceSpec& recurrence) {
+  if (recurrence.count == 0) {
+    throw std::invalid_argument("expand_recurrences: count must be >= 1");
+  }
+  if (recurrence.count > 1 && recurrence.period <= 0) {
+    throw std::invalid_argument("expand_recurrences: period must be positive");
+  }
+  validate(base);
+  std::vector<WorkflowSpec> out;
+  out.reserve(recurrence.count);
+  for (std::uint32_t k = 0; k < recurrence.count; ++k) {
+    WorkflowSpec instance = base;
+    instance.submit_time = base.submit_time + static_cast<SimTime>(k) * recurrence.period;
+    if (recurrence.tag_names) {
+      instance.name += "-r" + std::to_string(k + 1);
+    }
+    out.push_back(std::move(instance));
+  }
+  return out;
+}
+
+}  // namespace woha::wf

@@ -1,0 +1,28 @@
+// Recurrent workflow expansion — the slice of Oozie's coordinator that the
+// paper's evaluation uses ("with 3 recurrence", Fig. 12). A recurrent
+// workflow resubmits the same DAG every `period`; each instance carries its
+// own submission time and (relative) deadline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workflow/workflow.hpp"
+
+namespace woha::wf {
+
+struct RecurrenceSpec {
+  std::uint32_t count = 1;         ///< total number of instances (>= 1)
+  Duration period = minutes(30);   ///< gap between consecutive submissions
+  /// Suffix instance names with "-rK" (K starting at 1) so results tables
+  /// distinguish instances.
+  bool tag_names = true;
+};
+
+/// Expand `base` into `count` instances submitted `period` apart, starting
+/// at base.submit_time. Throws std::invalid_argument on count == 0 or
+/// period <= 0 (for count > 1).
+[[nodiscard]] std::vector<WorkflowSpec> expand_recurrences(
+    const WorkflowSpec& base, const RecurrenceSpec& recurrence);
+
+}  // namespace woha::wf

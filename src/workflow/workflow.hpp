@@ -1,0 +1,78 @@
+// Workflow model (paper Section II).
+//
+// A workflow W_i = {J_i, P_i, S_i, D_i}: a set of wjobs J_i^j (each with m_i^j
+// mappers taking M_i^j each and r_i^j reducers taking R_i^j each), a
+// prerequisite relation P_i over the wjobs, a submission time S_i, and a
+// deadline D_i. This module holds the static description; runtime state lives
+// in hadoop::JobInProgress / hadoop::WorkflowRuntime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace woha::wf {
+
+/// Static description of one wjob J_i^j.
+struct JobSpec {
+  std::string name;          ///< Human-readable name ("aggregate-logs").
+  std::uint32_t num_maps = 1;
+  std::uint32_t num_reduces = 0;
+  Duration map_duration = seconds(1);     ///< M_i^j: per-map execution time.
+  Duration reduce_duration = seconds(1);  ///< R_i^j: per-reduce execution time.
+  /// Indices (into WorkflowSpec::jobs) of the prerequisite wjobs P_i^j.
+  std::vector<std::uint32_t> prerequisites;
+
+  /// Total task count m + r.
+  [[nodiscard]] std::uint64_t total_tasks() const {
+    return static_cast<std::uint64_t>(num_maps) + num_reduces;
+  }
+  /// Serial length of the job (one map wave + one reduce wave), used by LPF.
+  [[nodiscard]] Duration serial_length() const {
+    return (num_maps > 0 ? map_duration : 0) + (num_reduces > 0 ? reduce_duration : 0);
+  }
+};
+
+/// Static description of one workflow W_i.
+struct WorkflowSpec {
+  std::string name;
+  std::vector<JobSpec> jobs;
+  SimTime submit_time = 0;        ///< S_i (absolute).
+  Duration relative_deadline = 0; ///< D_i - S_i; 0 means "no deadline".
+
+  /// Absolute deadline D_i (kTimeInfinity when no deadline was set).
+  [[nodiscard]] SimTime deadline() const {
+    return relative_deadline > 0 ? submit_time + relative_deadline : kTimeInfinity;
+  }
+  [[nodiscard]] std::size_t job_count() const { return jobs.size(); }
+  [[nodiscard]] std::uint64_t total_tasks() const {
+    std::uint64_t n = 0;
+    for (const auto& j : jobs) n += j.total_tasks();
+    return n;
+  }
+};
+
+/// Structural check: prerequisite indices in range, no self-dependency, DAG
+/// (no cycles), at least one job, every job has at least one task.
+/// Throws std::invalid_argument describing the first violation found.
+void validate(const WorkflowSpec& spec);
+
+/// True iff `validate` would accept the spec.
+[[nodiscard]] bool is_valid(const WorkflowSpec& spec);
+
+/// Dependent sets D_i^j: inverse of the prerequisite relation
+/// (k in result[j] iff j in jobs[k].prerequisites).
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> dependents(
+    const WorkflowSpec& spec);
+
+/// One topological order of the jobs (Kahn). When the graph has a cycle the
+/// returned order is partial (shorter than job_count()); validate() turns
+/// that into an error.
+[[nodiscard]] std::vector<std::uint32_t> topological_order(const WorkflowSpec& spec);
+
+/// Jobs with no prerequisites — runnable at submission.
+[[nodiscard]] std::vector<std::uint32_t> initial_jobs(const WorkflowSpec& spec);
+
+}  // namespace woha::wf

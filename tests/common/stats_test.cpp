@@ -1,0 +1,157 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace woha {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Distribution, QuantilesInterpolate) {
+  Distribution d;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 25.0);
+}
+
+TEST(Distribution, CdfCountsInclusive) {
+  Distribution d;
+  for (double x : {1.0, 2.0, 2.0, 3.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(99.0), 1.0);
+}
+
+TEST(Distribution, EmptyQuantileThrows) {
+  Distribution d;
+  EXPECT_THROW((void)d.quantile(0.5), std::logic_error);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+}
+
+TEST(Distribution, QuantileRejectsOutOfRange) {
+  Distribution d;
+  d.add(1.0);
+  EXPECT_THROW((void)d.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)d.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Distribution, CdfPointsMatchScalarCdf) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  const auto pts = d.cdf_points({10.0, 50.0, 100.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].second, 0.10);
+  EXPECT_DOUBLE_EQ(pts[1].second, 0.50);
+  EXPECT_DOUBLE_EQ(pts[2].second, 1.0);
+}
+
+TEST(Distribution, MeanMinMax) {
+  Distribution d;
+  for (double x : {3.0, 1.0, 2.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 3.0);
+}
+
+TEST(LogHistogram, BucketsByPowerOfTen) {
+  LogHistogram h(0, 4);  // buckets <10^1 .. <10^4
+  h.add(5.0);     // <10^1
+  h.add(50.0);    // <10^2
+  h.add(500.0);   // <10^3
+  h.add(5000.0);  // <10^4
+  ASSERT_EQ(h.bucket_count(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(h.count(b), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LogHistogram, BoundaryGoesToUpperBucket) {
+  LogHistogram h(0, 3);
+  h.add(10.0);  // exactly 10^1 -> bucket "<10^2"
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(LogHistogram, ClampsOutOfRange) {
+  LogHistogram h(1, 3);  // <10^2, <10^3
+  h.add(0.5);        // below range -> first bucket
+  h.add(1e9);        // above range -> last bucket
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(LogHistogram, Labels) {
+  LogHistogram h(0, 2);
+  EXPECT_EQ(h.label(0), "<10^1");
+  EXPECT_EQ(h.label(1), "<10^2");
+}
+
+TEST(LogHistogram, FractionAtLeast) {
+  LogHistogram h(0, 4);
+  for (int i = 0; i < 99; ++i) h.add(50'000.0);  // clamped to last bucket
+  h.add(5.0);
+  EXPECT_NEAR(h.fraction_at_least(1), 0.99, 1e-9);
+  EXPECT_DOUBLE_EQ(h.fraction_at_least(0), 1.0);
+}
+
+TEST(LogHistogram, RejectsEmptyRange) {
+  EXPECT_THROW(LogHistogram(3, 3), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace woha

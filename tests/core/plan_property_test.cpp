@@ -1,0 +1,82 @@
+// Property sweep over Algorithm 1: structural invariants of generated
+// plans on random workflows, caps, and priority policies.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/job_priority.hpp"
+#include "core/plan.hpp"
+#include "core/plan_serialization.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha::core {
+namespace {
+
+class PlanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanProperty, InvariantsHold) {
+  Rng rng(GetParam());
+  wf::RandomDagParams params;
+  params.num_jobs = static_cast<std::uint32_t>(rng.uniform_int(1, 30));
+  params.num_layers = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  params.shape.num_maps = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+  params.shape.num_reduces = static_cast<std::uint32_t>(rng.uniform_int(1, 12));
+  const auto spec = wf::random_dag(rng, params);
+
+  for (const auto policy : {JobPriorityPolicy::kHlf, JobPriorityPolicy::kLpf,
+                            JobPriorityPolicy::kMpf}) {
+    const auto rank = job_priority_ranks(spec, policy);
+    const auto cap = static_cast<std::uint32_t>(rng.uniform_int(1, 128));
+    const auto plan = generate_plan(spec, cap, rank);
+
+    // 1. Every task is scheduled exactly once.
+    EXPECT_EQ(plan.total_tasks(), spec.total_tasks());
+
+    // 2. Steps strictly ordered: descending ttd, increasing cumulative req.
+    for (std::size_t i = 1; i < plan.steps.size(); ++i) {
+      EXPECT_LT(plan.steps[i].ttd, plan.steps[i - 1].ttd);
+      EXPECT_GT(plan.steps[i].cumulative_req, plan.steps[i - 1].cumulative_req);
+    }
+
+    // 3. Makespan bounded below by both lower bounds and above by serial
+    //    execution.
+    EXPECT_GE(plan.simulated_makespan, wf::critical_path_length(spec));
+    EXPECT_GE(plan.simulated_makespan,
+              (wf::total_work(spec) + cap - 1) / cap);  // ceil(work / cap)
+    EXPECT_LE(plan.simulated_makespan, wf::total_work(spec));
+
+    // 4. The first scheduling instant is the plan's own makespan (work
+    //    starts immediately in the client simulation) and the last step is
+    //    strictly before completion.
+    ASSERT_FALSE(plan.steps.empty());
+    EXPECT_EQ(plan.steps.front().ttd, plan.simulated_makespan);
+    EXPECT_GT(plan.steps.back().ttd, 0);
+
+    // 5. At no instant does the requirement increase by more than the cap
+    //    allows per wave... a single instant can schedule at most `cap`
+    //    tasks (the pool size).
+    std::uint64_t prev = 0;
+    for (const auto& step : plan.steps) {
+      EXPECT_LE(step.cumulative_req - prev, cap);
+      prev = step.cumulative_req;
+    }
+
+    // 6. required_at is the right-continuous step function of the list.
+    EXPECT_EQ(plan.required_at(plan.simulated_makespan + 1), 0u);
+    EXPECT_EQ(plan.required_at(0), spec.total_tasks());
+    for (const auto& step : plan.steps) {
+      EXPECT_EQ(plan.required_at(step.ttd), step.cumulative_req);
+      EXPECT_LT(plan.required_at(step.ttd + 1), step.cumulative_req + 1);
+    }
+
+    // 7. Serialization round-trips.
+    const auto restored = deserialize_plan(serialize_plan(plan));
+    EXPECT_EQ(restored.steps, plan.steps);
+    EXPECT_EQ(restored.job_order, plan.job_order);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanProperty, ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace woha::core

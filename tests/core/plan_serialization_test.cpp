@@ -1,0 +1,90 @@
+#include "core/plan_serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/job_priority.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha::core {
+namespace {
+
+SchedulingPlan sample_plan(std::uint32_t cap = 16) {
+  const auto spec = wf::paper_fig7_topology();
+  const auto rank = job_priority_ranks(spec, JobPriorityPolicy::kLpf);
+  return generate_plan(spec, cap, rank);
+}
+
+TEST(PlanSerialization, RoundTripPreservesEverything) {
+  const auto plan = sample_plan();
+  const auto bytes = serialize_plan(plan);
+  const auto restored = deserialize_plan(bytes);
+  EXPECT_EQ(restored.resource_cap, plan.resource_cap);
+  EXPECT_EQ(restored.simulated_makespan, plan.simulated_makespan);
+  EXPECT_EQ(restored.job_order, plan.job_order);
+  EXPECT_EQ(restored.job_rank, plan.job_rank);
+  EXPECT_EQ(restored.steps, plan.steps);
+}
+
+class PlanRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanRoundTrip, RandomWorkflows) {
+  Rng rng(GetParam());
+  wf::RandomDagParams params;
+  params.num_jobs = static_cast<std::uint32_t>(rng.uniform_int(1, 25));
+  params.num_layers = static_cast<std::uint32_t>(rng.uniform_int(1, 5));
+  const auto spec = wf::random_dag(rng, params);
+  const auto rank = job_priority_ranks(spec, JobPriorityPolicy::kHlf);
+  const auto cap = static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+  const auto plan = generate_plan(spec, cap, rank);
+
+  const auto bytes = serialize_plan(plan);
+  const auto restored = deserialize_plan(bytes);
+  EXPECT_EQ(restored.steps, plan.steps);
+  EXPECT_EQ(restored.job_order, plan.job_order);
+  EXPECT_EQ(restored.resource_cap, plan.resource_cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanRoundTrip, ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(PlanSerialization, SizeAccountingMatchesBuffer) {
+  for (std::uint32_t cap : {1u, 4u, 32u, 240u}) {
+    const auto plan = sample_plan(cap);
+    EXPECT_EQ(serialized_plan_size(plan), serialize_plan(plan).size());
+  }
+}
+
+TEST(PlanSerialization, PlanSizeStaysSmall) {
+  // The paper's Fig. 13(b): even for workflows with >1400 tasks the plan
+  // stays under ~7 KB; fig7 (~950 tasks) must be comfortably below that.
+  const auto plan = sample_plan(96);
+  EXPECT_LT(serialized_plan_size(plan), 7 * 1024u);
+}
+
+TEST(PlanSerialization, DeterministicBytes) {
+  EXPECT_EQ(serialize_plan(sample_plan()), serialize_plan(sample_plan()));
+}
+
+TEST(PlanSerialization, RejectsCorruptedInput) {
+  auto bytes = serialize_plan(sample_plan());
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW((void)deserialize_plan(bad_magic), std::invalid_argument);
+
+  auto bad_version = bytes;
+  bad_version[2] = 99;
+  EXPECT_THROW((void)deserialize_plan(bad_version), std::invalid_argument);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)deserialize_plan(truncated), std::invalid_argument);
+
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW((void)deserialize_plan(trailing), std::invalid_argument);
+
+  EXPECT_THROW((void)deserialize_plan({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace woha::core

@@ -1,0 +1,118 @@
+#include "core/resource_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/job_priority.hpp"
+#include "workflow/analysis.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha::core {
+namespace {
+
+std::vector<std::uint32_t> identity_rank(std::size_t n) {
+  std::vector<std::uint32_t> rank(n);
+  for (std::uint32_t i = 0; i < n; ++i) rank[i] = i;
+  return rank;
+}
+
+TEST(ResourceCap, Fig2MinimumCapIsTwo) {
+  // The paper's Fig. 2(b): a cap of 2 is the smallest that lets the 2-job
+  // workflow (makespan 8 units at cap 2, 12 at cap 1) meet a 9-unit
+  // deadline.
+  const Duration unit = minutes(1);
+  const auto spec = wf::fig2_two_job_workflow(unit);
+  const auto cap = min_feasible_cap(spec, identity_rank(2), 9 * unit, 6);
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_EQ(*cap, 2u);
+}
+
+TEST(ResourceCap, LooseDeadlineNeedsOneSlot) {
+  const Duration unit = minutes(1);
+  const auto spec = wf::fig2_two_job_workflow(unit);
+  // Serial makespan is 12 units; a 50-unit deadline is feasible on 1 slot.
+  const auto cap = min_feasible_cap(spec, identity_rank(2), 50 * unit, 6);
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_EQ(*cap, 1u);
+}
+
+TEST(ResourceCap, InfeasibleDeadlineReturnsNullopt) {
+  const Duration unit = minutes(1);
+  const auto spec = wf::fig2_two_job_workflow(unit);
+  // Critical path is 4 units; 3 units cannot be met at any cap.
+  EXPECT_FALSE(min_feasible_cap(spec, identity_rank(2), 3 * unit, 1000).has_value());
+  // Zero/negative deadline likewise.
+  EXPECT_FALSE(min_feasible_cap(spec, identity_rank(2), 0, 1000).has_value());
+}
+
+class MinCapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinCapProperty, ResultIsFeasibleAndLocallyMinimal) {
+  Rng rng(GetParam());
+  wf::RandomDagParams params;
+  params.num_jobs = static_cast<std::uint32_t>(rng.uniform_int(2, 15));
+  const auto spec = wf::random_dag(rng, params);
+  const auto rank = job_priority_ranks(spec, JobPriorityPolicy::kLpf);
+
+  // Pick a deadline between the critical path and the serial makespan so a
+  // nontrivial cap exists.
+  const Duration serial = generate_plan(spec, 1, rank).simulated_makespan;
+  const Duration cp = wf::critical_path_length(spec);
+  const Duration deadline = cp + (serial - cp) / 3;
+
+  const auto cap = min_feasible_cap(spec, rank, deadline, 512);
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_LE(generate_plan(spec, *cap, rank).simulated_makespan, deadline);
+  if (*cap > 1) {
+    EXPECT_GT(generate_plan(spec, *cap - 1, rank).simulated_makespan, deadline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinCapProperty, ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(ResourceCap, PlanForSubmissionPolicies) {
+  const Duration unit = minutes(1);
+  auto spec = wf::fig2_two_job_workflow(unit);
+  spec.relative_deadline = 9 * unit;
+  const auto rank = identity_rank(2);
+
+  const auto full = plan_for_submission(spec, rank, 6, CapPolicy::kFullCluster);
+  EXPECT_EQ(full.resource_cap, 6u);
+
+  const auto fixed = plan_for_submission(spec, rank, 6, CapPolicy::kFixed, 3);
+  EXPECT_EQ(fixed.resource_cap, 3u);
+
+  const auto minimal = plan_for_submission(spec, rank, 6, CapPolicy::kMinFeasible);
+  EXPECT_EQ(minimal.resource_cap, 2u);
+}
+
+TEST(ResourceCap, MinFeasibleFallsBackToFullClusterWhenImpossible) {
+  const Duration unit = minutes(1);
+  auto spec = wf::fig2_two_job_workflow(unit);
+  spec.relative_deadline = 1 * unit;  // < critical path: hopeless
+  const auto plan = plan_for_submission(spec, identity_rank(2), 6,
+                                        CapPolicy::kMinFeasible);
+  EXPECT_EQ(plan.resource_cap, 6u);  // best effort
+}
+
+TEST(ResourceCap, NoDeadlineFallsBackToFullCluster) {
+  auto spec = wf::fig2_two_job_workflow(minutes(1));
+  spec.relative_deadline = 0;
+  const auto plan = plan_for_submission(spec, identity_rank(2), 6,
+                                        CapPolicy::kMinFeasible);
+  EXPECT_EQ(plan.resource_cap, 6u);
+}
+
+TEST(ResourceCap, ArgumentValidation) {
+  const auto spec = wf::fig2_two_job_workflow(minutes(1));
+  const auto rank = identity_rank(2);
+  EXPECT_THROW((void)min_feasible_cap(spec, rank, minutes(9), 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_for_submission(spec, rank, 0, CapPolicy::kFullCluster),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_for_submission(spec, rank, 6, CapPolicy::kFixed, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace woha::core

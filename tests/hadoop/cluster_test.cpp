@@ -1,0 +1,91 @@
+#include "hadoop/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace woha::hadoop {
+namespace {
+
+TEST(ClusterConfig, Paper80Servers) {
+  const auto c = ClusterConfig::paper_80_servers();
+  EXPECT_EQ(c.num_trackers, 80u);
+  EXPECT_EQ(c.total_map_slots(), 160u);
+  EXPECT_EQ(c.total_reduce_slots(), 80u);
+  EXPECT_EQ(c.total_slots(), 240u);
+  EXPECT_EQ(c.heartbeat_period, seconds(3));
+}
+
+TEST(ClusterConfig, Paper32Slaves) {
+  const auto c = ClusterConfig::paper_32_slaves();
+  EXPECT_EQ(c.total_map_slots(), 64u);
+  EXPECT_EQ(c.total_reduce_slots(), 32u);
+}
+
+TEST(ClusterConfig, WithTotalsExact) {
+  for (const auto& [m, r] : {std::pair{200u, 200u}, {240u, 240u}, {280u, 280u},
+                             {3u, 3u}, {64u, 32u}, {7u, 5u}}) {
+    const auto c = ClusterConfig::with_totals(m, r);
+    EXPECT_EQ(c.total_map_slots(), m) << m << "m-" << r << "r";
+    EXPECT_EQ(c.total_reduce_slots(), r) << m << "m-" << r << "r";
+    EXPECT_LE(c.num_trackers, 128u);
+    EXPECT_GE(c.num_trackers, 1u);
+  }
+}
+
+TEST(ClusterConfig, WithTotalsRejectsZero) {
+  EXPECT_THROW((void)ClusterConfig::with_totals(0, 10), std::invalid_argument);
+  EXPECT_THROW((void)ClusterConfig::with_totals(10, 0), std::invalid_argument);
+}
+
+TEST(TrackerState, OccupyRelease) {
+  TrackerState t(TrackerId(0), 2, 1);
+  EXPECT_EQ(t.free_slots(SlotType::kMap), 2u);
+  t.occupy(SlotType::kMap);
+  t.occupy(SlotType::kMap);
+  EXPECT_EQ(t.free_slots(SlotType::kMap), 0u);
+  EXPECT_THROW(t.occupy(SlotType::kMap), std::logic_error);
+  t.release(SlotType::kMap);
+  EXPECT_EQ(t.free_slots(SlotType::kMap), 1u);
+  // Map and reduce slots are independent pools.
+  EXPECT_EQ(t.free_slots(SlotType::kReduce), 1u);
+  t.occupy(SlotType::kReduce);
+  EXPECT_THROW(t.occupy(SlotType::kReduce), std::logic_error);
+}
+
+TEST(TrackerState, ReleaseBeyondCapacityThrows) {
+  TrackerState t(TrackerId(0), 1, 1);
+  EXPECT_THROW(t.release(SlotType::kMap), std::logic_error);
+}
+
+TEST(Cluster, AggregateCountsStayInSync) {
+  ClusterConfig config;
+  config.num_trackers = 3;
+  config.map_slots_per_tracker = 2;
+  config.reduce_slots_per_tracker = 1;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.total_free(SlotType::kMap), 6u);
+  EXPECT_EQ(cluster.total_busy(SlotType::kMap), 0u);
+
+  cluster.occupy(0, SlotType::kMap);
+  cluster.occupy(1, SlotType::kMap);
+  cluster.occupy(1, SlotType::kReduce);
+  EXPECT_EQ(cluster.total_free(SlotType::kMap), 4u);
+  EXPECT_EQ(cluster.total_busy(SlotType::kMap), 2u);
+  EXPECT_EQ(cluster.total_free(SlotType::kReduce), 2u);
+
+  cluster.release(0, SlotType::kMap);
+  EXPECT_EQ(cluster.total_free(SlotType::kMap), 5u);
+}
+
+TEST(Cluster, RejectsZeroTrackers) {
+  ClusterConfig config;
+  config.num_trackers = 0;
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+}
+
+TEST(Cluster, OutOfRangeTrackerThrows) {
+  Cluster cluster(ClusterConfig::paper_32_slaves());
+  EXPECT_THROW(cluster.occupy(32, SlotType::kMap), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace woha::hadoop

@@ -1,0 +1,168 @@
+#include "hadoop/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/topology.hpp"
+
+namespace woha::hadoop {
+namespace {
+
+wf::JobSpec make_spec(std::uint32_t maps, std::uint32_t reduces) {
+  wf::JobSpec spec;
+  spec.name = "j";
+  spec.num_maps = maps;
+  spec.num_reduces = reduces;
+  spec.map_duration = 100;
+  spec.reduce_duration = 200;
+  return spec;
+}
+
+TEST(JobInProgress, LifecycleStates) {
+  const auto spec = make_spec(2, 1);
+  JobInProgress job(JobRef{0, 0}, spec);
+  EXPECT_EQ(job.state(), JobState::kWaiting);
+  EXPECT_FALSE(job.has_available(SlotType::kMap));
+
+  job.mark_activating();
+  EXPECT_EQ(job.state(), JobState::kActivating);
+  EXPECT_FALSE(job.has_available(SlotType::kMap));
+
+  job.mark_active(50);
+  EXPECT_EQ(job.state(), JobState::kActive);
+  EXPECT_EQ(job.activation_time(), 50);
+  EXPECT_TRUE(job.has_available(SlotType::kMap));
+}
+
+TEST(JobInProgress, ReduceGatedOnMapPhase) {
+  const auto spec = make_spec(2, 3);
+  JobInProgress job(JobRef{0, 0}, spec);
+  job.mark_active(0);
+  EXPECT_FALSE(job.has_available(SlotType::kReduce));
+
+  job.start_task(SlotType::kMap);
+  job.start_task(SlotType::kMap);
+  EXPECT_FALSE(job.has_available(SlotType::kMap));   // all maps running
+  EXPECT_FALSE(job.has_available(SlotType::kReduce));  // maps not finished
+
+  EXPECT_FALSE(job.finish_task(SlotType::kMap, 100));
+  EXPECT_FALSE(job.has_available(SlotType::kReduce));  // 1 of 2 maps done
+  EXPECT_FALSE(job.finish_task(SlotType::kMap, 100));
+  EXPECT_TRUE(job.map_phase_done());
+  EXPECT_TRUE(job.has_available(SlotType::kReduce));
+}
+
+TEST(JobInProgress, CompletesOnLastReduce) {
+  const auto spec = make_spec(1, 2);
+  JobInProgress job(JobRef{0, 0}, spec);
+  job.mark_active(0);
+  job.start_task(SlotType::kMap);
+  EXPECT_FALSE(job.finish_task(SlotType::kMap, 100));
+  job.start_task(SlotType::kReduce);
+  job.start_task(SlotType::kReduce);
+  EXPECT_FALSE(job.finish_task(SlotType::kReduce, 300));
+  EXPECT_TRUE(job.finish_task(SlotType::kReduce, 300));
+  EXPECT_TRUE(job.complete());
+  EXPECT_EQ(job.finish_time(), 300);
+  EXPECT_FALSE(job.has_any_available());
+}
+
+TEST(JobInProgress, MapOnlyJobCompletesOnLastMap) {
+  const auto spec = make_spec(2, 0);
+  JobInProgress job(JobRef{0, 0}, spec);
+  job.mark_active(0);
+  job.start_task(SlotType::kMap);
+  job.start_task(SlotType::kMap);
+  EXPECT_FALSE(job.finish_task(SlotType::kMap, 100));
+  EXPECT_TRUE(job.finish_task(SlotType::kMap, 100));
+  EXPECT_TRUE(job.complete());
+}
+
+TEST(JobInProgress, GuardsAgainstIllegalTransitions) {
+  const auto spec = make_spec(1, 1);
+  JobInProgress job(JobRef{0, 0}, spec);
+  EXPECT_THROW(job.start_task(SlotType::kMap), std::logic_error);  // not active
+  job.mark_active(0);
+  EXPECT_THROW(job.mark_active(0), std::logic_error);  // double activation
+  EXPECT_THROW(job.finish_task(SlotType::kMap, 1), std::logic_error);  // none running
+  EXPECT_THROW(job.start_task(SlotType::kReduce), std::logic_error);   // gated
+}
+
+TEST(JobInProgress, CountersAreConsistent) {
+  const auto spec = make_spec(3, 0);
+  JobInProgress job(JobRef{0, 0}, spec);
+  job.mark_active(0);
+  EXPECT_EQ(job.pending(SlotType::kMap), 3u);
+  job.start_task(SlotType::kMap);
+  EXPECT_EQ(job.pending(SlotType::kMap), 2u);
+  EXPECT_EQ(job.running(SlotType::kMap), 1u);
+  EXPECT_EQ(job.running_total(), 1u);
+  job.finish_task(SlotType::kMap, 10);
+  EXPECT_EQ(job.finished(SlotType::kMap), 1u);
+  EXPECT_EQ(job.running(SlotType::kMap), 0u);
+}
+
+TEST(WorkflowRuntime, TracksDependenciesAndUnlocks) {
+  auto spec = wf::diamond(2);  // 0 -> {1,2} -> 3
+  WorkflowRuntime rt(WorkflowId(0), spec, 1000);
+  EXPECT_EQ(rt.job_count(), 4u);
+  EXPECT_EQ(rt.remaining_prereqs(0), 0u);
+  EXPECT_EQ(rt.remaining_prereqs(3), 2u);
+  EXPECT_EQ(rt.unfinished_jobs(), 4u);
+
+  // Complete job 0 (drive its task state machine manually).
+  auto finish_job = [&](std::uint32_t j, SimTime at) {
+    JobInProgress& job = rt.job(j);
+    job.mark_activating();
+    job.mark_active(at);
+    for (std::uint32_t k = 0; k < job.spec().num_maps; ++k) job.start_task(SlotType::kMap);
+    for (std::uint32_t k = 0; k < job.spec().num_maps; ++k) {
+      job.finish_task(SlotType::kMap, at);
+    }
+    for (std::uint32_t k = 0; k < job.spec().num_reduces; ++k) {
+      job.start_task(SlotType::kReduce);
+    }
+    for (std::uint32_t k = 0; k < job.spec().num_reduces; ++k) {
+      job.finish_task(SlotType::kReduce, at);
+    }
+    return rt.on_job_complete(j, at);
+  };
+
+  EXPECT_EQ(finish_job(0, 2000), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(finish_job(1, 3000), (std::vector<std::uint32_t>{}));
+  EXPECT_EQ(finish_job(2, 4000), (std::vector<std::uint32_t>{3}));
+  EXPECT_FALSE(rt.finished());
+  EXPECT_EQ(finish_job(3, 5000), (std::vector<std::uint32_t>{}));
+  EXPECT_TRUE(rt.finished());
+  EXPECT_EQ(rt.finish_time(), 5000);
+}
+
+TEST(WorkflowRuntime, DeadlineFromRelative) {
+  auto spec = wf::chain(1);
+  spec.relative_deadline = minutes(10);
+  WorkflowRuntime rt(WorkflowId(3), spec, 500);
+  EXPECT_EQ(rt.deadline(), 500 + minutes(10));
+  EXPECT_EQ(rt.id().value(), 3u);
+
+  spec.relative_deadline = 0;
+  WorkflowRuntime no_deadline(WorkflowId(4), spec, 500);
+  EXPECT_EQ(no_deadline.deadline(), kTimeInfinity);
+}
+
+TEST(WorkflowRuntime, OnJobCompleteGuards) {
+  auto spec = wf::chain(2);
+  WorkflowRuntime rt(WorkflowId(0), spec, 0);
+  // Job 0 not complete yet.
+  EXPECT_THROW((void)rt.on_job_complete(0, 10), std::logic_error);
+}
+
+TEST(WorkflowRuntime, CountsScheduledTasks) {
+  auto spec = wf::chain(1);
+  WorkflowRuntime rt(WorkflowId(0), spec, 0);
+  EXPECT_EQ(rt.tasks_scheduled(), 0u);
+  rt.count_scheduled_task();
+  rt.count_scheduled_task();
+  EXPECT_EQ(rt.tasks_scheduled(), 2u);
+}
+
+}  // namespace
+}  // namespace woha::hadoop

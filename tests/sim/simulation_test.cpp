@@ -1,0 +1,142 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace woha::sim {
+namespace {
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, SameTickFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime inner_fired = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { inner_fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_fired, 150);
+}
+
+TEST(Simulation, RejectsPastAndNegative) {
+  Simulation sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.valid());
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+  Simulation sim;
+  int count = 0;
+  EventHandle h = sim.schedule_at(10, [&] { ++count; });
+  sim.run();
+  h.cancel();  // must not crash or rewind anything
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, PeriodicFiresUntilCancelled) {
+  Simulation sim;
+  int count = 0;
+  EventHandle h = sim.schedule_every(0, 10, [&] { ++count; });
+  // A periodic event alone would run forever; cancel from a one-shot.
+  sim.schedule_at(35, [&] { h.cancel(); });
+  sim.run();
+  EXPECT_EQ(count, 4);  // t = 0, 10, 20, 30
+}
+
+TEST(Simulation, PeriodicRejectsNonPositivePeriod) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_every(0, 0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10);
+  sim.run();  // resume past the horizon
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, EventsFiredCountsOnlyRealFirings) {
+  Simulation sim;
+  EventHandle h = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 1u);
+}
+
+TEST(Simulation, RequestStopEndsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, EventCanScheduleManyDescendants) {
+  // A small chain-reaction workload; also guards against iterator
+  // invalidation in the queue when callbacks push new events.
+  Simulation sim;
+  int fired = 0;
+  std::function<void(int)> spawn = [&](int depth) {
+    ++fired;
+    if (depth < 10) {
+      sim.schedule_after(1, [&, depth] { spawn(depth + 1); });
+      sim.schedule_after(2, [&, depth] { spawn(depth + 1); });
+    }
+  };
+  sim.schedule_at(0, [&] { spawn(0); });
+  sim.run();
+  EXPECT_EQ(fired, (1 << 11) - 1);  // full binary tree of depth 10
+}
+
+}  // namespace
+}  // namespace woha::sim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "workflow/dot.hpp"
+#include "workflow/recurrence.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha::wf {
+namespace {
+
+TEST(Dot, EmitsNodesAndEdges) {
+  const auto spec = diamond(2);  // 0 -> {1,2} -> 3
+  const std::string dot = to_dot(spec);
+  EXPECT_NE(dot.find("digraph \"diamond-2\""), std::string::npos);
+  EXPECT_NE(dot.find("j0 [label=\"source"), std::string::npos);
+  EXPECT_NE(dot.find("j0 -> j1;"), std::string::npos);
+  EXPECT_NE(dot.find("j0 -> j2;"), std::string::npos);
+  EXPECT_NE(dot.find("j1 -> j3;"), std::string::npos);
+  EXPECT_NE(dot.find("j2 -> j3;"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+}
+
+TEST(Dot, SizesOptional) {
+  DotOptions options;
+  options.include_sizes = false;
+  options.left_to_right = false;
+  const auto spec = chain(2);
+  const std::string dot = to_dot(spec, options);
+  EXPECT_EQ(dot.find("rankdir"), std::string::npos);
+  EXPECT_EQ(dot.find(" x "), std::string::npos);  // no "10m x 60s" labels
+}
+
+TEST(Dot, EscapesQuotesInNames) {
+  WorkflowSpec spec;
+  spec.name = "has \"quotes\"";
+  JobSpec job;
+  job.name = "job \"q\"";
+  spec.jobs.push_back(job);
+  const std::string dot = to_dot(spec);
+  EXPECT_NE(dot.find("digraph \"has \\\"quotes\\\"\""), std::string::npos);
+}
+
+TEST(Dot, EdgeCountMatchesPrerequisites) {
+  const auto spec = paper_fig7_topology();
+  const std::string dot = to_dot(spec);
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  std::size_t expected = 0;
+  for (const auto& job : spec.jobs) expected += job.prerequisites.size();
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(Recurrence, ExpandsWithPeriodAndTags) {
+  auto base = chain(2);
+  base.name = "etl";
+  base.submit_time = minutes(5);
+  base.relative_deadline = minutes(60);
+  RecurrenceSpec rec;
+  rec.count = 3;
+  rec.period = minutes(20);
+  const auto instances = expand_recurrences(base, rec);
+  ASSERT_EQ(instances.size(), 3u);
+  EXPECT_EQ(instances[0].submit_time, minutes(5));
+  EXPECT_EQ(instances[1].submit_time, minutes(25));
+  EXPECT_EQ(instances[2].submit_time, minutes(45));
+  EXPECT_EQ(instances[0].name, "etl-r1");
+  EXPECT_EQ(instances[2].name, "etl-r3");
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst.relative_deadline, minutes(60));
+    EXPECT_EQ(inst.jobs.size(), base.jobs.size());
+  }
+}
+
+TEST(Recurrence, UntaggedNamesStayIdentical) {
+  RecurrenceSpec rec;
+  rec.count = 2;
+  rec.period = minutes(1);
+  rec.tag_names = false;
+  const auto instances = expand_recurrences(chain(1), rec);
+  EXPECT_EQ(instances[0].name, instances[1].name);
+}
+
+TEST(Recurrence, SingleInstanceNeedsNoPeriod) {
+  RecurrenceSpec rec;
+  rec.count = 1;
+  rec.period = 0;
+  EXPECT_EQ(expand_recurrences(chain(1), rec).size(), 1u);
+}
+
+TEST(Recurrence, RejectsBadParameters) {
+  RecurrenceSpec rec;
+  rec.count = 0;
+  EXPECT_THROW((void)expand_recurrences(chain(1), rec), std::invalid_argument);
+  rec.count = 2;
+  rec.period = 0;
+  EXPECT_THROW((void)expand_recurrences(chain(1), rec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace woha::wf

@@ -1,0 +1,112 @@
+#include "workflow/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workflow/analysis.hpp"
+
+namespace woha::wf {
+namespace {
+
+TEST(Topology, ChainShape) {
+  const auto spec = chain(5);
+  ASSERT_EQ(spec.jobs.size(), 5u);
+  EXPECT_TRUE(spec.jobs[0].prerequisites.empty());
+  for (std::uint32_t j = 1; j < 5; ++j) {
+    EXPECT_EQ(spec.jobs[j].prerequisites, (std::vector<std::uint32_t>{j - 1}));
+  }
+  EXPECT_NO_THROW(validate(spec));
+}
+
+TEST(Topology, ChainRejectsZeroLength) {
+  EXPECT_THROW((void)chain(0), std::invalid_argument);
+}
+
+TEST(Topology, DiamondShape) {
+  const auto spec = diamond(4);
+  ASSERT_EQ(spec.jobs.size(), 6u);
+  EXPECT_EQ(initial_jobs(spec), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(spec.jobs[5].prerequisites.size(), 4u);
+}
+
+TEST(Topology, FanInShape) {
+  const auto spec = fan_in(3);
+  ASSERT_EQ(spec.jobs.size(), 4u);
+  EXPECT_EQ(initial_jobs(spec).size(), 3u);
+  EXPECT_EQ(spec.jobs[3].prerequisites.size(), 3u);
+}
+
+TEST(Topology, Fig2WorkflowMatchesPaper) {
+  const auto spec = fig2_two_job_workflow(minutes(1));
+  ASSERT_EQ(spec.jobs.size(), 2u);
+  for (const auto& job : spec.jobs) {
+    EXPECT_EQ(job.num_maps, 3u);
+    EXPECT_EQ(job.num_reduces, 3u);
+    EXPECT_EQ(job.map_duration, minutes(1));
+    EXPECT_EQ(job.reduce_duration, minutes(1));
+  }
+  EXPECT_EQ(spec.jobs[1].prerequisites, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Topology, Fig7Has33JobsIn7Levels) {
+  const auto spec = paper_fig7_topology();
+  EXPECT_EQ(spec.jobs.size(), 33u);
+  const auto levels = job_levels(spec);
+  const auto max_level = *std::max_element(levels.begin(), levels.end());
+  EXPECT_EQ(max_level, 6u);  // 7 layers
+  EXPECT_EQ(initial_jobs(spec).size(), 3u);  // the 3 ingest jobs
+  EXPECT_NO_THROW(validate(spec));
+}
+
+TEST(Topology, Fig7IsDeterministic) {
+  const auto a = paper_fig7_topology();
+  const auto b = paper_fig7_topology();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].name, b.jobs[j].name);
+    EXPECT_EQ(a.jobs[j].prerequisites, b.jobs[j].prerequisites);
+    EXPECT_EQ(a.jobs[j].num_maps, b.jobs[j].num_maps);
+  }
+}
+
+class RandomDagProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagProperty, AlwaysValidAndConnectedLayers) {
+  Rng rng(GetParam());
+  RandomDagParams params;
+  params.num_jobs = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+  params.num_layers = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  params.max_parents = static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  const auto spec = random_dag(rng, params);
+  EXPECT_EQ(spec.jobs.size(), params.num_jobs);
+  EXPECT_NO_THROW(validate(spec));
+  for (const auto& job : spec.jobs) {
+    EXPECT_GE(job.num_maps + job.num_reduces, 1u);
+    EXPECT_LE(job.prerequisites.size(), params.max_parents);
+    // Prerequisites are sorted and unique.
+    EXPECT_TRUE(std::is_sorted(job.prerequisites.begin(), job.prerequisites.end()));
+    EXPECT_TRUE(std::adjacent_find(job.prerequisites.begin(),
+                                   job.prerequisites.end()) ==
+                job.prerequisites.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(Topology, RandomDagDeterministicPerSeed) {
+  RandomDagParams params;
+  Rng r1(99), r2(99);
+  const auto a = random_dag(r1, params);
+  const auto b = random_dag(r2, params);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].prerequisites, b.jobs[j].prerequisites);
+    EXPECT_EQ(a.jobs[j].num_maps, b.jobs[j].num_maps);
+    EXPECT_EQ(a.jobs[j].map_duration, b.jobs[j].map_duration);
+  }
+}
+
+}  // namespace
+}  // namespace woha::wf

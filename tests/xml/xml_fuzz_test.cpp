@@ -1,0 +1,87 @@
+// Robustness sweep for the XML parser: random mutations (truncation, byte
+// flips, splices) of valid documents must either parse or throw XmlError —
+// never crash, hang, or corrupt memory. Workflow configs are user input;
+// the Configuration Validator must survive anything.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "workflow/config.hpp"
+#include "workflow/topology.hpp"
+#include "xml/xml.hpp"
+
+namespace woha::xml {
+namespace {
+
+const std::string& base_document() {
+  static const std::string doc = wf::save_workflow(wf::paper_fig7_topology());
+  return doc;
+}
+
+class XmlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlFuzz, MutatedInputNeverCrashes) {
+  Rng rng(GetParam());
+  std::string doc = base_document();
+
+  const int mutations = static_cast<int>(rng.uniform_int(1, 12));
+  for (int m = 0; m < mutations; ++m) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {  // truncate
+        if (!doc.empty()) {
+          doc.resize(static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1)));
+        }
+        break;
+      }
+      case 1: {  // flip a byte to a random printable/structural char
+        if (!doc.empty()) {
+          const auto pos = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1));
+          const char chars[] = "<>&\"'=/ ab1\n";
+          doc[pos] = chars[rng.uniform_int(0, 11)];
+        }
+        break;
+      }
+      case 2: {  // splice a random fragment of itself
+        if (doc.size() > 4) {
+          const auto from = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 2));
+          const auto len = static_cast<std::size_t>(rng.uniform_int(
+              1, std::min<std::int64_t>(32, static_cast<std::int64_t>(doc.size() - from))));
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(doc.size())));
+          doc.insert(at, doc.substr(from, len));
+        }
+        break;
+      }
+      default: {  // inject noise
+        const char* noise[] = {"<!--", "-->", "<x>", "</x>", "&amp;", "&bogus;",
+                               "<?", "]]>", "\""};
+        doc.insert(static_cast<std::size_t>(
+                       rng.uniform_int(0, static_cast<std::int64_t>(doc.size()))),
+                   noise[rng.uniform_int(0, 8)]);
+        break;
+      }
+    }
+  }
+
+  // Parsing either succeeds or throws XmlError; the workflow loader may
+  // additionally reject schema violations with invalid_argument.
+  try {
+    const auto spec = wf::load_workflow_string(doc);
+    EXPECT_FALSE(spec.jobs.empty());  // loader guarantees >= 1 job on success
+  } catch (const XmlError&) {
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz, ::testing::Range<std::uint64_t>(1, 61));
+
+TEST(XmlFuzz, UnmutatedBaseAlwaysParses) {
+  EXPECT_NO_THROW((void)wf::load_workflow_string(base_document()));
+}
+
+}  // namespace
+}  // namespace woha::xml
