@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_resource_cap.dir/fig02_resource_cap.cpp.o"
+  "CMakeFiles/bench_fig02_resource_cap.dir/fig02_resource_cap.cpp.o.d"
+  "bench_fig02_resource_cap"
+  "bench_fig02_resource_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_resource_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

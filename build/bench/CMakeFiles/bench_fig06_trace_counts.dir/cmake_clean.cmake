@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_trace_counts.dir/fig06_trace_counts.cpp.o"
+  "CMakeFiles/bench_fig06_trace_counts.dir/fig06_trace_counts.cpp.o.d"
+  "bench_fig06_trace_counts"
+  "bench_fig06_trace_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_trace_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

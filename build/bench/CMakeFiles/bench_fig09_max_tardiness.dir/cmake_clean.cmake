@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_max_tardiness.dir/fig09_max_tardiness.cpp.o"
+  "CMakeFiles/bench_fig09_max_tardiness.dir/fig09_max_tardiness.cpp.o.d"
+  "bench_fig09_max_tardiness"
+  "bench_fig09_max_tardiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_max_tardiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_total_tardiness.dir/fig10_total_tardiness.cpp.o"
+  "CMakeFiles/bench_fig10_total_tardiness.dir/fig10_total_tardiness.cpp.o.d"
+  "bench_fig10_total_tardiness"
+  "bench_fig10_total_tardiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_total_tardiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_workspan.dir/fig11_workspan.cpp.o"
+  "CMakeFiles/bench_fig11_workspan.dir/fig11_workspan.cpp.o.d"
+  "bench_fig11_workspan"
+  "bench_fig11_workspan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_workspan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

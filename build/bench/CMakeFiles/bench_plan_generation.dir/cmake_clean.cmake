@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_generation.dir/plan_generation.cpp.o"
+  "CMakeFiles/bench_plan_generation.dir/plan_generation.cpp.o.d"
+  "bench_plan_generation"
+  "bench_plan_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adplacement_pipeline.dir/adplacement_pipeline.cpp.o"
+  "CMakeFiles/adplacement_pipeline.dir/adplacement_pipeline.cpp.o.d"
+  "adplacement_pipeline"
+  "adplacement_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adplacement_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

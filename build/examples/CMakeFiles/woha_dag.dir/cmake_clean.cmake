@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_dag.dir/woha_dag.cpp.o"
+  "CMakeFiles/woha_dag.dir/woha_dag.cpp.o.d"
+  "woha_dag"
+  "woha_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_common.dir/common/log.cpp.o"
+  "CMakeFiles/woha_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/woha_common.dir/common/rng.cpp.o"
+  "CMakeFiles/woha_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/woha_common.dir/common/stats.cpp.o"
+  "CMakeFiles/woha_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/woha_common.dir/common/strings.cpp.o"
+  "CMakeFiles/woha_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/woha_common.dir/common/table.cpp.o"
+  "CMakeFiles/woha_common.dir/common/table.cpp.o.d"
+  "libwoha_common.a"
+  "libwoha_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/job_priority.cpp" "src/CMakeFiles/woha_core.dir/core/job_priority.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/job_priority.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/woha_core.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/plan.cpp.o.d"
+  "/root/repo/src/core/plan_serialization.cpp" "src/CMakeFiles/woha_core.dir/core/plan_serialization.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/plan_serialization.cpp.o.d"
+  "/root/repo/src/core/progress_tracker.cpp" "src/CMakeFiles/woha_core.dir/core/progress_tracker.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/progress_tracker.cpp.o.d"
+  "/root/repo/src/core/queue_bst.cpp" "src/CMakeFiles/woha_core.dir/core/queue_bst.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/queue_bst.cpp.o.d"
+  "/root/repo/src/core/queue_dsl.cpp" "src/CMakeFiles/woha_core.dir/core/queue_dsl.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/queue_dsl.cpp.o.d"
+  "/root/repo/src/core/queue_naive.cpp" "src/CMakeFiles/woha_core.dir/core/queue_naive.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/queue_naive.cpp.o.d"
+  "/root/repo/src/core/resource_cap.cpp" "src/CMakeFiles/woha_core.dir/core/resource_cap.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/resource_cap.cpp.o.d"
+  "/root/repo/src/core/scheduler_queue.cpp" "src/CMakeFiles/woha_core.dir/core/scheduler_queue.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/scheduler_queue.cpp.o.d"
+  "/root/repo/src/core/woha_scheduler.cpp" "src/CMakeFiles/woha_core.dir/core/woha_scheduler.cpp.o" "gcc" "src/CMakeFiles/woha_core.dir/core/woha_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/woha_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

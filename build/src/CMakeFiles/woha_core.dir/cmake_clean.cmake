@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_core.dir/core/job_priority.cpp.o"
+  "CMakeFiles/woha_core.dir/core/job_priority.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/plan.cpp.o"
+  "CMakeFiles/woha_core.dir/core/plan.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/plan_serialization.cpp.o"
+  "CMakeFiles/woha_core.dir/core/plan_serialization.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/progress_tracker.cpp.o"
+  "CMakeFiles/woha_core.dir/core/progress_tracker.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/queue_bst.cpp.o"
+  "CMakeFiles/woha_core.dir/core/queue_bst.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/queue_dsl.cpp.o"
+  "CMakeFiles/woha_core.dir/core/queue_dsl.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/queue_naive.cpp.o"
+  "CMakeFiles/woha_core.dir/core/queue_naive.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/resource_cap.cpp.o"
+  "CMakeFiles/woha_core.dir/core/resource_cap.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/scheduler_queue.cpp.o"
+  "CMakeFiles/woha_core.dir/core/scheduler_queue.cpp.o.d"
+  "CMakeFiles/woha_core.dir/core/woha_scheduler.cpp.o"
+  "CMakeFiles/woha_core.dir/core/woha_scheduler.cpp.o.d"
+  "libwoha_core.a"
+  "libwoha_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_estimate.dir/estimate/estimator.cpp.o"
+  "CMakeFiles/woha_estimate.dir/estimate/estimator.cpp.o.d"
+  "libwoha_estimate.a"
+  "libwoha_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoop/cluster.cpp" "src/CMakeFiles/woha_hadoop.dir/hadoop/cluster.cpp.o" "gcc" "src/CMakeFiles/woha_hadoop.dir/hadoop/cluster.cpp.o.d"
+  "/root/repo/src/hadoop/engine.cpp" "src/CMakeFiles/woha_hadoop.dir/hadoop/engine.cpp.o" "gcc" "src/CMakeFiles/woha_hadoop.dir/hadoop/engine.cpp.o.d"
+  "/root/repo/src/hadoop/job.cpp" "src/CMakeFiles/woha_hadoop.dir/hadoop/job.cpp.o" "gcc" "src/CMakeFiles/woha_hadoop.dir/hadoop/job.cpp.o.d"
+  "/root/repo/src/hadoop/job_tracker.cpp" "src/CMakeFiles/woha_hadoop.dir/hadoop/job_tracker.cpp.o" "gcc" "src/CMakeFiles/woha_hadoop.dir/hadoop/job_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/woha_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

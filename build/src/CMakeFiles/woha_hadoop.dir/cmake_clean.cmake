@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_hadoop.dir/hadoop/cluster.cpp.o"
+  "CMakeFiles/woha_hadoop.dir/hadoop/cluster.cpp.o.d"
+  "CMakeFiles/woha_hadoop.dir/hadoop/engine.cpp.o"
+  "CMakeFiles/woha_hadoop.dir/hadoop/engine.cpp.o.d"
+  "CMakeFiles/woha_hadoop.dir/hadoop/job.cpp.o"
+  "CMakeFiles/woha_hadoop.dir/hadoop/job.cpp.o.d"
+  "CMakeFiles/woha_hadoop.dir/hadoop/job_tracker.cpp.o"
+  "CMakeFiles/woha_hadoop.dir/hadoop/job_tracker.cpp.o.d"
+  "libwoha_hadoop.a"
+  "libwoha_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_metrics.dir/metrics/metrics.cpp.o"
+  "CMakeFiles/woha_metrics.dir/metrics/metrics.cpp.o.d"
+  "CMakeFiles/woha_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/woha_metrics.dir/metrics/report.cpp.o.d"
+  "CMakeFiles/woha_metrics.dir/metrics/timeline.cpp.o"
+  "CMakeFiles/woha_metrics.dir/metrics/timeline.cpp.o.d"
+  "libwoha_metrics.a"
+  "libwoha_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

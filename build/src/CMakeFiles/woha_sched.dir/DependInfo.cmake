@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/decomposed_edf_scheduler.cpp" "src/CMakeFiles/woha_sched.dir/sched/decomposed_edf_scheduler.cpp.o" "gcc" "src/CMakeFiles/woha_sched.dir/sched/decomposed_edf_scheduler.cpp.o.d"
+  "/root/repo/src/sched/edf_scheduler.cpp" "src/CMakeFiles/woha_sched.dir/sched/edf_scheduler.cpp.o" "gcc" "src/CMakeFiles/woha_sched.dir/sched/edf_scheduler.cpp.o.d"
+  "/root/repo/src/sched/fair_scheduler.cpp" "src/CMakeFiles/woha_sched.dir/sched/fair_scheduler.cpp.o" "gcc" "src/CMakeFiles/woha_sched.dir/sched/fair_scheduler.cpp.o.d"
+  "/root/repo/src/sched/fifo_scheduler.cpp" "src/CMakeFiles/woha_sched.dir/sched/fifo_scheduler.cpp.o" "gcc" "src/CMakeFiles/woha_sched.dir/sched/fifo_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/woha_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_sched.dir/sched/decomposed_edf_scheduler.cpp.o"
+  "CMakeFiles/woha_sched.dir/sched/decomposed_edf_scheduler.cpp.o.d"
+  "CMakeFiles/woha_sched.dir/sched/edf_scheduler.cpp.o"
+  "CMakeFiles/woha_sched.dir/sched/edf_scheduler.cpp.o.d"
+  "CMakeFiles/woha_sched.dir/sched/fair_scheduler.cpp.o"
+  "CMakeFiles/woha_sched.dir/sched/fair_scheduler.cpp.o.d"
+  "CMakeFiles/woha_sched.dir/sched/fifo_scheduler.cpp.o"
+  "CMakeFiles/woha_sched.dir/sched/fifo_scheduler.cpp.o.d"
+  "libwoha_sched.a"
+  "libwoha_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/woha_sim.dir/sim/simulation.cpp.o.d"
+  "libwoha_sim.a"
+  "libwoha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_trace.dir/trace/deadlines.cpp.o"
+  "CMakeFiles/woha_trace.dir/trace/deadlines.cpp.o.d"
+  "CMakeFiles/woha_trace.dir/trace/paper_workloads.cpp.o"
+  "CMakeFiles/woha_trace.dir/trace/paper_workloads.cpp.o.d"
+  "CMakeFiles/woha_trace.dir/trace/yahoo_like.cpp.o"
+  "CMakeFiles/woha_trace.dir/trace/yahoo_like.cpp.o.d"
+  "libwoha_trace.a"
+  "libwoha_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

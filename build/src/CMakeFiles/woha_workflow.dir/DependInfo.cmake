@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/analysis.cpp" "src/CMakeFiles/woha_workflow.dir/workflow/analysis.cpp.o" "gcc" "src/CMakeFiles/woha_workflow.dir/workflow/analysis.cpp.o.d"
+  "/root/repo/src/workflow/config.cpp" "src/CMakeFiles/woha_workflow.dir/workflow/config.cpp.o" "gcc" "src/CMakeFiles/woha_workflow.dir/workflow/config.cpp.o.d"
+  "/root/repo/src/workflow/dot.cpp" "src/CMakeFiles/woha_workflow.dir/workflow/dot.cpp.o" "gcc" "src/CMakeFiles/woha_workflow.dir/workflow/dot.cpp.o.d"
+  "/root/repo/src/workflow/recurrence.cpp" "src/CMakeFiles/woha_workflow.dir/workflow/recurrence.cpp.o" "gcc" "src/CMakeFiles/woha_workflow.dir/workflow/recurrence.cpp.o.d"
+  "/root/repo/src/workflow/topology.cpp" "src/CMakeFiles/woha_workflow.dir/workflow/topology.cpp.o" "gcc" "src/CMakeFiles/woha_workflow.dir/workflow/topology.cpp.o.d"
+  "/root/repo/src/workflow/workflow.cpp" "src/CMakeFiles/woha_workflow.dir/workflow/workflow.cpp.o" "gcc" "src/CMakeFiles/woha_workflow.dir/workflow/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/woha_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

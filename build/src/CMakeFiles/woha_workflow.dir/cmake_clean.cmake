@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_workflow.dir/workflow/analysis.cpp.o"
+  "CMakeFiles/woha_workflow.dir/workflow/analysis.cpp.o.d"
+  "CMakeFiles/woha_workflow.dir/workflow/config.cpp.o"
+  "CMakeFiles/woha_workflow.dir/workflow/config.cpp.o.d"
+  "CMakeFiles/woha_workflow.dir/workflow/dot.cpp.o"
+  "CMakeFiles/woha_workflow.dir/workflow/dot.cpp.o.d"
+  "CMakeFiles/woha_workflow.dir/workflow/recurrence.cpp.o"
+  "CMakeFiles/woha_workflow.dir/workflow/recurrence.cpp.o.d"
+  "CMakeFiles/woha_workflow.dir/workflow/topology.cpp.o"
+  "CMakeFiles/woha_workflow.dir/workflow/topology.cpp.o.d"
+  "CMakeFiles/woha_workflow.dir/workflow/workflow.cpp.o"
+  "CMakeFiles/woha_workflow.dir/workflow/workflow.cpp.o.d"
+  "libwoha_workflow.a"
+  "libwoha_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

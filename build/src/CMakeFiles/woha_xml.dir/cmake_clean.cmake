@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/woha_xml.dir/xml/xml.cpp.o"
+  "CMakeFiles/woha_xml.dir/xml/xml.cpp.o.d"
+  "libwoha_xml.a"
+  "libwoha_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/woha_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/job_priority_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/job_priority_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/plan_property_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/plan_property_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/plan_serialization_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/plan_serialization_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/queue_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/queue_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/resource_cap_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/resource_cap_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/skiplist_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/skiplist_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/woha_scheduler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/woha_scheduler_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_tests.dir/estimate/estimator_test.cpp.o"
+  "CMakeFiles/estimate_tests.dir/estimate/estimator_test.cpp.o.d"
+  "estimate_tests"
+  "estimate_tests.pdb"
+  "estimate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_tests.dir/hadoop/cluster_test.cpp.o"
+  "CMakeFiles/hadoop_tests.dir/hadoop/cluster_test.cpp.o.d"
+  "CMakeFiles/hadoop_tests.dir/hadoop/engine_test.cpp.o"
+  "CMakeFiles/hadoop_tests.dir/hadoop/engine_test.cpp.o.d"
+  "CMakeFiles/hadoop_tests.dir/hadoop/failure_test.cpp.o"
+  "CMakeFiles/hadoop_tests.dir/hadoop/failure_test.cpp.o.d"
+  "CMakeFiles/hadoop_tests.dir/hadoop/job_test.cpp.o"
+  "CMakeFiles/hadoop_tests.dir/hadoop/job_test.cpp.o.d"
+  "hadoop_tests"
+  "hadoop_tests.pdb"
+  "hadoop_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

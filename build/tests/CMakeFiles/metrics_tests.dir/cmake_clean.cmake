@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tests.dir/metrics/metrics_test.cpp.o"
+  "CMakeFiles/metrics_tests.dir/metrics/metrics_test.cpp.o.d"
+  "metrics_tests"
+  "metrics_tests.pdb"
+  "metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/baselines_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/decomposed_edf_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/decomposed_edf_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

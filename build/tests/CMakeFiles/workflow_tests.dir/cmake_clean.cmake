@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_tests.dir/workflow/analysis_test.cpp.o"
+  "CMakeFiles/workflow_tests.dir/workflow/analysis_test.cpp.o.d"
+  "CMakeFiles/workflow_tests.dir/workflow/config_test.cpp.o"
+  "CMakeFiles/workflow_tests.dir/workflow/config_test.cpp.o.d"
+  "CMakeFiles/workflow_tests.dir/workflow/dot_recurrence_test.cpp.o"
+  "CMakeFiles/workflow_tests.dir/workflow/dot_recurrence_test.cpp.o.d"
+  "CMakeFiles/workflow_tests.dir/workflow/topology_test.cpp.o"
+  "CMakeFiles/workflow_tests.dir/workflow/topology_test.cpp.o.d"
+  "CMakeFiles/workflow_tests.dir/workflow/workflow_test.cpp.o"
+  "CMakeFiles/workflow_tests.dir/workflow/workflow_test.cpp.o.d"
+  "workflow_tests"
+  "workflow_tests.pdb"
+  "workflow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml/xml_fuzz_test.cpp" "tests/CMakeFiles/xml_tests.dir/xml/xml_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/xml_tests.dir/xml/xml_fuzz_test.cpp.o.d"
+  "/root/repo/tests/xml/xml_test.cpp" "tests/CMakeFiles/xml_tests.dir/xml/xml_test.cpp.o" "gcc" "tests/CMakeFiles/xml_tests.dir/xml/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/woha_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/woha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

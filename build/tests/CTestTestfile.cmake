@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/xml_tests[1]_include.cmake")
+include("/root/repo/build/tests/workflow_tests[1]_include.cmake")
+include("/root/repo/build/tests/hadoop_tests[1]_include.cmake")
+include("/root/repo/build/tests/sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/estimate_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/metrics_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
