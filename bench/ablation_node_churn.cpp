@@ -1,0 +1,79 @@
+// Ablation — node churn (TaskTracker crashes) vs scheduler robustness.
+//
+// The paper's evaluation assumes a stable cluster; real Hadoop-1 deployments
+// lose TaskTrackers. This ablation sweeps MTBF-driven node churn over the
+// Fig. 8 workload (46 deadline-bearing Yahoo-like workflows, 32 slaves) for
+// all six schedulers, with Hadoop-1 recovery semantics enabled: lease-expiry
+// detection, map-output invalidation, re-queued attempts, and LATE-style
+// speculative backups. WOHA's plan-following must absorb the progress
+// regressions (rho decreasing) without corrupting its queue ordering.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "metrics/report.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+int main() {
+  bench::banner("Ablation", "node churn and recovery (Fig. 8 workload, 32 slaves)");
+
+  const auto workload = trace::fig8_trace(42);
+  const auto schedulers = metrics::paper_schedulers();
+
+  struct Case {
+    const char* label;
+    double mtbf_ms;  // 0 = no churn
+  };
+  // Below ~1h/node MTBF (32 nodes: one crash per ~2 min cluster-wide) the
+  // slot-sharing schedulers (Fair, WOHA) enter a map-output death spiral:
+  // each job's share of the cluster re-executes invalidated maps slower than
+  // churn destroys them, so large jobs never finish. The horizon below keeps
+  // even that regime bounded; the sweep stays on the survivable side of it.
+  const Case cases[] = {
+      {"no churn", 0.0},
+      {"MTBF 8h/node", 8.0 * 60 * 60 * 1000},
+      {"MTBF 2h/node", 2.0 * 60 * 60 * 1000},
+      {"MTBF 1h/node", 1.0 * 60 * 60 * 1000},
+  };
+
+  TextTable table({"environment", "scheduler", "misses", "total tardiness",
+                   "crashes", "killed", "maps lost", "spec waste"});
+  for (const auto& c : cases) {
+    for (const auto& entry : schedulers) {
+      hadoop::EngineConfig config;
+      config.cluster = hadoop::ClusterConfig::paper_32_slaves();
+      config.seed = 23;
+      config.faults.tracker_mtbf = c.mtbf_ms;
+      config.faults.tracker_restart_delay = minutes(2);
+      config.faults.expiry_interval = minutes(2);
+      config.faults.speculative_execution = c.mtbf_ms > 0;
+      config.horizon = 150000000;  // ~42 h simulated: bounds pathological cells
+      const auto result = metrics::run_experiment(config, workload, entry);
+      const auto& s = result.summary;
+      int misses = 0;
+      for (const auto& wf : s.workflows) misses += !wf.met_deadline;
+      table.add_row({c.label, entry.label, std::to_string(misses),
+                     format_duration(s.total_tardiness),
+                     TextTable::num(static_cast<std::int64_t>(s.tracker_crashes)),
+                     TextTable::num(static_cast<std::int64_t>(s.attempts_killed)),
+                     TextTable::num(static_cast<std::int64_t>(s.map_outputs_lost)),
+                     format_duration(static_cast<Duration>(s.speculative_wasted_ms))});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::note("every crash silences a tracker until the 2 min lease expires "
+              "(or it reboots after 2 min): running attempts are killed and "
+              "re-queued, finished map outputs on the node are re-executed, "
+              "and speculation backs up the zombies. The Fig. 8 workload is "
+              "over-subscribed, so the damage shows up as total tardiness "
+              "growing with churn rather than extra misses. The plan-based "
+              "WOHA variants survive the progress regressions (rho drops, "
+              "lag grows, recovered work is rescheduled first) without "
+              "corrupting their queues, at the cost of the steepest "
+              "tardiness growth: plans assume the estimated durations, and "
+              "churn invalidates them hardest.");
+  return 0;
+}

@@ -46,6 +46,13 @@ class ProgressTracker {
   [[nodiscard]] std::uint64_t rho() const { return rho_; }
   void count_scheduled() { ++rho_; }
 
+  /// Progress regression: `n` previously-scheduled tasks were lost (tracker
+  /// crash invalidated their slots or map outputs) and must be re-executed.
+  /// rho decreases — the workflow's lag grows and it climbs back up the
+  /// priority order. Clamped at zero so double-reported losses cannot
+  /// underflow.
+  void count_lost(std::uint64_t n) { rho_ = n > rho_ ? 0 : rho_ - n; }
+
   [[nodiscard]] const SchedulingPlan& plan() const { return *plan_; }
   [[nodiscard]] SimTime deadline() const { return deadline_; }
 

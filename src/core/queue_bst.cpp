@@ -53,4 +53,14 @@ std::uint32_t BstQueue::assign(SimTime now,
   return chosen->id;
 }
 
+void BstQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;
+  WfState* st = it->second.get();
+  pri_tree_.erase({st->pri_key, st->id});
+  st->tracker.count_lost(count);
+  st->pri_key = -st->tracker.lag();
+  pri_tree_.emplace(PriKey{st->pri_key, st->id}, st);
+}
+
 }  // namespace woha::core

@@ -70,4 +70,14 @@ std::uint32_t DslQueue::assign(SimTime now,
   return chosen->id;
 }
 
+void DslQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;
+  WfState& st = *it->second;
+  pri_list_.erase({st.pri_key, st.id});
+  st.tracker.count_lost(count);  // rho-n <=> p+n
+  st.pri_key = -st.tracker.lag();
+  pri_list_.insert({st.pri_key, st.id}, &st);
+}
+
 }  // namespace woha::core

@@ -25,6 +25,7 @@ class DslQueue final : public SchedulerQueue {
   void remove(std::uint32_t id) override;
   std::uint32_t assign(SimTime now,
                        const std::function<bool(std::uint32_t)>& can_use) override;
+  void on_progress_lost(std::uint32_t id, std::uint64_t count) override;
   [[nodiscard]] std::size_t size() const override { return states_.size(); }
 
  private:

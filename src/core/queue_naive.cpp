@@ -31,4 +31,11 @@ std::uint32_t NaiveQueue::assign(SimTime now,
   return kNone;
 }
 
+void NaiveQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
+  // No cached ordering to repair: assign() recomputes from scratch anyway.
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;
+  it->second.tracker.count_lost(count);
+}
+
 }  // namespace woha::core

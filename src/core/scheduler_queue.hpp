@@ -43,6 +43,13 @@ class SchedulerQueue {
   virtual std::uint32_t assign(SimTime now,
                                const std::function<bool(std::uint32_t)>& can_use) = 0;
 
+  /// Progress regression: `count` tasks previously handed to `id` were lost
+  /// to a tracker crash and will be re-executed. Undoes that many
+  /// count_scheduled() bumps (rho decreases, lag and hence priority grow)
+  /// and repositions the workflow so the priority ordering stays coherent.
+  /// No-op when the workflow is not queued (already finished/failed).
+  virtual void on_progress_lost(std::uint32_t id, std::uint64_t count) = 0;
+
   [[nodiscard]] virtual std::size_t size() const = 0;
 
   static constexpr std::uint32_t kNone = 0xffffffffu;

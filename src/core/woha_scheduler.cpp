@@ -68,20 +68,31 @@ void WohaScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
   states_.at(wf.value()).active_jobs.clear();
 }
 
-std::optional<std::uint32_t> WohaScheduler::pick_job(std::uint32_t wf,
-                                                     SlotType t) const {
+void WohaScheduler::on_tasks_lost(hadoop::JobRef job, SlotType t,
+                                  std::uint32_t count, SimTime now) {
+  (void)t;
+  (void)now;
+  // rho counted these tasks as progress; they will run again, so the
+  // workflow's lag must grow back. No-op for already-dequeued workflows.
+  queue_->on_progress_lost(job.workflow, count);
+}
+
+std::optional<std::uint32_t> WohaScheduler::pick_job(
+    std::uint32_t wf, const hadoop::SlotOffer& slot) const {
   const WorkflowState& st = states_.at(wf);
   for (std::uint32_t j : st.active_jobs) {
-    if (tracker_->job(hadoop::JobRef{wf, j}).has_available(t)) return j;
+    const hadoop::JobRef ref{wf, j};
+    if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) return j;
   }
   return std::nullopt;
 }
 
-std::optional<hadoop::JobRef> WohaScheduler::select_task(SlotType t, SimTime now) {
+std::optional<hadoop::JobRef> WohaScheduler::select_task(
+    const hadoop::SlotOffer& slot, SimTime now) {
   const std::uint32_t wf = queue_->assign(
-      now, [this, t](std::uint32_t id) { return pick_job(id, t).has_value(); });
+      now, [this, &slot](std::uint32_t id) { return pick_job(id, slot).has_value(); });
   if (wf == SchedulerQueue::kNone) return std::nullopt;
-  const auto j = pick_job(wf, t);
+  const auto j = pick_job(wf, slot);
   if (!j) {
     throw std::logic_error("WohaScheduler: queue accepted a workflow without tasks");
   }

@@ -64,7 +64,10 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   void on_job_activated(hadoop::JobRef job, SimTime now) override;
   void on_job_completed(hadoop::JobRef job, SimTime now) override;
   void on_workflow_completed(WorkflowId wf, SimTime now) override;
-  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+  void on_tasks_lost(hadoop::JobRef job, SlotType t, std::uint32_t count,
+                     SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(const hadoop::SlotOffer& slot,
+                                            SimTime now) override;
 
   /// Introspection for tests and benches.
   [[nodiscard]] const SchedulingPlan* plan_of(WorkflowId wf) const;
@@ -77,9 +80,10 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
     std::vector<std::uint32_t> active_jobs;
   };
 
-  /// Highest-ranked active job of `wf` with an available task of type `t`.
-  [[nodiscard]] std::optional<std::uint32_t> pick_job(std::uint32_t wf,
-                                                      SlotType t) const;
+  /// Highest-ranked active job of `wf` with an available task the offered
+  /// slot may run (type match + not blacklisted for the offering tracker).
+  [[nodiscard]] std::optional<std::uint32_t> pick_job(
+      std::uint32_t wf, const hadoop::SlotOffer& slot) const;
 
   WohaConfig config_;
   std::uint32_t cluster_slots_ = 0;

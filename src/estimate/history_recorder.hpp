@@ -17,7 +17,9 @@ class HistoryRecorder {
       : estimator_(&estimator), engine_(&engine) {}
 
   void observe(const hadoop::TaskEvent& event) {
-    if (event.started || event.failed || event.duration <= 0) return;
+    // Killed attempts (node loss, lost speculation races) carry partial
+    // execution times — not durations a planner should learn from.
+    if (event.started || event.failed || event.killed || event.duration <= 0) return;
     const auto& job = engine_->job_tracker().job(event.job);
     estimator_->record(job.spec().name, event.slot, event.duration);
   }

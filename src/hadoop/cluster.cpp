@@ -86,4 +86,28 @@ void Cluster::release(std::size_t tracker_index, SlotType t) {
   ++total_free_[static_cast<std::size_t>(t)];
 }
 
+void Cluster::deactivate(std::size_t tracker_index) {
+  TrackerState& tracker = trackers_.at(tracker_index);
+  if (tracker.alive()) {
+    throw std::logic_error("Cluster::deactivate: tracker still alive");
+  }
+  for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
+    if (tracker.free_slots(t) != tracker.capacity(t)) {
+      throw std::logic_error("Cluster::deactivate: tracker has occupied slots");
+    }
+    total_free_[static_cast<std::size_t>(t)] -= tracker.capacity(t);
+  }
+}
+
+void Cluster::activate(std::size_t tracker_index) {
+  TrackerState& tracker = trackers_.at(tracker_index);
+  if (tracker.alive()) {
+    throw std::logic_error("Cluster::activate: tracker already alive");
+  }
+  tracker.set_alive(true);
+  for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
+    total_free_[static_cast<std::size_t>(t)] += tracker.capacity(t);
+  }
+}
+
 }  // namespace woha::hadoop

@@ -59,6 +59,12 @@ class TrackerState {
     return capacity_[static_cast<std::size_t>(t)];
   }
 
+  /// False between a crash and the subsequent restart. A dead tracker sends
+  /// no heartbeats, so it is never offered work; its slot bookkeeping is
+  /// reconciled when the JobTracker detects the loss (lease expiry).
+  [[nodiscard]] bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
   /// Claim one slot for a starting task. Throws if no slot is free — the
   /// engine must never over-assign.
   void occupy(SlotType t);
@@ -69,6 +75,7 @@ class TrackerState {
   TrackerId id_;
   std::uint32_t free_[2];
   std::uint32_t capacity_[2];
+  bool alive_ = true;
 };
 
 /// All trackers of a cluster plus aggregate free-slot counters.
@@ -90,6 +97,13 @@ class Cluster {
   /// per-tracker state.
   void occupy(std::size_t tracker_index, SlotType t);
   void release(std::size_t tracker_index, SlotType t);
+
+  /// Remove a lost tracker's slots from the aggregate pool once the
+  /// JobTracker detects the loss. Requires the tracker marked dead and all
+  /// its slots released (the engine re-queues its attempts first).
+  void deactivate(std::size_t tracker_index);
+  /// Return a restarted tracker to the pool with every slot free.
+  void activate(std::size_t tracker_index);
 
  private:
   ClusterConfig config_;

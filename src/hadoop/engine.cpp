@@ -21,8 +21,8 @@ Engine::Engine(EngineConfig config, std::unique_ptr<WorkflowScheduler> scheduler
   if (config_.duration_scale <= 0.0) {
     throw std::invalid_argument("Engine: duration_scale must be positive");
   }
-  if (config_.task_failure_prob < 0.0 || config_.task_failure_prob >= 1.0) {
-    throw std::invalid_argument("Engine: task_failure_prob must be in [0, 1)");
+  if (config_.task_failure_prob < 0.0 || config_.task_failure_prob > 1.0) {
+    throw std::invalid_argument("Engine: task_failure_prob must be in [0, 1]");
   }
   if (config_.remote_map_penalty < 1.0) {
     throw std::invalid_argument("Engine: remote_map_penalty must be >= 1");
@@ -30,6 +30,11 @@ Engine::Engine(EngineConfig config, std::unique_ptr<WorkflowScheduler> scheduler
   if (config_.hdfs_replication == 0) {
     throw std::invalid_argument("Engine: hdfs_replication must be >= 1");
   }
+  config_.faults.validate(cluster_.tracker_count());
+  tracker_attempts_.resize(cluster_.tracker_count());
+  fault_state_.resize(cluster_.tracker_count());
+  map_outputs_.resize(cluster_.tracker_count());
+  live_trackers_ = cluster_.tracker_count();
   scheduler_->attach(&job_tracker_);
   scheduler_->on_cluster_configured(config_.cluster.total_map_slots(),
                                     config_.cluster.total_reduce_slots());
@@ -68,6 +73,27 @@ void Engine::run() {
   }
   pending_submissions_.clear();
 
+  // Fault-injection schedule: explicit outages plus MTBF-driven crashes.
+  // Fault RNG streams are independent of rng_, so enabling churn never
+  // perturbs task-duration or locality draws.
+  if (config_.faults.churn_enabled()) {
+    for (const TrackerFaultEvent& ev : config_.faults.events) {
+      sim_.schedule_at(ev.crash_time, [this, ev]() {
+        crash_tracker(ev.tracker, ev.restart_time);
+      });
+    }
+    if (config_.faults.tracker_mtbf > 0.0) {
+      Rng root(config_.faults.seed);
+      tracker_fault_rngs_.reserve(cluster_.tracker_count());
+      for (std::size_t i = 0; i < cluster_.tracker_count(); ++i) {
+        tracker_fault_rngs_.push_back(root.split());
+      }
+      for (std::size_t i = 0; i < cluster_.tracker_count(); ++i) {
+        schedule_next_mtbf_crash(i);
+      }
+    }
+  }
+
   // Heartbeat loops, staggered so the master sees a steady request stream.
   const Duration hb = config_.cluster.heartbeat_period;
   if (hb <= 0) throw std::invalid_argument("Engine: heartbeat_period must be positive");
@@ -93,7 +119,14 @@ void Engine::run() {
     if (!sim_.step(config_.horizon)) break;
     if (job_tracker_.workflow_count() == expected_workflows &&
         job_tracker_.active_workflows() == 0) {
-      break;  // all submitted workflows finished
+      break;  // all submitted workflows finished (or failed)
+    }
+    if (live_trackers_ == 0 && pending_restarts_ == 0) {
+      // Every tracker is down and none will come back: no event can make
+      // progress, so stop instead of heartbeating an empty cluster forever.
+      WOHA_LOG(LogLevel::kWarn, "engine")
+          << "t=" << sim_.now() << " cluster permanently dead; stopping run";
+      break;
     }
   }
 }
@@ -116,6 +149,8 @@ void Engine::do_submit(wf::WorkflowSpec spec) {
 }
 
 void Engine::activate_job(JobRef ref) {
+  // The workflow may have failed while the submitter task was loading.
+  if (job_tracker_.workflow(WorkflowId(ref.workflow)).failed()) return;
   JobInProgress& job = job_tracker_.job(ref);
   job.mark_active(sim_.now());
   WOHA_LOG(LogLevel::kDebug, "engine")
@@ -126,17 +161,36 @@ void Engine::activate_job(JobRef ref) {
 
 void Engine::heartbeat(std::size_t tracker_index) {
   TrackerState& tracker = cluster_.tracker(tracker_index);
+  if (!tracker.alive()) return;  // dead nodes do not heartbeat
+
+  // Per-job blacklisting: the offered slot carries an eligibility filter so
+  // a blacklisted job can still run elsewhere but never again on this node.
+  std::function<bool(JobRef)> eligible;
+  const std::function<bool(JobRef)>* filter = nullptr;
+  if (!blacklist_.empty()) {
+    eligible = [this, tracker_index](JobRef ref) {
+      return !blacklisted(ref, tracker_index);
+    };
+    filter = &eligible;
+  }
+
   // Offer every idle slot on this tracker; maps first (Hadoop-1's
   // assignTasks fills map slots before reduce slots).
   for (const SlotType type : {SlotType::kMap, SlotType::kReduce}) {
     while (tracker.free_slots(type) > 0) {
+      const SlotOffer offer{type, tracker_index, filter};
       const auto t0 = std::chrono::steady_clock::now();
-      const auto choice = scheduler_->select_task(type, sim_.now());
+      const auto choice = scheduler_->select_task(offer, sim_.now());
       const auto t1 = std::chrono::steady_clock::now();
       ++select_calls_;
       select_wall_ms_ += std::chrono::duration<double, std::milli>(t1 - t0).count();
       if (!choice) break;
       start_task(*choice, type, tracker_index);
+    }
+    // Slots no pending task wants may still host speculative backups.
+    if (config_.faults.speculative_execution) {
+      while (tracker.free_slots(type) > 0 && try_speculate(type, tracker_index)) {
+      }
     }
   }
 }
@@ -158,19 +212,12 @@ bool Engine::map_is_local(JobRef ref, std::size_t tracker_index) {
   return false;
 }
 
-void Engine::start_task(JobRef ref, SlotType type, std::size_t tracker_index) {
-  JobInProgress& job = job_tracker_.job(ref);
-  if (!job.has_available(type)) {
-    throw std::logic_error("Engine: scheduler returned job without available " +
-                           std::string(to_string(type)) + " task (" +
-                           scheduler_->name() + ")");
-  }
-  job.start_task(type);
-  cluster_.occupy(tracker_index, type);
-  WorkflowRuntime& wf_rt = job_tracker_.workflow(WorkflowId(ref.workflow));
-  wf_rt.count_scheduled_task();
-  ++tasks_executed_;
-
+Duration Engine::draw_attempt(JobRef ref, SlotType type, std::size_t tracker_index,
+                              bool& will_fail) {
+  // The draw order below (jitter, locality, failure) replays the exact
+  // pre-fault-model RNG sequence: with faults disabled, runs stay
+  // bit-identical to builds that predate the fault subsystem.
+  const JobInProgress& job = job_tracker_.job(ref);
   const Duration est =
       type == SlotType::kMap ? job.spec().map_duration : job.spec().reduce_duration;
   Duration dur = actual_duration(est);
@@ -186,55 +233,130 @@ void Engine::start_task(JobRef ref, SlotType type, std::size_t tracker_index) {
 
   // Failure injection: the attempt dies at a uniformly random point of its
   // execution, holding (and wasting) the slot until then.
-  bool failed = false;
+  will_fail = false;
   if (config_.task_failure_prob > 0.0 && rng_.chance(config_.task_failure_prob)) {
-    failed = true;
+    will_fail = true;
     dur = std::max<Duration>(1, static_cast<Duration>(
                                     static_cast<double>(dur) * rng_.uniform()));
   }
+  return dur;
+}
+
+void Engine::start_task(JobRef ref, SlotType type, std::size_t tracker_index) {
+  JobInProgress& job = job_tracker_.job(ref);
+  if (!job.has_available(type)) {
+    throw std::logic_error("Engine: scheduler returned job without available " +
+                           std::string(to_string(type)) + " task (" +
+                           scheduler_->name() + ")");
+  }
+  const std::uint32_t retry_level = job.start_task(type);
+  cluster_.occupy(tracker_index, type);
+  WorkflowRuntime& wf_rt = job_tracker_.workflow(WorkflowId(ref.workflow));
+  wf_rt.count_scheduled_task();
+  ++tasks_executed_;
+
+  bool will_fail = false;
+  const Duration dur = draw_attempt(ref, type, tracker_index, will_fail);
   busy_ms_[static_cast<std::size_t>(type)] += static_cast<double>(dur);
 
   if (task_observer_) {
     task_observer_(TaskEvent{sim_.now(), WorkflowId(ref.workflow), ref, type, true,
-                             false, 0});
+                             false, false, false, 0});
   }
-  sim_.schedule_after(dur, [this, ref, type, tracker_index, failed, dur]() {
-    finish_task(ref, type, tracker_index, failed, dur);
-  });
+  const std::uint64_t id = next_attempt_id_++;
+  Attempt attempt{ref,      type,      tracker_index, sim_.now(), dur,
+                  retry_level, will_fail, false,         0,          {}};
+  attempt.finish_event =
+      sim_.schedule_after(dur, [this, id]() { finish_attempt(id); });
+  attempts_.emplace(id, std::move(attempt));
+  tracker_attempts_[tracker_index].push_back(id);
 }
 
-void Engine::finish_task(JobRef ref, SlotType type, std::size_t tracker_index,
-                         bool failed, Duration duration) {
-  cluster_.release(tracker_index, type);
-  JobInProgress& job = job_tracker_.job(ref);
-  if (failed) {
+void Engine::finish_attempt(std::uint64_t attempt_id) {
+  const auto it = attempts_.find(attempt_id);
+  if (it == attempts_.end()) {
+    throw std::logic_error("Engine: finish event for unknown attempt");
+  }
+  const Attempt a = it->second;
+  attempts_.erase(it);
+  std::erase(tracker_attempts_[a.tracker], attempt_id);
+  cluster_.release(a.tracker, a.type);
+  JobInProgress& job = job_tracker_.job(a.ref);
+
+  if (a.will_fail) {
     ++tasks_failed_;
-    job.fail_task(type);
-    scheduler_->on_task_finished(ref, type, sim_.now());
+    record_attempt_failure(a.ref, a.tracker);
+    if (a.rival != 0) {
+      // The speculation twin keeps running the task alone; this failure
+      // burns an attempt but re-queues nothing.
+      const auto rit = attempts_.find(a.rival);
+      if (rit != attempts_.end()) rit->second.rival = 0;
+      if (task_observer_) {
+        task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref,
+                                 a.type, false, true, false, a.speculative,
+                                 a.duration});
+      }
+      return;
+    }
+    if (config_.faults.max_attempts > 0 &&
+        a.retry_level + 1 >= config_.faults.max_attempts) {
+      if (task_observer_) {
+        task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref,
+                                 a.type, false, true, false, a.speculative,
+                                 a.duration});
+      }
+      fail_workflow(a.ref.workflow, sim_.now());
+      return;
+    }
+    job.fail_task(a.type, a.retry_level + 1);
+    scheduler_->on_task_finished(a.ref, a.type, sim_.now());
     if (task_observer_) {
-      task_observer_(TaskEvent{sim_.now(), WorkflowId(ref.workflow), ref, type,
-                               false, true, duration});
+      task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref,
+                               a.type, false, true, false, a.speculative,
+                               a.duration});
     }
     // The task re-enters the pending pool; the next heartbeat with a free
     // slot may schedule a fresh attempt (Hadoop's retry behaviour).
     return;
   }
-  const bool job_done = job.finish_task(type, sim_.now());
-  scheduler_->on_task_finished(ref, type, sim_.now());
+
+  // Success. A speculation race has a winner: kill the loser (first finish
+  // wins, Hadoop's speculative-execution contract).
+  if (a.rival != 0) {
+    const Attempt& loser_ref = attempts_.at(a.rival);
+    const TrackerFaultState& loser_fs = fault_state_[loser_ref.tracker];
+    const SimTime stop = loser_fs.dead ? loser_fs.crash_time : sim_.now();
+    const Attempt loser = kill_attempt(a.rival, stop);
+    speculative_wasted_ms_ +=
+        static_cast<double>(std::max<Duration>(0, stop - loser.start_time));
+    if (a.speculative) ++speculative_won_;
+  }
+
+  // Hadoop-1 stores map outputs on the slave's local disk until the job's
+  // reduces fetch them; remember where they live so a node loss can
+  // invalidate them. Map-only jobs commit straight to HDFS — nothing to
+  // track.
+  if (a.type == SlotType::kMap && config_.faults.churn_enabled() &&
+      job.spec().num_reduces > 0) {
+    ++map_outputs_[a.tracker][a.ref];
+  }
+
+  const bool job_done = job.finish_task(a.type, sim_.now());
+  scheduler_->on_task_finished(a.ref, a.type, sim_.now());
   if (task_observer_) {
-    task_observer_(TaskEvent{sim_.now(), WorkflowId(ref.workflow), ref, type,
-                             false, false, duration});
+    task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref, a.type,
+                             false, false, false, a.speculative, a.duration});
   }
   if (!job_done) return;
 
-  WorkflowRuntime& wf_rt = job_tracker_.workflow(WorkflowId(ref.workflow));
+  WorkflowRuntime& wf_rt = job_tracker_.workflow(WorkflowId(a.ref.workflow));
   WOHA_LOG(LogLevel::kDebug, "engine")
-      << "t=" << sim_.now() << " job w" << ref.workflow << "/j" << ref.job
+      << "t=" << sim_.now() << " job w" << a.ref.workflow << "/j" << a.ref.job
       << " complete";
-  const auto unlocked = wf_rt.on_job_complete(ref.job, sim_.now());
-  scheduler_->on_job_completed(ref, sim_.now());
+  const auto unlocked = wf_rt.on_job_complete(a.ref.job, sim_.now());
+  scheduler_->on_job_completed(a.ref, sim_.now());
   for (std::uint32_t j : unlocked) {
-    const JobRef dep{ref.workflow, j};
+    const JobRef dep{a.ref.workflow, j};
     wf_rt.job(j).mark_activating();
     sim_.schedule_after(config_.activation_latency,
                         [this, dep]() { activate_job(dep); });
@@ -242,11 +364,245 @@ void Engine::finish_task(JobRef ref, SlotType type, std::size_t tracker_index,
   if (wf_rt.finished()) {
     job_tracker_.count_workflow_finished();
     WOHA_LOG(LogLevel::kInfo, "engine")
-        << "t=" << sim_.now() << " workflow " << ref.workflow << " finished"
+        << "t=" << sim_.now() << " workflow " << a.ref.workflow << " finished"
         << (wf_rt.finish_time() <= wf_rt.deadline() ? " (deadline met)"
                                                     : " (DEADLINE MISSED)");
-    scheduler_->on_workflow_completed(WorkflowId(ref.workflow), sim_.now());
+    scheduler_->on_workflow_completed(WorkflowId(a.ref.workflow), sim_.now());
   }
+}
+
+Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time) {
+  Attempt a = attempts_.at(attempt_id);
+  a.finish_event.cancel();
+  attempts_.erase(attempt_id);
+  std::erase(tracker_attempts_[a.tracker], attempt_id);
+  cluster_.release(a.tracker, a.type);
+  // Busy time was charged for the full scheduled duration at start; refund
+  // the part that never executed.
+  const Duration executed = std::max<Duration>(0, stop_time - a.start_time);
+  busy_ms_[static_cast<std::size_t>(a.type)] -=
+      static_cast<double>(a.duration - executed);
+  ++attempts_killed_;
+  if (task_observer_) {
+    task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref, a.type,
+                             false, false, true, a.speculative, executed});
+  }
+  return a;
+}
+
+void Engine::crash_tracker(std::size_t tracker_index, SimTime restart_time) {
+  TrackerFaultState& fs = fault_state_[tracker_index];
+  if (fs.dead) return;  // overlapping schedules collapse into one outage
+  fs.dead = true;
+  fs.detected = false;
+  fs.crash_time = sim_.now();
+  ++fs.epoch;
+  cluster_.tracker(tracker_index).set_alive(false);
+  --live_trackers_;
+  ++tracker_crashes_;
+  WOHA_LOG(LogLevel::kInfo, "engine")
+      << "t=" << sim_.now() << " tracker " << tracker_index << " crashed"
+      << (restart_time == kTimeInfinity
+              ? std::string(" (no restart)")
+              : " (restart at " + std::to_string(restart_time) + ")");
+
+  // The node stops executing instantly, but the master stays oblivious: the
+  // attempts remain in the running tables until the lease expires or the
+  // node re-registers. Their finish events must never fire, though.
+  for (const std::uint64_t id : tracker_attempts_[tracker_index]) {
+    attempts_.at(id).finish_event.cancel();
+  }
+
+  const std::uint64_t epoch = fs.epoch;
+  sim_.schedule_after(config_.faults.expiry_interval, [this, tracker_index, epoch]() {
+    if (fault_state_[tracker_index].epoch == epoch) {
+      detect_tracker_loss(tracker_index);
+    }
+  });
+  if (restart_time != kTimeInfinity) {
+    ++pending_restarts_;
+    sim_.schedule_at(restart_time, [this, tracker_index, epoch]() {
+      if (fault_state_[tracker_index].epoch == epoch) {
+        restart_tracker(tracker_index);
+      }
+    });
+  }
+}
+
+void Engine::restart_tracker(std::size_t tracker_index) {
+  TrackerFaultState& fs = fault_state_[tracker_index];
+  if (!fs.dead) return;
+  // Re-registration tells the master about the loss immediately, even if
+  // the lease has not expired yet (Hadoop treats a re-registering tracker
+  // as a fresh node with empty disks).
+  detect_tracker_loss(tracker_index);
+  fs.dead = false;
+  cluster_.activate(tracker_index);
+  ++live_trackers_;
+  --pending_restarts_;
+  WOHA_LOG(LogLevel::kInfo, "engine")
+      << "t=" << sim_.now() << " tracker " << tracker_index << " re-registered";
+  if (config_.faults.tracker_mtbf > 0.0) schedule_next_mtbf_crash(tracker_index);
+}
+
+void Engine::detect_tracker_loss(std::size_t tracker_index) {
+  TrackerFaultState& fs = fault_state_[tracker_index];
+  if (!fs.dead || fs.detected) return;
+  fs.detected = true;
+  WOHA_LOG(LogLevel::kInfo, "engine")
+      << "t=" << sim_.now() << " tracker " << tracker_index
+      << " declared lost (crashed at " << fs.crash_time << ")";
+
+  // Kill every attempt that was running there. KILLED, not FAILED: node
+  // loss never counts against the task's attempt budget.
+  const std::vector<std::uint64_t> ids = tracker_attempts_[tracker_index];
+  for (const std::uint64_t id : ids) {
+    const Attempt a = kill_attempt(id, fs.crash_time);
+    if (a.rival != 0) {
+      // The task lives on in its speculation twin — nothing to re-queue.
+      const auto rit = attempts_.find(a.rival);
+      if (rit != attempts_.end()) rit->second.rival = 0;
+      continue;
+    }
+    JobInProgress& job = job_tracker_.job(a.ref);
+    job.requeue_running(a.type, a.retry_level);
+    scheduler_->on_task_finished(a.ref, a.type, sim_.now());
+    scheduler_->on_tasks_lost(a.ref, a.type, 1, sim_.now());
+  }
+
+  // Invalidate completed map outputs stranded on the node's local disk:
+  // unfetched partitions are gone, so those maps re-execute from scratch
+  // (fresh tasks — re-execution is not a retry).
+  for (const auto& [ref, count] : map_outputs_[tracker_index]) {
+    WorkflowRuntime& w = job_tracker_.workflow(WorkflowId(ref.workflow));
+    if (w.finished() || w.failed()) continue;
+    JobInProgress& job = job_tracker_.job(ref);
+    if (job.complete() || job.state() == JobState::kFailed) continue;
+    job.invalidate_finished_maps(count);
+    map_outputs_lost_ += count;
+    scheduler_->on_tasks_lost(ref, SlotType::kMap, count, sim_.now());
+  }
+  map_outputs_[tracker_index].clear();
+  cluster_.deactivate(tracker_index);
+}
+
+void Engine::fail_workflow(std::uint32_t workflow, SimTime now) {
+  WorkflowRuntime& wf_rt = job_tracker_.workflow(WorkflowId(workflow));
+  if (wf_rt.failed() || wf_rt.finished()) return;
+  WOHA_LOG(LogLevel::kWarn, "engine")
+      << "t=" << now << " workflow " << workflow
+      << " FAILED (task exhausted max_attempts="
+      << config_.faults.max_attempts << ")";
+  wf_rt.mark_failed(now);
+  ++workflows_failed_;
+
+  // Kill the workflow's remaining attempts everywhere (deterministic
+  // tracker-order scan).
+  for (std::size_t t = 0; t < tracker_attempts_.size(); ++t) {
+    std::vector<std::uint64_t> victims;
+    for (const std::uint64_t id : tracker_attempts_[t]) {
+      if (attempts_.at(id).ref.workflow == workflow) victims.push_back(id);
+    }
+    for (const std::uint64_t id : victims) {
+      const TrackerFaultState& fs = fault_state_[t];
+      const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now);
+      if (a.rival != 0) {
+        const auto rit = attempts_.find(a.rival);
+        if (rit != attempts_.end()) rit->second.rival = 0;
+      }
+    }
+  }
+  job_tracker_.count_workflow_finished();
+  scheduler_->on_workflow_failed(WorkflowId(workflow), now);
+}
+
+void Engine::record_attempt_failure(JobRef ref, std::size_t tracker_index) {
+  if (config_.faults.blacklist_task_failures == 0) return;
+  const auto key = std::make_pair(ref, tracker_index);
+  if (++job_tracker_failures_[key] < config_.faults.blacklist_task_failures) return;
+  // Hadoop-1 caps per-job blacklisting at 25% of the cluster (JobInProgress
+  // CLUSTER_BLACKLIST_PERCENT) so a flaky job can never starve itself of
+  // every tracker. Always leave the majority of nodes usable.
+  const std::size_t cap =
+      std::max<std::size_t>(1, cluster_.tracker_count() / 4);
+  std::size_t already = 0;
+  for (const auto& entry : blacklist_) already += entry.first == ref;
+  if (already < cap && blacklist_.insert(key).second) {
+    ++blacklistings_;
+    WOHA_LOG(LogLevel::kInfo, "engine")
+        << "t=" << sim_.now() << " tracker " << tracker_index
+        << " blacklisted for job w" << ref.workflow << "/j" << ref.job;
+  }
+}
+
+bool Engine::try_speculate(SlotType type, std::size_t tracker_index) {
+  const SimTime now = sim_.now();
+  // Deterministic straggler scan: trackers in index order, attempts in
+  // launch order. The duration-based slowness test stands in for Hadoop's
+  // progress-rate estimate (the simulator knows the true remaining time);
+  // an attempt on a silently-dead node reports no progress at all, which is
+  // exactly what LATE flags first — so zombies are always eligible.
+  for (std::size_t t = 0; t < tracker_attempts_.size(); ++t) {
+    for (const std::uint64_t id : tracker_attempts_[t]) {
+      const Attempt& a = attempts_.at(id);
+      if (a.type != type || a.speculative || a.rival != 0) continue;
+      if (a.tracker == tracker_index) continue;  // back up on another node
+      if (now - a.start_time < config_.faults.speculative_min_runtime) continue;
+      const bool zombie = fault_state_[a.tracker].dead;
+      if (!zombie) {
+        const JobInProgress& job = job_tracker_.job(a.ref);
+        const Duration est = type == SlotType::kMap ? job.spec().map_duration
+                                                    : job.spec().reduce_duration;
+        if (static_cast<double>(a.duration) <=
+            config_.faults.speculative_slowness * static_cast<double>(est)) {
+          continue;  // not slow enough to bother
+        }
+        if (now + est >= a.start_time + a.duration) {
+          continue;  // a backup would not beat the original anyway
+        }
+      }
+      if (blacklisted(a.ref, tracker_index)) continue;
+
+      // Launch the backup. It occupies a slot and burns budget metrics but
+      // is NOT new task progress: no job/rho accounting, no select_task.
+      cluster_.occupy(tracker_index, type);
+      ++tasks_executed_;
+      ++speculative_launched_;
+      bool will_fail = false;
+      const Duration dur = draw_attempt(a.ref, type, tracker_index, will_fail);
+      busy_ms_[static_cast<std::size_t>(type)] += static_cast<double>(dur);
+      if (task_observer_) {
+        task_observer_(TaskEvent{now, WorkflowId(a.ref.workflow), a.ref, type,
+                                 true, false, false, true, 0});
+      }
+      const std::uint64_t backup_id = next_attempt_id_++;
+      Attempt backup{a.ref,         type,      tracker_index, now, dur,
+                     a.retry_level, will_fail, true,          id,  {}};
+      backup.finish_event =
+          sim_.schedule_after(dur, [this, backup_id]() { finish_attempt(backup_id); });
+      attempts_.emplace(backup_id, std::move(backup));
+      tracker_attempts_[tracker_index].push_back(backup_id);
+      attempts_.at(id).rival = backup_id;
+      WOHA_LOG(LogLevel::kDebug, "engine")
+          << "t=" << now << " speculative backup for w" << a.ref.workflow << "/j"
+          << a.ref.job << " on tracker " << tracker_index;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::schedule_next_mtbf_crash(std::size_t tracker_index) {
+  if (config_.faults.tracker_mtbf <= 0.0) return;
+  const double wait =
+      tracker_fault_rngs_[tracker_index].exponential(1.0 / config_.faults.tracker_mtbf);
+  const Duration delay = std::max<Duration>(1, static_cast<Duration>(std::llround(wait)));
+  sim_.schedule_after(delay, [this, tracker_index]() {
+    if (!fault_state_[tracker_index].dead) {
+      crash_tracker(tracker_index,
+                    sim_.now() + config_.faults.tracker_restart_delay);
+    }
+  });
 }
 
 RunSummary Engine::summarize() const {
@@ -261,6 +617,7 @@ RunSummary Engine::summarize() const {
     r.submit_time = w.submit_time();
     r.deadline = w.deadline();
     r.finish_time = w.finish_time();
+    r.failed = w.failed();
     if (w.finished()) {
       r.workspan = w.finish_time() - w.submit_time();
       r.tardiness = w.deadline() == kTimeInfinity
@@ -269,7 +626,8 @@ RunSummary Engine::summarize() const {
       r.met_deadline = w.finish_time() <= w.deadline();
       out.makespan = std::max(out.makespan, w.finish_time());
     } else {
-      // Unfinished at horizon: count as a miss with tardiness up to now.
+      // Unfinished at horizon (or failed permanently): count as a miss with
+      // tardiness up to now.
       r.met_deadline = false;
       r.tardiness = w.deadline() == kTimeInfinity
                         ? 0
@@ -303,6 +661,14 @@ RunSummary Engine::summarize() const {
   out.map_locality_ratio =
       total_maps_ ? static_cast<double>(local_maps_) / static_cast<double>(total_maps_)
                   : 1.0;
+  out.tracker_crashes = tracker_crashes_;
+  out.attempts_killed = attempts_killed_;
+  out.map_outputs_lost = map_outputs_lost_;
+  out.workflows_failed = workflows_failed_;
+  out.blacklistings = blacklistings_;
+  out.speculative_launched = speculative_launched_;
+  out.speculative_won = speculative_won_;
+  out.speculative_wasted_ms = speculative_wasted_ms_;
   return out;
 }
 

@@ -15,15 +15,26 @@
 //    schedulers/plans see, via multiplicative log-normal jitter
 //    (duration_jitter_sigma) and a systematic scale factor — used by the
 //    estimation-error ablation bench.
+//  * Node faults (EngineConfig::faults) follow Hadoop-1 semantics: a
+//    crashed TaskTracker goes silent, the JobTracker notices only at lease
+//    expiry (or re-registration), running attempts are KILLED and re-queued,
+//    and completed map outputs of in-flight jobs die with the node's local
+//    disk. See fault.hpp and DESIGN.md ("Fault model").
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "hadoop/cluster.hpp"
+#include "hadoop/fault.hpp"
 #include "hadoop/job_tracker.hpp"
 #include "hadoop/scheduler.hpp"
 #include "sim/simulation.hpp"
@@ -52,7 +63,14 @@ struct EngineConfig {
   /// Probability that a task attempt fails (at a uniformly random point of
   /// its execution). Failed attempts release their slot and the task
   /// returns to the pending pool, exactly like a Hadoop task retry.
+  /// p == 1.0 is allowed (every attempt fails) — only meaningful together
+  /// with faults.max_attempts > 0.
   double task_failure_prob = 0.0;
+
+  /// Node-level fault model: tracker churn, loss detection, attempt
+  /// budgets, blacklisting, speculative execution. Defaults disable
+  /// everything, leaving the engine bit-identical to the fault-free build.
+  FaultConfig faults;
 
   // --- data locality model ------------------------------------------------
   /// Factor applied to a map task's duration when it runs on a tracker that
@@ -70,9 +88,15 @@ struct TaskEvent {
   WorkflowId workflow;
   JobRef job;
   SlotType slot = SlotType::kMap;
-  bool started = true;  ///< false == attempt ended (success or failure)
+  bool started = true;  ///< false == attempt ended (success, failure, kill)
   bool failed = false;  ///< only meaningful when started == false
-  /// Actual execution time of the attempt; set on finish events (0 on
+  /// Attempt was KILLED (tracker lost, speculation race lost, or workflow
+  /// failed) rather than finishing on its own. Kills release the slot like
+  /// any end event but must not feed duration estimators.
+  bool killed = false;
+  /// Attempt is a speculative backup (fault model's speculative execution).
+  bool speculative = false;
+  /// Actual execution time of the attempt; set on end events (0 on
   /// start events). Feeds history-based task-time estimators.
   Duration duration = 0;
 };
@@ -87,6 +111,9 @@ struct WorkflowResult {
   Duration workspan = -1;         ///< finish - submit
   Duration tardiness = 0;         ///< max(0, finish - deadline)
   bool met_deadline = false;
+  /// A task exhausted its attempt budget: the workflow terminated without
+  /// finishing (finish_time stays -1).
+  bool failed = false;
 };
 
 struct RunSummary {
@@ -109,6 +136,18 @@ struct RunSummary {
   /// Fraction of map tasks that ran node-local (1.0 when the locality
   /// model is disabled).
   double map_locality_ratio = 1.0;
+
+  // --- fault model (all zero when EngineConfig::faults is default) -------
+  std::uint64_t tracker_crashes = 0;     ///< TaskTracker outages injected
+  std::uint64_t attempts_killed = 0;     ///< KILLED attempts (not FAILED)
+  std::uint64_t map_outputs_lost = 0;    ///< completed maps re-executed
+  std::uint64_t workflows_failed = 0;    ///< attempt budget exhausted
+  std::uint64_t blacklistings = 0;       ///< (job, tracker) pairs blacklisted
+  std::uint64_t speculative_launched = 0;  ///< backup attempts started
+  std::uint64_t speculative_won = 0;       ///< backups that beat the original
+  /// Slot-time burned by speculation losers (the cost side of the backup
+  /// bet; the benefit shows up as lower tardiness under churn).
+  double speculative_wasted_ms = 0.0;
 };
 
 class Engine {
@@ -136,16 +175,69 @@ class Engine {
   [[nodiscard]] RunSummary summarize() const;
 
  private:
+  /// One running attempt (Hadoop TaskAttempt): the unit that occupies a
+  /// slot, can finish, fail, or be KILLED by a node fault / lost race.
+  struct Attempt {
+    JobRef ref;
+    SlotType type = SlotType::kMap;
+    std::size_t tracker = 0;
+    SimTime start_time = 0;
+    Duration duration = 0;  ///< scheduled runtime (truncated when will_fail)
+    std::uint32_t retry_level = 0;
+    bool will_fail = false;
+    bool speculative = false;
+    std::uint64_t rival = 0;  ///< id of the speculation twin (0 = none)
+    sim::EventHandle finish_event;
+  };
+
+  /// JobTracker-side record of one tracker's health between crash events.
+  struct TrackerFaultState {
+    bool dead = false;
+    bool detected = false;  ///< loss processed (expiry or re-registration)
+    SimTime crash_time = 0;
+    std::uint64_t epoch = 0;  ///< guards stale detection/restart events
+  };
+
   void do_submit(wf::WorkflowSpec spec);
   void heartbeat(std::size_t tracker_index);
   void activate_job(JobRef ref);
   void start_task(JobRef ref, SlotType type, std::size_t tracker_index);
-  void finish_task(JobRef ref, SlotType type, std::size_t tracker_index,
-                   bool failed, Duration duration);
+  void finish_attempt(std::uint64_t attempt_id);
   [[nodiscard]] Duration actual_duration(Duration estimated);
   /// True when the map input split of the next task of `ref` has a replica
   /// on `tracker_index` under the randomized HDFS placement model.
   [[nodiscard]] bool map_is_local(JobRef ref, std::size_t tracker_index);
+  /// The common stochastic part of launching an attempt; draws duration
+  /// jitter, map locality, and injected failure in a fixed order (the order
+  /// is load-bearing: fault-free runs must replay the exact pre-fault-model
+  /// RNG sequence).
+  [[nodiscard]] Duration draw_attempt(JobRef ref, SlotType type,
+                                      std::size_t tracker_index, bool& will_fail);
+
+  // --- fault machinery ----------------------------------------------------
+  void crash_tracker(std::size_t tracker_index, SimTime restart_time);
+  void restart_tracker(std::size_t tracker_index);
+  /// JobTracker learns the tracker is gone (lease expiry or the node
+  /// re-registering): kill its attempts, re-queue the lost tasks,
+  /// invalidate its map outputs, retire its slots.
+  void detect_tracker_loss(std::size_t tracker_index);
+  /// Remove one attempt without letting it finish: cancel, release the
+  /// slot, refund un-executed busy time, emit the KILLED event. `stop_time`
+  /// is when the attempt actually stopped executing (crash instant for node
+  /// loss, now for lost races). Returns the removed record.
+  Attempt kill_attempt(std::uint64_t attempt_id, SimTime stop_time);
+  /// Task exhausted its attempt budget: fail the whole workflow, kill its
+  /// other running attempts, notify the scheduler.
+  void fail_workflow(std::uint32_t workflow, SimTime now);
+  /// Charge one injected failure toward (job, tracker) blacklisting.
+  void record_attempt_failure(JobRef ref, std::size_t tracker_index);
+  /// Launch at most one speculative backup into a free slot of
+  /// `tracker_index`; returns whether one was launched.
+  bool try_speculate(SlotType type, std::size_t tracker_index);
+  void schedule_next_mtbf_crash(std::size_t tracker_index);
+  [[nodiscard]] bool blacklisted(JobRef ref, std::size_t tracker_index) const {
+    return blacklist_.find({ref, tracker_index}) != blacklist_.end();
+  }
 
   EngineConfig config_;
   sim::Simulation sim_;
@@ -157,6 +249,25 @@ class Engine {
   std::function<void(const TaskEvent&)> task_observer_;
   bool started_ = false;
 
+  // Running attempts, keyed by attempt id (ids start at 1 so 0 can mean "no
+  // rival"). Lookup only — all iteration goes through tracker_attempts_,
+  // whose per-tracker insertion order is deterministic.
+  std::unordered_map<std::uint64_t, Attempt> attempts_;
+  std::vector<std::vector<std::uint64_t>> tracker_attempts_;
+  std::uint64_t next_attempt_id_ = 1;
+
+  // Fault state. map_outputs_[t][job] counts completed maps of `job` whose
+  // output sits on tracker t's local disk (only tracked for jobs with
+  // reduces, and only when churn is enabled). std::map/std::set keep every
+  // iteration order deterministic.
+  std::vector<TrackerFaultState> fault_state_;
+  std::vector<std::map<JobRef, std::uint32_t>> map_outputs_;
+  std::set<std::pair<JobRef, std::size_t>> blacklist_;
+  std::map<std::pair<JobRef, std::size_t>, std::uint32_t> job_tracker_failures_;
+  std::vector<Rng> tracker_fault_rngs_;
+  std::size_t live_trackers_ = 0;
+  std::size_t pending_restarts_ = 0;
+
   // Accounting for utilization: integral of busy slots over time.
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t tasks_failed_ = 0;
@@ -166,6 +277,16 @@ class Engine {
   double select_wall_ms_ = 0.0;
   SimTime first_submit_ = kTimeInfinity;
   double busy_ms_[2] = {0.0, 0.0};  // per SlotType: sum of task durations
+
+  // Fault metrics.
+  std::uint64_t tracker_crashes_ = 0;
+  std::uint64_t attempts_killed_ = 0;
+  std::uint64_t map_outputs_lost_ = 0;
+  std::uint64_t workflows_failed_ = 0;
+  std::uint64_t blacklistings_ = 0;
+  std::uint64_t speculative_launched_ = 0;
+  std::uint64_t speculative_won_ = 0;
+  double speculative_wasted_ms_ = 0.0;
 };
 
 }  // namespace woha::hadoop

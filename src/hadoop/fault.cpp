@@ -1,0 +1,57 @@
+#include "hadoop/fault.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace woha::hadoop {
+
+void FaultConfig::validate(std::size_t tracker_count) const {
+  if (tracker_mtbf < 0.0) {
+    throw std::invalid_argument("FaultConfig: tracker_mtbf must be >= 0");
+  }
+  if (tracker_restart_delay < 0) {
+    throw std::invalid_argument("FaultConfig: negative tracker_restart_delay");
+  }
+  if (expiry_interval <= 0) {
+    throw std::invalid_argument("FaultConfig: expiry_interval must be positive");
+  }
+  if (speculative_slowness <= 1.0) {
+    throw std::invalid_argument("FaultConfig: speculative_slowness must be > 1");
+  }
+  if (speculative_min_runtime < 0) {
+    throw std::invalid_argument("FaultConfig: negative speculative_min_runtime");
+  }
+
+  // Explicit schedule: indices in range, outages well-formed and
+  // non-overlapping per tracker (a node cannot crash while already down).
+  std::map<std::uint32_t, std::vector<const TrackerFaultEvent*>> per_tracker;
+  for (const TrackerFaultEvent& e : events) {
+    if (e.tracker >= tracker_count) {
+      throw std::invalid_argument("FaultConfig: event tracker index " +
+                                  std::to_string(e.tracker) + " out of range");
+    }
+    if (e.crash_time < 0) {
+      throw std::invalid_argument("FaultConfig: negative crash_time");
+    }
+    if (e.restart_time <= e.crash_time) {
+      throw std::invalid_argument("FaultConfig: restart_time must be after crash_time");
+    }
+    per_tracker[e.tracker].push_back(&e);
+  }
+  for (auto& [tracker, list] : per_tracker) {
+    std::sort(list.begin(), list.end(),
+              [](const TrackerFaultEvent* a, const TrackerFaultEvent* b) {
+                return a->crash_time < b->crash_time;
+              });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      if (list[i - 1]->restart_time > list[i]->crash_time) {
+        throw std::invalid_argument(
+            "FaultConfig: overlapping outages for tracker " + std::to_string(tracker));
+      }
+    }
+  }
+}
+
+}  // namespace woha::hadoop

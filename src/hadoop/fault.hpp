@@ -1,0 +1,87 @@
+// Node-level fault model: TaskTracker churn, loss detection, attempt
+// limits, blacklisting, and speculative execution.
+//
+// Hadoop-1 semantics modelled here (defaults in parentheses):
+//  * A crashed TaskTracker stops heartbeating; the JobTracker only learns of
+//    the loss when the tracker's lease expires (`expiry_interval`, 10 min —
+//    mapred.tasktracker.expiry.interval) or when the node re-registers after
+//    a reboot, whichever comes first.
+//  * On detection, running attempts on the node are lost and re-queued, and
+//    completed map outputs of in-flight jobs are invalidated: map outputs
+//    live on the slave's local disk in Hadoop-1, so unfetched partitions die
+//    with the node and the maps re-execute.
+//  * Attempts killed by node loss do NOT count against `max_attempts`
+//    (Hadoop's KILLED vs FAILED distinction); injected task failures do.
+//  * After `blacklist_task_failures` failures of one job's tasks on one
+//    tracker, that tracker is blacklisted for that job
+//    (mapred.max.tracker.failures).
+//  * Speculative execution launches a backup attempt for stragglers;
+//    first finish wins and the loser is killed (LATE-style, OSDI'08).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace woha::hadoop {
+
+/// One scheduled TaskTracker outage. `restart_time == kTimeInfinity` means
+/// the node never comes back.
+struct TrackerFaultEvent {
+  std::uint32_t tracker = 0;
+  SimTime crash_time = 0;
+  SimTime restart_time = kTimeInfinity;
+};
+
+struct FaultConfig {
+  /// Explicit outage schedule (validated: per-tracker chronological,
+  /// non-overlapping).
+  std::vector<TrackerFaultEvent> events;
+  /// Mean time between failures per tracker in ms; > 0 enables MTBF-driven
+  /// crashes (exponential inter-crash times drawn from an independent,
+  /// per-tracker RNG stream seeded by `seed`).
+  double tracker_mtbf = 0.0;
+  /// Downtime of an MTBF-driven crash before the node reboots and
+  /// re-registers.
+  Duration tracker_restart_delay = minutes(2);
+  /// JobTracker lease: a silent tracker is declared lost this long after
+  /// its crash (Hadoop-1 default 10 min).
+  Duration expiry_interval = minutes(10);
+  /// Per-task attempt budget; exceeding it fails the task, its job, and its
+  /// workflow. 0 = unlimited retries (the pre-fault-model behaviour; Hadoop
+  /// defaults to 4 — see DESIGN.md "Fault model" for the deviation).
+  std::uint32_t max_attempts = 0;
+  /// Failures of one job's tasks on one tracker before that tracker is
+  /// blacklisted for the job. 0 = blacklisting off (Hadoop-1 default 4).
+  std::uint32_t blacklist_task_failures = 0;
+  /// Launch backup attempts for stragglers (first finish wins).
+  bool speculative_execution = false;
+  /// An attempt is a straggler once its projected runtime exceeds
+  /// `speculative_slowness` x the spec estimate and a fresh backup would
+  /// finish earlier than the original's projected completion.
+  double speculative_slowness = 1.5;
+  /// Never speculate an attempt younger than this (Hadoop waits a minute
+  /// for progress reports to stabilise).
+  Duration speculative_min_runtime = seconds(30);
+  /// Seed of the fault-injection RNG stream. Kept separate from
+  /// EngineConfig::seed so enabling churn never perturbs task-duration or
+  /// locality draws.
+  std::uint64_t seed = 0x5eedfau;
+
+  /// True when any tracker can crash.
+  [[nodiscard]] bool churn_enabled() const {
+    return !events.empty() || tracker_mtbf > 0.0;
+  }
+  /// True when any part of the fault model changes engine behaviour.
+  [[nodiscard]] bool any_enabled() const {
+    return churn_enabled() || speculative_execution || max_attempts > 0 ||
+           blacklist_task_failures > 0;
+  }
+
+  /// Throws std::invalid_argument on nonsensical settings; `tracker_count`
+  /// bounds event tracker indices.
+  void validate(std::size_t tracker_count) const;
+};
+
+}  // namespace woha::hadoop

@@ -12,11 +12,22 @@ void JobInProgress::mark_active(SimTime now) {
   activation_time_ = now;
 }
 
-void JobInProgress::start_task(SlotType t) {
+std::uint32_t JobInProgress::start_task(SlotType t) {
   if (!has_available(t)) {
     throw std::logic_error("JobInProgress::start_task: no available " +
                            std::string(to_string(t)) + " task");
   }
+  // Serve the most-retried pending task first (Hadoop schedules failed
+  // tasks ahead of fresh ones).
+  auto& buckets = pending_by_retry_[static_cast<std::size_t>(t)];
+  std::uint32_t level = static_cast<std::uint32_t>(buckets.size());
+  do {
+    --level;
+  } while (level > 0 && buckets[level] == 0);
+  if (buckets[level] == 0) {
+    throw std::logic_error("JobInProgress::start_task: retry buckets out of sync");
+  }
+  --buckets[level];
   if (t == SlotType::kMap) {
     --pending_maps_;
     ++running_maps_;
@@ -24,24 +35,69 @@ void JobInProgress::start_task(SlotType t) {
     --pending_reduces_;
     ++running_reduces_;
   }
+  return level;
 }
 
-void JobInProgress::fail_task(SlotType t) {
+void JobInProgress::add_pending(SlotType t, std::uint32_t retry_level,
+                                std::uint32_t count) {
+  auto& buckets = pending_by_retry_[static_cast<std::size_t>(t)];
+  if (buckets.size() <= retry_level) buckets.resize(retry_level + 1, 0);
+  buckets[retry_level] += count;
+  if (t == SlotType::kMap) {
+    pending_maps_ += count;
+  } else {
+    pending_reduces_ += count;
+  }
+}
+
+void JobInProgress::fail_task(SlotType t, std::uint32_t retry_level) {
   if (t == SlotType::kMap) {
     if (running_maps_ == 0) {
       throw std::logic_error("JobInProgress::fail_task: no running map");
     }
     --running_maps_;
-    ++pending_maps_;
   } else {
     if (running_reduces_ == 0) {
       throw std::logic_error("JobInProgress::fail_task: no running reduce");
     }
     --running_reduces_;
-    ++pending_reduces_;
   }
+  add_pending(t, retry_level, 1);
   ++failed_attempts_;
 }
+
+void JobInProgress::requeue_running(SlotType t, std::uint32_t retry_level) {
+  if (t == SlotType::kMap) {
+    if (running_maps_ == 0) {
+      throw std::logic_error("JobInProgress::requeue_running: no running map");
+    }
+    --running_maps_;
+  } else {
+    if (running_reduces_ == 0) {
+      throw std::logic_error("JobInProgress::requeue_running: no running reduce");
+    }
+    --running_reduces_;
+  }
+  // Killed, not failed: same retry level, no failed_attempts_ charge.
+  add_pending(t, retry_level, 1);
+}
+
+void JobInProgress::invalidate_finished_maps(std::uint32_t count) {
+  if (state_ == JobState::kComplete) {
+    throw std::logic_error(
+        "JobInProgress::invalidate_finished_maps: job already complete");
+  }
+  if (count > finished_maps_) {
+    throw std::logic_error(
+        "JobInProgress::invalidate_finished_maps: more outputs than finished maps");
+  }
+  finished_maps_ -= count;
+  // Re-executions are fresh attempts of tasks that already succeeded once;
+  // they re-enter at retry level 0 (lost outputs carry no failure history).
+  add_pending(SlotType::kMap, 0, count);
+}
+
+void JobInProgress::mark_failed() { state_ = JobState::kFailed; }
 
 bool JobInProgress::finish_task(SlotType t, SimTime now) {
   if (t == SlotType::kMap) {
@@ -103,6 +159,18 @@ std::vector<std::uint32_t> WorkflowRuntime::on_job_complete(std::uint32_t j,
   }
   if (unfinished_jobs_ == 0) finish_time_ = now;
   return unlocked;
+}
+
+void WorkflowRuntime::mark_failed(SimTime now) {
+  if (finished()) {
+    throw std::logic_error("WorkflowRuntime::mark_failed: workflow already finished");
+  }
+  if (failed_) return;
+  failed_ = true;
+  fail_time_ = now;
+  for (JobInProgress& job : jobs_) {
+    if (!job.complete()) job.mark_failed();
+  }
 }
 
 }  // namespace woha::hadoop

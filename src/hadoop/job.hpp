@@ -30,6 +30,7 @@ enum class JobState : std::uint8_t {
   kActivating,  ///< Prereqs done; submitter map task is loading jars / splits.
   kActive,      ///< Schedulable: has pending or running tasks.
   kComplete,    ///< All maps and reduces finished.
+  kFailed,      ///< A task exhausted its attempt budget (or the workflow died).
 };
 
 class JobInProgress {
@@ -38,7 +39,10 @@ class JobInProgress {
       : ref_(ref),
         spec_(&spec),
         pending_maps_(spec.num_maps),
-        pending_reduces_(spec.num_reduces) {}
+        pending_reduces_(spec.num_reduces) {
+    pending_by_retry_[0].assign(1, spec.num_maps);
+    pending_by_retry_[1].assign(1, spec.num_reduces);
+  }
 
   [[nodiscard]] JobRef ref() const { return ref_; }
   [[nodiscard]] const wf::JobSpec& spec() const { return *spec_; }
@@ -78,15 +82,28 @@ class JobInProgress {
   // --- state transitions (driven by the JobTracker/engine) -------------
   void mark_activating() { state_ = JobState::kActivating; }
   void mark_active(SimTime now);
-  /// Account a task handed to a slot. Requires has_available(t).
-  void start_task(SlotType t);
+  /// Account a task handed to a slot. Requires has_available(t). Pending
+  /// tasks with prior failed attempts are served first (Hadoop prioritises
+  /// failed tasks); returns the retry level of the attempt (0 = first try).
+  std::uint32_t start_task(SlotType t);
   /// Account a finished task; flips the job to kComplete when the last
   /// reduce (or last map of a map-only job) finishes. Returns true exactly
   /// when this call completed the job.
   bool finish_task(SlotType t, SimTime now);
   /// Account a failed attempt: the task leaves the running set and returns
-  /// to the pending pool for a retry.
-  void fail_task(SlotType t);
+  /// to the pending pool at retry level `retry_level` (its prior level + 1).
+  void fail_task(SlotType t, std::uint32_t retry_level = 0);
+  /// Account a KILLED attempt (tracker loss): like fail_task but the retry
+  /// does not advance — kills never count against the attempt budget.
+  void requeue_running(SlotType t, std::uint32_t retry_level);
+  /// Node loss invalidated `count` completed map outputs (Hadoop-1 stores
+  /// them on the slave's local disk): the maps return to the pending pool
+  /// as fresh tasks and the map phase reopens. Illegal on a complete job —
+  /// a complete job's outputs have been fully consumed by its reduces.
+  void invalidate_finished_maps(std::uint32_t count);
+  /// A task exhausted max_attempts (or the workflow failed): the job stops
+  /// offering tasks forever.
+  void mark_failed();
 
   [[nodiscard]] std::uint32_t failed_attempts() const { return failed_attempts_; }
 
@@ -103,6 +120,12 @@ class JobInProgress {
   std::uint32_t failed_attempts_ = 0;
   SimTime activation_time_ = -1;
   SimTime finish_time_ = -1;
+  /// pending_by_retry_[slot][level] = pending tasks whose next attempt is
+  /// attempt number level+1. Totals are mirrored in pending_maps_ /
+  /// pending_reduces_.
+  std::vector<std::uint32_t> pending_by_retry_[2];
+
+  void add_pending(SlotType t, std::uint32_t retry_level, std::uint32_t count);
 };
 
 /// Runtime state of one workflow W_i.
@@ -117,6 +140,9 @@ class WorkflowRuntime {
   [[nodiscard]] SimTime deadline() const { return deadline_; }
   [[nodiscard]] SimTime finish_time() const { return finish_time_; }
   [[nodiscard]] bool finished() const { return finish_time_ >= 0; }
+  /// True when a job failed permanently (task exhausted its attempt budget).
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] SimTime fail_time() const { return fail_time_; }
 
   [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
   [[nodiscard]] JobInProgress& job(std::uint32_t j) { return jobs_[j]; }
@@ -140,6 +166,10 @@ class WorkflowRuntime {
   /// when the last job completes.
   std::vector<std::uint32_t> on_job_complete(std::uint32_t j, SimTime now);
 
+  /// Task -> job -> workflow failure propagation: every non-complete job is
+  /// marked kFailed so nothing of this workflow is ever scheduled again.
+  void mark_failed(SimTime now);
+
   [[nodiscard]] std::uint32_t unfinished_jobs() const { return unfinished_jobs_; }
 
  private:
@@ -148,6 +178,8 @@ class WorkflowRuntime {
   SimTime submit_time_;
   SimTime deadline_;
   SimTime finish_time_ = -1;
+  bool failed_ = false;
+  SimTime fail_time_ = -1;
   std::vector<JobInProgress> jobs_;
   std::vector<std::uint32_t> remaining_prereqs_;
   std::vector<std::vector<std::uint32_t>> dependents_;

@@ -7,6 +7,7 @@
 // here by passing a different factory to the engine.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -16,6 +17,21 @@
 namespace woha::hadoop {
 
 class JobTracker;
+
+/// One idle slot being offered to the scheduler. Hadoop-1's
+/// assignTasks(TaskTracker) knows which slave is asking; per-job tracker
+/// blacklisting needs that context, so the engine passes it along with an
+/// optional eligibility filter (a job failing the filter must not be
+/// returned for this slot — it may still run elsewhere).
+struct SlotOffer {
+  SlotType type = SlotType::kMap;
+  std::size_t tracker = 0;
+  const std::function<bool(JobRef)>* eligible = nullptr;  ///< null = no filter
+
+  [[nodiscard]] bool allows(JobRef ref) const {
+    return eligible == nullptr || (*eligible)(ref);
+  }
+};
 
 class WorkflowScheduler {
  public:
@@ -64,12 +80,33 @@ class WorkflowScheduler {
     (void)now;
   }
 
-  /// Pick the job whose task should occupy one idle slot of type `t`.
-  /// Contract: the returned job must satisfy has_available(t); the engine
-  /// WILL start exactly one task of it (so implementations may update their
-  /// progress accounting before returning). Return nullopt to leave the
-  /// slot idle until the next heartbeat.
-  virtual std::optional<JobRef> select_task(SlotType t, SimTime now) = 0;
+  /// A task of the workflow exhausted its attempt budget and the workflow
+  /// failed permanently. Default: treat like completion (drop all state) —
+  /// the failed workflow must never be scheduled again.
+  virtual void on_workflow_failed(WorkflowId wf, SimTime now) {
+    on_workflow_completed(wf, now);
+  }
+
+  /// `count` previously-scheduled tasks of `job` were lost to a node fault
+  /// (running attempts killed, or completed map outputs invalidated) and
+  /// returned to the pending pool. Progress-based schedulers (WOHA) use
+  /// this to regress rho; slot-count schedulers can ignore it (the engine
+  /// reports freed slots through on_task_finished separately).
+  virtual void on_tasks_lost(JobRef job, SlotType t, std::uint32_t count,
+                             SimTime now) {
+    (void)job;
+    (void)t;
+    (void)count;
+    (void)now;
+  }
+
+  /// Pick the job whose task should occupy the offered slot. Contract: the
+  /// returned job must satisfy has_available(slot.type) AND
+  /// slot.allows(ref); the engine WILL start exactly one task of it (so
+  /// implementations may update their progress accounting before
+  /// returning). Return nullopt to leave the slot idle until the next
+  /// heartbeat.
+  virtual std::optional<JobRef> select_task(const SlotOffer& slot, SimTime now) = 0;
 
  protected:
   const JobTracker* tracker_ = nullptr;

@@ -80,7 +80,8 @@ std::string format_workflow_results(const hadoop::RunSummary& summary) {
         r.name,
         format_duration(r.submit_time),
         r.deadline == kTimeInfinity ? "-" : format_duration(r.deadline),
-        r.finish_time < 0 ? "unfinished" : format_duration(r.finish_time),
+        r.failed ? "FAILED"
+                 : (r.finish_time < 0 ? "unfinished" : format_duration(r.finish_time)),
         r.workspan < 0 ? "-" : format_duration(r.workspan),
         format_duration(r.tardiness),
         r.met_deadline ? "yes" : "NO",

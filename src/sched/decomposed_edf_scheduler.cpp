@@ -33,11 +33,19 @@ void DecomposedEdfScheduler::on_job_completed(hadoop::JobRef job, SimTime now) {
   active_.erase(std::make_tuple(d, job.workflow, job.job));
 }
 
-std::optional<hadoop::JobRef> DecomposedEdfScheduler::select_task(SlotType t,
-                                                                  SimTime now) {
+void DecomposedEdfScheduler::on_workflow_failed(WorkflowId wf, SimTime now) {
+  (void)now;
+  std::erase_if(active_, [wf](const auto& entry) {
+    return entry.second.workflow == wf.value();
+  });
+  deadlines_.erase(wf.value());
+}
+
+std::optional<hadoop::JobRef> DecomposedEdfScheduler::select_task(
+    const hadoop::SlotOffer& slot, SimTime now) {
   (void)now;
   for (const auto& [key, ref] : active_) {
-    if (tracker_->job(ref).has_available(t)) return ref;
+    if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) return ref;
   }
   return std::nullopt;
 }

@@ -31,7 +31,9 @@ class DecomposedEdfScheduler final : public hadoop::WorkflowScheduler {
   void on_workflow_submitted(WorkflowId wf, SimTime now) override;
   void on_job_activated(hadoop::JobRef job, SimTime now) override;
   void on_job_completed(hadoop::JobRef job, SimTime now) override;
-  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+  void on_workflow_failed(WorkflowId wf, SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(const hadoop::SlotOffer& slot,
+                                            SimTime now) override;
 
   /// Virtual deadline assigned to a job (kTimeInfinity when the workflow
   /// has no deadline). Exposed for tests.

@@ -26,14 +26,15 @@ void EdfScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
   active_jobs_.erase(wf.value());
 }
 
-std::optional<hadoop::JobRef> EdfScheduler::select_task(SlotType t, SimTime now) {
+std::optional<hadoop::JobRef> EdfScheduler::select_task(const hadoop::SlotOffer& slot,
+                                                        SimTime now) {
   (void)now;
   for (const WorkflowId wf : by_deadline_) {
     const auto it = active_jobs_.find(wf.value());
     if (it == active_jobs_.end()) continue;
     for (std::uint32_t j : it->second) {
       const hadoop::JobRef ref{wf.value(), j};
-      if (tracker_->job(ref).has_available(t)) return ref;
+      if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) return ref;
     }
   }
   return std::nullopt;

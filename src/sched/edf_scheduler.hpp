@@ -22,7 +22,8 @@ class EdfScheduler final : public hadoop::WorkflowScheduler {
   void on_workflow_submitted(WorkflowId wf, SimTime now) override;
   void on_job_activated(hadoop::JobRef job, SimTime now) override;
   void on_workflow_completed(WorkflowId wf, SimTime now) override;
-  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(const hadoop::SlotOffer& slot,
+                                            SimTime now) override;
 
  private:
   // Unfinished workflows sorted by (deadline, id). Insertion keeps order;

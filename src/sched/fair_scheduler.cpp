@@ -32,7 +32,8 @@ void FairScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
   active_jobs_.erase(wf.value());
 }
 
-std::optional<hadoop::JobRef> FairScheduler::select_task(SlotType t, SimTime now) {
+std::optional<hadoop::JobRef> FairScheduler::select_task(const hadoop::SlotOffer& slot,
+                                                         SimTime now) {
   (void)now;
   // Most-starved workflow first: fewest running tasks, ties by workflow id
   // (submission order) for determinism.
@@ -44,7 +45,7 @@ std::optional<hadoop::JobRef> FairScheduler::select_task(SlotType t, SimTime now
     if (it == active_jobs_.end()) continue;
     for (std::uint32_t j : it->second) {
       const hadoop::JobRef ref{share.id.value(), j};
-      if (tracker_->job(ref).has_available(t)) {
+      if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) {
         best = &share;
         best_job = ref;
         break;

@@ -24,7 +24,8 @@ class FairScheduler final : public hadoop::WorkflowScheduler {
   void on_job_activated(hadoop::JobRef job, SimTime now) override;
   void on_task_finished(hadoop::JobRef job, SlotType t, SimTime now) override;
   void on_workflow_completed(WorkflowId wf, SimTime now) override;
-  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(const hadoop::SlotOffer& slot,
+                                            SimTime now) override;
 
  private:
   struct WorkflowShare {

@@ -17,10 +17,18 @@ void FifoScheduler::on_job_completed(hadoop::JobRef job, SimTime now) {
   queue_.erase(std::remove(queue_.begin(), queue_.end(), job), queue_.end());
 }
 
-std::optional<hadoop::JobRef> FifoScheduler::select_task(SlotType t, SimTime now) {
+void FifoScheduler::on_workflow_failed(WorkflowId wf, SimTime now) {
+  (void)now;
+  std::erase_if(queue_, [wf](const hadoop::JobRef& ref) {
+    return ref.workflow == wf.value();
+  });
+}
+
+std::optional<hadoop::JobRef> FifoScheduler::select_task(const hadoop::SlotOffer& slot,
+                                                         SimTime now) {
   (void)now;
   for (const hadoop::JobRef ref : queue_) {
-    if (tracker_->job(ref).has_available(t)) return ref;
+    if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) return ref;
   }
   return std::nullopt;
 }

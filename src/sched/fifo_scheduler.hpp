@@ -21,7 +21,9 @@ class FifoScheduler final : public hadoop::WorkflowScheduler {
   void on_workflow_submitted(WorkflowId, SimTime) override {}
   void on_job_activated(hadoop::JobRef job, SimTime now) override;
   void on_job_completed(hadoop::JobRef job, SimTime now) override;
-  std::optional<hadoop::JobRef> select_task(SlotType t, SimTime now) override;
+  void on_workflow_failed(WorkflowId wf, SimTime now) override;
+  std::optional<hadoop::JobRef> select_task(const hadoop::SlotOffer& slot,
+                                            SimTime now) override;
 
  private:
   // Jobs in Hadoop submission (activation) order. Completed jobs are removed

@@ -112,6 +112,26 @@ TEST_P(QueueTest, MultipleStepsFireInOneGap) {
   EXPECT_EQ(queue_->assign(35, kAll), 1u);  // lag 7 beats 5 (walked 3 steps)
 }
 
+TEST_P(QueueTest, ProgressLossRestoresPriority) {
+  add(1, 100, {{100, 3}});
+  add(2, 100, {{100, 2}});
+  EXPECT_EQ(queue_->assign(0, kAll), 1u);  // lags 3 vs 2
+  EXPECT_EQ(queue_->assign(0, kAll), 1u);  // tie at 2, smaller id wins
+  // Without the loss the next winner would be wf2 (lag 1 vs 2). A crash
+  // undoes both of wf1's scheduled tasks: its lag climbs back to 3.
+  queue_->on_progress_lost(1, 2);
+  EXPECT_EQ(queue_->assign(0, kAll), 1u);
+}
+
+TEST_P(QueueTest, ProgressLossClampsAtZeroAndIgnoresAbsentIds) {
+  add(1, 100, {{100, 1}});
+  EXPECT_EQ(queue_->assign(0, kAll), 1u);
+  queue_->on_progress_lost(1, 50);  // more than ever scheduled: rho clamps at 0
+  EXPECT_EQ(queue_->assign(0, kAll), 1u);  // lag is 1 again, not negative junk
+  queue_->on_progress_lost(99, 3);  // absent workflow: no-op, no throw
+  EXPECT_EQ(queue_->size(), 1u);
+}
+
 TEST_P(QueueTest, DuplicateInsertThrows) {
   add(1, 100, {{100, 1}});
   SchedulingPlan plan;
@@ -180,6 +200,13 @@ TEST_P(QueueEquivalence, AllThreeImplementationsAgree) {
     ASSERT_EQ(a, b) << "call " << call << " now " << now;
     ASSERT_EQ(a, b2) << "call " << call << " now " << now;
     ASSERT_EQ(a, c) << "call " << call << " now " << now;
+    // Occasionally lose the task again (simulated tracker crash); all
+    // implementations must regress rho identically.
+    if (a != SchedulerQueue::kNone && (salt & 1) != 0) {
+      for (auto* q : {dsl.get(), bst.get(), bst_plain.get(), naive.get()}) {
+        q->on_progress_lost(a, 1);
+      }
+    }
   }
 }
 

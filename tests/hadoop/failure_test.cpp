@@ -90,12 +90,85 @@ TEST(FailureInjection, ObserverSeesFailedAttempts) {
 
 TEST(FailureInjection, RejectsInvalidProbability) {
   auto config = failing_cluster(0.0);
+  // p == 1.0 is a valid (if extreme) setting: every attempt fails. Only
+  // values outside [0, 1] are rejected.
   config.task_failure_prob = 1.0;
+  EXPECT_NO_THROW(Engine(config, std::make_unique<sched::FifoScheduler>()));
+  config.task_failure_prob = 1.0001;
   EXPECT_THROW(Engine(config, std::make_unique<sched::FifoScheduler>()),
                std::invalid_argument);
   config.task_failure_prob = -0.1;
   EXPECT_THROW(Engine(config, std::make_unique<sched::FifoScheduler>()),
                std::invalid_argument);
+}
+
+// Regression: a failed attempt must release its slot at the failure point,
+// not at the attempt's originally scheduled completion. With one map slot,
+// execution serializes, so every next start must follow the previous end
+// within one heartbeat — if failures held their slot to full duration, the
+// gap after a failed end would exceed the heartbeat period.
+TEST(FailureInjection, FailedAttemptReleasesSlotAtFailurePoint) {
+  EngineConfig config;
+  config.cluster.num_trackers = 1;
+  config.cluster.map_slots_per_tracker = 1;
+  config.cluster.reduce_slots_per_tracker = 1;
+  config.cluster.heartbeat_period = seconds(1);
+  config.task_failure_prob = 0.5;
+  config.seed = 7;
+  Engine engine(config, std::make_unique<sched::FifoScheduler>());
+
+  std::vector<TaskEvent> map_events;
+  engine.set_task_observer([&](const TaskEvent& e) {
+    if (e.slot == SlotType::kMap) map_events.push_back(e);
+  });
+  auto spec = wf::diamond(6);
+  engine.submit(spec);
+  engine.run();
+
+  // After a FAILED end the job still has that map pending, so the freed
+  // slot must be re-filled by the very next heartbeat. (Successful ends can
+  // precede legitimate idle gaps — activation latency between jobs — so
+  // only failures are checked.)
+  std::uint64_t failures = 0;
+  SimTime last_failed_end = -1;
+  for (const auto& e : map_events) {
+    if (e.started) {
+      if (last_failed_end >= 0) {
+        EXPECT_LE(e.time - last_failed_end, config.cluster.heartbeat_period)
+            << "slot sat idle past one heartbeat after a failed attempt";
+        last_failed_end = -1;
+      }
+    } else if (e.failed) {
+      last_failed_end = e.time;
+      ++failures;
+    }
+  }
+  ASSERT_GT(failures, 0u) << "test needs at least one injected failure";
+  EXPECT_GE(engine.summarize().workflows[0].finish_time, 0);
+}
+
+TEST(EngineValidation, RejectsEveryBadConfigField) {
+  const auto reject = [](auto mutate) {
+    auto config = failing_cluster(0.0);
+    mutate(config);
+    EXPECT_THROW(Engine(config, std::make_unique<sched::FifoScheduler>()),
+                 std::invalid_argument);
+  };
+  reject([](EngineConfig& c) { c.activation_latency = -1; });
+  reject([](EngineConfig& c) { c.duration_scale = 0.0; });
+  reject([](EngineConfig& c) { c.duration_scale = -2.0; });
+  reject([](EngineConfig& c) { c.task_failure_prob = -0.01; });
+  reject([](EngineConfig& c) { c.task_failure_prob = 1.01; });
+  reject([](EngineConfig& c) { c.remote_map_penalty = 0.99; });
+  reject([](EngineConfig& c) { c.hdfs_replication = 0; });
+  // FaultConfig is validated through the same constructor.
+  reject([](EngineConfig& c) { c.faults.tracker_mtbf = -1.0; });
+  reject([](EngineConfig& c) { c.faults.expiry_interval = 0; });
+  reject([](EngineConfig& c) {
+    c.faults.events.push_back({99, seconds(10), kTimeInfinity});  // no tracker 99
+  });
+  EXPECT_NO_THROW(
+      Engine(failing_cluster(0.0), std::make_unique<sched::FifoScheduler>()));
 }
 
 TEST(Locality, RemotePenaltyStretchesMaps) {
