@@ -13,7 +13,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "resource-cap policy (WOHA-LPF, 200m-200r, Fig. 8 trace)");
 
   hadoop::EngineConfig config;
@@ -43,7 +44,8 @@ int main() {
           wc.fixed_cap = c.fixed;
           return std::make_unique<core::WohaScheduler>(wc);
         }};
-    const auto result = metrics::run_experiment(config, workload, entry);
+    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
+                                                metrics_session.hooks());
     table.add_row({c.label, TextTable::percent(result.summary.deadline_miss_ratio),
                    format_duration(result.summary.total_tardiness),
                    TextTable::percent(result.summary.overall_utilization)});

@@ -16,7 +16,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "critical-path deadline decomposition (EDF-JOB) vs WOHA");
 
   // Restrict to the deadline-aware contenders; FIFO/Fair add nothing here.
@@ -34,7 +35,8 @@ int main() {
     const auto workload = trace::fig11_scenario();
     TextTable table({"scheduler", "W-1", "W-2", "W-3", "misses"});
     for (const auto& entry : entries) {
-      const auto result = metrics::run_experiment(config, workload, entry);
+      const auto result = metrics::run_experiment(config, workload, entry, nullptr,
+                                                metrics_session.hooks());
       int misses = 0;
       std::vector<std::string> row{entry.label};
       for (const auto& wf : result.summary.workflows) {
@@ -52,7 +54,8 @@ int main() {
     hadoop::EngineConfig base;
     const auto workload = trace::fig8_trace(42);
     const auto cells = metrics::sweep_cluster_sizes(
-        base, workload, {{"200m-200r", 200, 200}, {"240m-240r", 240, 240}}, entries);
+        base, workload, {{"200m-200r", 200, 200}, {"240m-240r", 240, 240}}, entries,
+        metrics_session.hooks());
     TextTable table({"cluster", "scheduler", "miss ratio", "total tardiness"});
     for (const auto& c : cells) {
       table.add_row({c.cluster_label, c.scheduler,

@@ -15,7 +15,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "task duration estimation error (WOHA-LPF, Fig. 11)");
 
   const auto workload = trace::fig11_scenario();
@@ -38,7 +39,8 @@ int main() {
     config.duration_scale = c.scale;
     config.duration_jitter_sigma = c.jitter_sigma;
     config.seed = 17;
-    const auto result = metrics::run_experiment(config, workload, entry);
+    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
+                                                metrics_session.hooks());
     int misses = 0;
     for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
     table.add_row({TextTable::num(c.scale, 2), TextTable::num(c.jitter_sigma, 1),

@@ -21,7 +21,8 @@ using namespace woha;
 namespace {
 
 hadoop::RunSummary run_scenario(std::shared_ptr<est::TaskTimeEstimator> estimator,
-                                bool record_history) {
+                                bool record_history,
+                                obs::MetricsRegistry* registry) {
   hadoop::EngineConfig config;
   config.cluster = hadoop::ClusterConfig::paper_32_slaves();
   config.duration_scale = 1.25;  // users are 25% optimistic
@@ -29,6 +30,7 @@ hadoop::RunSummary run_scenario(std::shared_ptr<est::TaskTimeEstimator> estimato
   wc.estimator = estimator;
   auto scheduler = std::make_unique<core::WohaScheduler>(wc);
   hadoop::Engine engine(config, std::move(scheduler));
+  if (registry) engine.set_metrics_registry(registry);
   std::unique_ptr<est::HistoryRecorder> recorder;
   if (record_history && estimator) {
     recorder = std::make_unique<est::HistoryRecorder>(*estimator, engine);
@@ -50,7 +52,8 @@ hadoop::RunSummary run_scenario(std::shared_ptr<est::TaskTimeEstimator> estimato
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "history-based estimation vs 25% optimistic configs");
 
   TextTable table({"estimates", "W-1", "W-2", "W-3", "misses", "max tardiness"});
@@ -67,15 +70,15 @@ int main() {
   };
 
   // 1. Spec estimates (optimistic by 25%).
-  add_row("configured (25% optimistic)", run_scenario(nullptr, false));
+  add_row("configured (25% optimistic)", run_scenario(nullptr, false, metrics_session.registry()));
 
   // 2. Cold history estimator: learns during the run; early plans are
   //    still optimistic.
   auto estimator = std::make_shared<est::HistoryEstimator>();
-  add_row("history, cold (learning live)", run_scenario(estimator, true));
+  add_row("history, cold (learning live)", run_scenario(estimator, true, metrics_session.registry()));
 
   // 3. Warm: the same estimator now holds one full execution of history.
-  add_row("history, warm (1 prior run)", run_scenario(estimator, true));
+  add_row("history, warm (1 prior run)", run_scenario(estimator, true, metrics_session.registry()));
 
   std::printf("%s\n", table.to_string().c_str());
   bench::note("history keyed by job name: one prior execution restores honest "

@@ -14,7 +14,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "heartbeat period (WOHA-LPF, Fig. 11 workload)");
 
   const auto workload = trace::fig11_scenario();
@@ -26,7 +27,8 @@ int main() {
     hadoop::EngineConfig config;
     config.cluster = hadoop::ClusterConfig::paper_32_slaves();
     config.cluster.heartbeat_period = hb;
-    const auto result = metrics::run_experiment(config, workload, entry);
+    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
+                                                metrics_session.hooks());
     int misses = 0;
     for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
     table.add_row({format_duration(hb),

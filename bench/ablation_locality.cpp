@@ -14,7 +14,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "data locality and failure injection (Fig. 11 workload)");
 
   const auto workload = trace::fig11_scenario();
@@ -44,7 +45,8 @@ int main() {
       config.remote_map_penalty = c.remote_penalty;
       config.task_failure_prob = c.failure_prob;
       config.seed = 23;
-      const auto result = metrics::run_experiment(config, workload, *entry);
+      const auto result = metrics::run_experiment(config, workload, *entry, nullptr,
+                                                metrics_session.hooks());
       int misses = 0;
       for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
       table.add_row({c.label, entry->label, std::to_string(misses),

@@ -17,7 +17,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "node churn and recovery (Fig. 8 workload, 32 slaves)");
 
   const auto workload = trace::fig8_trace(42);
@@ -51,7 +52,8 @@ int main() {
       config.faults.expiry_interval = minutes(2);
       config.faults.speculative_execution = c.mtbf_ms > 0;
       config.horizon = 150000000;  // ~42 h simulated: bounds pathological cells
-      const auto result = metrics::run_experiment(config, workload, entry);
+      const auto result = metrics::run_experiment(config, workload, entry, nullptr,
+                                                metrics_session.hooks());
       const auto& s = result.summary;
       int misses = 0;
       for (const auto& wf : s.workflows) misses += !wf.met_deadline;

@@ -1,9 +1,15 @@
 // Shared helpers for the bench binaries: a banner that names the paper
-// figure being reproduced and the common sweep plumbing.
+// figure being reproduced, the common sweep plumbing, and the
+// `--metrics-json <path>` registry-dump flag every fig*/ablation binary
+// accepts.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+
+#include "metrics/report.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace woha::bench {
 
@@ -14,5 +20,65 @@ inline void banner(const std::string& figure, const std::string& what) {
 }
 
 inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+/// `--metrics-json <path>` (or `--metrics-json=<path>`) support shared by
+/// every bench binary: strips the flag from argv — so downstream parsers
+/// (e.g. google-benchmark's Initialize) never see it — exposes ObsHooks to
+/// thread into the experiment harness, and dumps the registry snapshot as
+/// JSON on finish()/destruction. Without the flag everything is inert: no
+/// registry is attached and no file is written.
+class MetricsSession {
+ public:
+  MetricsSession(int& argc, char** argv) {
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      const std::string arg = argv[r];
+      if (arg == "--metrics-json" && r + 1 < argc) {
+        path_ = argv[++r];
+      } else if (arg.rfind("--metrics-json=", 0) == 0) {
+        path_ = arg.substr(std::string("--metrics-json=").size());
+      } else {
+        argv[w++] = argv[r];
+      }
+    }
+    argc = w;
+    argv[argc] = nullptr;
+  }
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+  ~MetricsSession() { finish(); }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// The registry to attach to engines (null when the flag was not given).
+  [[nodiscard]] obs::MetricsRegistry* registry() {
+    return enabled() ? &registry_ : nullptr;
+  }
+
+  /// Ready-made hooks for run_experiment / run_comparison /
+  /// sweep_cluster_sizes / fig8_sweep.
+  [[nodiscard]] metrics::ObsHooks hooks() {
+    return metrics::ObsHooks{registry(), {}};
+  }
+
+  /// Write the snapshot once (also runs at destruction).
+  void finish() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "metrics-json: cannot open %s\n", path_.c_str());
+      return;
+    }
+    out << registry_.to_json() << "\n";
+    std::printf("metrics snapshot written to %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  obs::MetricsRegistry registry_;
+  bool written_ = false;
+};
 
 }  // namespace woha::bench

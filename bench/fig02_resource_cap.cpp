@@ -20,7 +20,7 @@ using namespace woha;
 
 namespace {
 
-hadoop::RunSummary run(core::CapPolicy policy) {
+hadoop::RunSummary run(core::CapPolicy policy, obs::MetricsRegistry* registry) {
   core::WohaConfig wc;
   wc.cap_policy = policy;
   wc.plan_deadline_factor = policy == core::CapPolicy::kMinFeasible ? 0.95 : 1.0;
@@ -31,6 +31,7 @@ hadoop::RunSummary run(core::CapPolicy policy) {
   config.cluster.heartbeat_period = seconds(1);
   config.activation_latency = ms(500);
   hadoop::Engine engine(config, std::make_unique<core::WohaScheduler>(wc));
+  if (registry) engine.set_metrics_registry(registry);
   for (const auto& spec : trace::fig2_scenario(minutes(1))) engine.submit(spec);
   engine.run();
   return engine.summarize();
@@ -38,14 +39,15 @@ hadoop::RunSummary run(core::CapPolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 2", "resource-capped scheduling plans save deadlines");
 
   TextTable table({"plan cap policy", "workflow", "deadline", "finish",
                    "tardiness", "met?"});
   for (const auto policy :
        {core::CapPolicy::kFullCluster, core::CapPolicy::kMinFeasible}) {
-    const auto summary = run(policy);
+    const auto summary = run(policy, metrics_session.registry());
     for (const auto& wf : summary.workflows) {
       table.add_row({core::to_string(policy), wf.name,
                      format_duration(wf.deadline), format_duration(wf.finish_time),
@@ -54,8 +56,8 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  const auto lazy = run(core::CapPolicy::kFullCluster);
-  const auto capped = run(core::CapPolicy::kMinFeasible);
+  const auto lazy = run(core::CapPolicy::kFullCluster, metrics_session.registry());
+  const auto capped = run(core::CapPolicy::kMinFeasible, metrics_session.registry());
   std::printf("deadline misses: full-cluster plans = %.0f%%, min-feasible caps = %.0f%%\n",
               lazy.deadline_miss_ratio * 100.0, capped.deadline_miss_ratio * 100.0);
   bench::note("paper Fig. 2: cap 6 loses at least one of W1/W2; cap 2 meets all three.");

@@ -17,7 +17,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 3", "progress requirement change intervals (capped HLF plans)");
 
   LogHistogram hist(0, 7);  // <10^1 .. <10^7 ms

@@ -15,7 +15,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 5", "task execution time CDFs (synthetic Yahoo-like trace)");
 
   Distribution map_dur, reduce_dur, ratio;

@@ -11,7 +11,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 6", "task count CDFs (synthetic Yahoo-like trace)");
 
   Distribution maps, reduces, ratio;

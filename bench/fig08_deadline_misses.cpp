@@ -13,9 +13,10 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 8", "deadline violation ratio vs cluster size");
-  const auto cells = bench::fig8_sweep();
+  const auto cells = bench::fig8_sweep(42, metrics_session.hooks());
 
   TextTable table({"cluster", "scheduler", "miss ratio"});
   for (const auto& c : cells) {

@@ -8,9 +8,10 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 10", "total workflow tardiness vs cluster size");
-  const auto cells = bench::fig8_sweep();
+  const auto cells = bench::fig8_sweep(42, metrics_session.hooks());
 
   TextTable table({"cluster", "scheduler", "total tardiness"});
   for (const auto& c : cells) {

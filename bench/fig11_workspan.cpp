@@ -15,7 +15,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 11", "synthetic workflow workspan, 32 slaves");
 
   hadoop::EngineConfig config;
@@ -25,7 +26,8 @@ int main() {
   TextTable table({"scheduler", "W-1 workspan", "W-2 workspan", "W-3 workspan",
                    "misses"});
   for (const auto& entry : metrics::paper_schedulers()) {
-    const auto result = metrics::run_experiment(config, workload, entry);
+    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
+                                                metrics_session.hooks());
     int misses = 0;
     std::vector<std::string> row{entry.label};
     for (const auto& wf : result.summary.workflows) {

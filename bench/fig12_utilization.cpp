@@ -13,7 +13,8 @@
 
 using namespace woha;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 12", "cluster utilization, Fig. 11 workload with 3 recurrences");
 
   hadoop::EngineConfig config;
@@ -23,7 +24,8 @@ int main() {
   TextTable table({"scheduler", "map util", "reduce util", "overall util",
                    "makespan"});
   for (const auto& entry : metrics::paper_schedulers()) {
-    const auto result = metrics::run_experiment(config, workload, entry);
+    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
+                                                metrics_session.hooks());
     table.add_row({entry.label,
                    TextTable::percent(result.summary.map_slot_utilization),
                    TextTable::percent(result.summary.reduce_slot_utilization),

@@ -9,6 +9,8 @@
 // queued workflows while DSL sustains high throughput beyond 10^5.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <deque>
 #include <memory>
 
@@ -82,4 +84,14 @@ BENCHMARK(BM_AssignTask_BSTplain)->Arg(100)->Arg(1'000)->Arg(10'000)->Arg(100'00
 BENCHMARK(BM_AssignTask_Naive)->Arg(100)->Arg(1'000)->Arg(10'000)->Arg(30'000)
     ->Iterations(50);
 
-BENCHMARK_MAIN();
+// Explicit main (instead of BENCHMARK_MAIN) so --metrics-json can be
+// stripped before benchmark::Initialize rejects it as an unknown flag. The
+// queue benchmarks run no Engine, so the snapshot is an empty registry.
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,7 +29,8 @@ std::size_t plan_size(const wf::WorkflowSpec& spec, core::JobPriorityPolicy poli
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Fig. 13(b)", "scheduling plan size vs workflow task count");
 
   // Trace workflows plus scaled variants to stretch past 1400 tasks.

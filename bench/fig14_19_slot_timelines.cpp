@@ -41,7 +41,8 @@ void print_series(const metrics::TimelineRecorder& timeline, SlotType slot,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Figs. 14-19", "slot allocation timelines, Fig. 11 workload");
 
   hadoop::EngineConfig config;
@@ -53,7 +54,8 @@ int main() {
   int idx = 0;
   for (const auto& entry : metrics::paper_schedulers()) {
     metrics::TimelineRecorder timeline;
-    const auto result = metrics::run_experiment(config, workload, entry, &timeline);
+    const auto result = metrics::run_experiment(config, workload, entry, &timeline,
+                                                metrics_session.hooks());
     std::printf("---- %s: %s ----\n", figure_of[idx++], entry.label.c_str());
     print_series(timeline, SlotType::kMap, minutes(5));
     print_series(timeline, SlotType::kReduce, minutes(5));

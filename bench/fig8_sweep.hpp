@@ -10,11 +10,12 @@
 
 namespace woha::bench {
 
-inline std::vector<metrics::SweepCell> fig8_sweep(std::uint64_t seed = 42) {
+inline std::vector<metrics::SweepCell> fig8_sweep(std::uint64_t seed = 42,
+                                                  const metrics::ObsHooks& hooks = {}) {
   hadoop::EngineConfig base;  // paper defaults: 3 s heartbeat, 3 s activation
   const auto workload = trace::fig8_trace(seed);
   return metrics::sweep_cluster_sizes(base, workload, metrics::paper_cluster_sizes(),
-                                      metrics::paper_schedulers());
+                                      metrics::paper_schedulers(), hooks);
 }
 
 }  // namespace woha::bench

@@ -26,7 +26,8 @@ double time_us(const std::function<void()>& fn, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
   bench::banner("Ablation", "client-side plan generation cost");
 
   Rng rng(5);

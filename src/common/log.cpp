@@ -3,12 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace woha {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+LogSink g_sink;  // guarded by g_mutex; empty = stderr default
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,10 +30,21 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+LogSink set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {
   if (level < log_level() || message.empty()) return;
   const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, component, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
                message.c_str());
 }

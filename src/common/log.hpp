@@ -1,7 +1,16 @@
 // Minimal leveled logger. Simulation components log through this so tests can
 // silence output and examples can turn on tracing with one call.
+//
+// WOHA_LOG short-circuits: when the level is disabled, the statement
+// evaluates no stream operands and constructs no LogLine (so the
+// std::ostringstream setup cost is never paid on the fast path).
+//
+// The sink is pluggable: by default lines go to stderr with wall-clock-free
+// "[LEVEL] component: message" formatting; obs::LogBridge re-routes them
+// onto the event bus stamped with *simulated* time.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,11 +23,26 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Core sink: writes "[level] component: message" to stderr.
+/// True when a message at `level` would be emitted. WOHA_LOG's gate.
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return level >= log_level();
+}
+
+/// Receives every enabled log line in place of the stderr default.
+using LogSink =
+    std::function<void(LogLevel, const std::string& component,
+                       const std::string& message)>;
+
+/// Install a sink (nullptr restores the stderr default). Returns the
+/// previously installed sink so scoped bridges can restore it.
+LogSink set_log_sink(LogSink sink);
+
+/// Core entry: level-checks, then hands the line to the sink (or stderr).
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
 
-/// Stream-style helper: LOG_AT(LogLevel::kInfo, "engine") << "t=" << t;
+/// Stream-style helper: WOHA_LOG(LogLevel::kInfo, "engine") << "t=" << t;
+/// Only ever constructed for enabled levels (the macro gates first).
 class LogLine {
  public:
   LogLine(LogLevel level, std::string component)
@@ -29,7 +53,7 @@ class LogLine {
 
   template <class T>
   LogLine& operator<<(const T& v) {
-    if (level_ >= log_level()) stream_ << v;
+    stream_ << v;
     return *this;
   }
 
@@ -39,6 +63,15 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Ternary-operand helper that swallows the LogLine expression; gives
+/// WOHA_LOG a void type in both branches without a dangling-else hazard.
+struct LogVoidify {
+  void operator&(const LogLine&) {}
+};
+
 }  // namespace woha
 
-#define WOHA_LOG(level, component) ::woha::LogLine((level), (component))
+#define WOHA_LOG(level, component)                 \
+  !::woha::log_enabled(level)                      \
+      ? (void)0                                    \
+      : ::woha::LogVoidify() & ::woha::LogLine((level), (component))

@@ -10,6 +10,7 @@
 // machine-dependent).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -52,6 +53,15 @@ class Rng {
   /// Derive an independent child stream; used to give each workflow its own
   /// stream so that adding a workflow does not perturb the draws of others.
   Rng split();
+
+  /// The full generator state (xoshiro256** words plus the Box-Muller
+  /// spare). Two Rngs with equal state produce identical future draws —
+  /// the determinism tests compare final states across observability
+  /// configurations to prove the bus never consumed a draw.
+  [[nodiscard]] std::array<std::uint64_t, 5> state() const {
+    return {s_[0], s_[1], s_[2], s_[3],
+            have_spare_normal_ ? static_cast<std::uint64_t>(1) : 0};
+  }
 
  private:
   std::uint64_t s_[4];

@@ -53,6 +53,16 @@ std::uint32_t BstQueue::assign(SimTime now,
   return chosen->id;
 }
 
+void BstQueue::top(std::size_t k, std::vector<QueueEntry>& out) const {
+  for (auto it = pri_tree_.begin(); it != pri_tree_.end() && out.size() < k;
+       ++it) {
+    const WfState* st = it->second;
+    out.push_back(QueueEntry{st->id, st->tracker.lag(),
+                             st->tracker.current_requirement(),
+                             st->tracker.rho()});
+  }
+}
+
 void BstQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
   const auto it = states_.find(id);
   if (it == states_.end()) return;

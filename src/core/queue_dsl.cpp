@@ -70,6 +70,17 @@ std::uint32_t DslQueue::assign(SimTime now,
   return chosen->id;
 }
 
+void DslQueue::top(std::size_t k, std::vector<QueueEntry>& out) const {
+  // Walk the priority list head: O(k), never repositions anything.
+  pri_list_.for_each([&](const PriKey&, WfState* const& st) {
+    if (out.size() >= k) return false;
+    out.push_back(QueueEntry{st->id, st->tracker.lag(),
+                             st->tracker.current_requirement(),
+                             st->tracker.rho()});
+    return true;
+  });
+}
+
 void DslQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
   const auto it = states_.find(id);
   if (it == states_.end()) return;

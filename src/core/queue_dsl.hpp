@@ -27,6 +27,7 @@ class DslQueue final : public SchedulerQueue {
                        const std::function<bool(std::uint32_t)>& can_use) override;
   void on_progress_lost(std::uint32_t id, std::uint64_t count) override;
   [[nodiscard]] std::size_t size() const override { return states_.size(); }
+  void top(std::size_t k, std::vector<QueueEntry>& out) const override;
 
  private:
   struct WfState {

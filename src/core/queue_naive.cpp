@@ -31,6 +31,23 @@ std::uint32_t NaiveQueue::assign(SimTime now,
   return kNone;
 }
 
+void NaiveQueue::top(std::size_t k, std::vector<QueueEntry>& out) const {
+  // No cached ordering: rank by the trackers' current (last-advanced) state,
+  // exactly what assign() would sort by without the advance_to refresh.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> order;  // (-lag, id)
+  order.reserve(states_.size());
+  for (const auto& [id, st] : states_) {
+    order.emplace_back(-st.tracker.lag(), id);
+  }
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size() && out.size() < k; ++i) {
+    const WfState& st = states_.at(order[i].second);
+    out.push_back(QueueEntry{st.id, st.tracker.lag(),
+                             st.tracker.current_requirement(),
+                             st.tracker.rho()});
+  }
+}
+
 void NaiveQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
   // No cached ordering to repair: assign() recomputes from scratch anyway.
   const auto it = states_.find(id);

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "core/progress_tracker.hpp"
@@ -51,6 +52,20 @@ class SchedulerQueue {
   virtual void on_progress_lost(std::uint32_t id, std::uint64_t count) = 0;
 
   [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// One queued workflow as the priority ordering currently ranks it — the
+  /// explainability snapshot behind obs::SchedulerDecision.
+  struct QueueEntry {
+    std::uint32_t id = 0;
+    std::int64_t lag = 0;           ///< priority p = F(ttd) - rho (descending)
+    std::uint64_t requirement = 0;  ///< F at the tracker's last refresh
+    std::uint64_t rho = 0;          ///< tasks handed to slots so far
+  };
+
+  /// Append up to `k` workflows in descending-priority order. Strictly
+  /// read-only: implementations must not refresh orderings or advance
+  /// trackers — tracing one decision can never influence the next.
+  virtual void top(std::size_t k, std::vector<QueueEntry>& out) const = 0;
 
   static constexpr std::uint32_t kNone = 0xffffffffu;
 };

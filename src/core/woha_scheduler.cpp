@@ -1,21 +1,31 @@
 #include "core/woha_scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace woha::core {
 
 WohaScheduler::WohaScheduler(WohaConfig config)
     : config_(config), queue_(make_queue(config.queue)) {}
 
+void WohaScheduler::observe(obs::EventBus* bus, obs::MetricsRegistry* registry) {
+  WorkflowScheduler::observe(bus, registry);
+  assign_ns_ = registry ? &registry->histogram(
+                              "woha.queue_assign_ns",
+                              obs::exponential_buckets(100.0, 4.0, 12))
+                        : nullptr;
+}
+
 std::string WohaScheduler::name() const {
   return std::string("WOHA-") + core::to_string(config_.job_priority);
 }
 
 void WohaScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
-  (void)now;
   const hadoop::WorkflowRuntime& rt = tracker_->workflow(wf);
 
   // ---- Client-side work (Fig. 1 steps (c)-(d)) ----
@@ -35,6 +45,12 @@ void WohaScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
   WOHA_LOG(LogLevel::kInfo, "woha")
       << "plan for workflow " << wf.value() << ": cap=" << plan->resource_cap
       << " makespan=" << plan->simulated_makespan << " steps=" << plan->steps.size();
+  if (bus_ && bus_->active()) {
+    bus_->publish(now, obs::PlanGenerated{wf.value(), plan->resource_cap,
+                                          plan->simulated_makespan,
+                                          plan->steps.size(),
+                                          plan->total_tasks()});
+  }
 
   // ---- Master-side registration ----
   WorkflowState st;
@@ -71,10 +87,12 @@ void WohaScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
 void WohaScheduler::on_tasks_lost(hadoop::JobRef job, SlotType t,
                                   std::uint32_t count, SimTime now) {
   (void)t;
-  (void)now;
   // rho counted these tasks as progress; they will run again, so the
   // workflow's lag must grow back. No-op for already-dequeued workflows.
   queue_->on_progress_lost(job.workflow, count);
+  if (bus_ && bus_->active()) {
+    bus_->publish(now, obs::QueueReordered{job.workflow, count});
+  }
 }
 
 std::optional<std::uint32_t> WohaScheduler::pick_job(
@@ -89,14 +107,47 @@ std::optional<std::uint32_t> WohaScheduler::pick_job(
 
 std::optional<hadoop::JobRef> WohaScheduler::select_task(
     const hadoop::SlotOffer& slot, SimTime now) {
+  std::chrono::steady_clock::time_point t0;
+  if (assign_ns_) t0 = std::chrono::steady_clock::now();
   const std::uint32_t wf = queue_->assign(
       now, [this, &slot](std::uint32_t id) { return pick_job(id, slot).has_value(); });
-  if (wf == SchedulerQueue::kNone) return std::nullopt;
-  const auto j = pick_job(wf, slot);
-  if (!j) {
-    throw std::logic_error("WohaScheduler: queue accepted a workflow without tasks");
+  if (assign_ns_) {
+    assign_ns_->observe(std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
   }
-  return hadoop::JobRef{wf, *j};
+  std::optional<hadoop::JobRef> choice;
+  if (wf != SchedulerQueue::kNone) {
+    const auto j = pick_job(wf, slot);
+    if (!j) {
+      throw std::logic_error("WohaScheduler: queue accepted a workflow without tasks");
+    }
+    choice = hadoop::JobRef{wf, *j};
+  }
+
+  if (bus_ && bus_->active()) {
+    // Explainability snapshot: the queue head as left by this decision (the
+    // orderings were refreshed inside assign; the winner's rho is already
+    // bumped). Read-only — tracing can never perturb the next decision.
+    obs::SchedulerDecision d;
+    d.scheduler = name();
+    d.slot = slot.type;
+    d.tracker = slot.tracker;
+    d.assigned = choice.has_value();
+    if (choice) {
+      d.workflow = choice->workflow;
+      d.job = choice->job;
+    }
+    top_scratch_.clear();
+    queue_->top(obs::kMaxRankedCandidates, top_scratch_);
+    d.ranking.reserve(top_scratch_.size());
+    for (const SchedulerQueue::QueueEntry& e : top_scratch_) {
+      d.ranking.push_back(obs::SchedulerDecision::Candidate{
+          e.id, obs::SchedulerDecision::kNoJob, e.lag, e.requirement, e.rho});
+    }
+    bus_->publish(now, std::move(d));
+  }
+  return choice;
 }
 
 const SchedulingPlan* WohaScheduler::plan_of(WorkflowId wf) const {

@@ -23,6 +23,10 @@
 #include "hadoop/job_tracker.hpp"
 #include "hadoop/scheduler.hpp"
 
+namespace woha::obs {
+class Histogram;
+}  // namespace woha::obs
+
 namespace woha::core {
 
 struct WohaConfig {
@@ -69,6 +73,10 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   std::optional<hadoop::JobRef> select_task(const hadoop::SlotOffer& slot,
                                             SimTime now) override;
 
+  /// Resolves the decision-latency histogram once; select_task then records
+  /// into a raw pointer (no registry lookups on the hot path).
+  void observe(obs::EventBus* bus, obs::MetricsRegistry* registry) override;
+
   /// Introspection for tests and benches.
   [[nodiscard]] const SchedulingPlan* plan_of(WorkflowId wf) const;
   [[nodiscard]] const SchedulerQueue& queue() const { return *queue_; }
@@ -89,6 +97,10 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   std::uint32_t cluster_slots_ = 0;
   std::unique_ptr<SchedulerQueue> queue_;
   std::unordered_map<std::uint32_t, WorkflowState> states_;
+  /// Resolved by observe(); null with no registry attached.
+  obs::Histogram* assign_ns_ = nullptr;
+  /// Scratch buffer for decision-trace snapshots (reused across calls).
+  std::vector<SchedulerQueue::QueueEntry> top_scratch_;
 };
 
 }  // namespace woha::core

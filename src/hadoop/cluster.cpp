@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "obs/metrics_registry.hpp"
+
 namespace woha::hadoop {
 
 ClusterConfig ClusterConfig::paper_80_servers() {
@@ -79,11 +81,24 @@ std::uint32_t Cluster::total_busy(SlotType t) const {
 void Cluster::occupy(std::size_t tracker_index, SlotType t) {
   trackers_.at(tracker_index).occupy(t);
   --total_free_[static_cast<std::size_t>(t)];
+  update_gauges();
 }
 
 void Cluster::release(std::size_t tracker_index, SlotType t) {
   trackers_.at(tracker_index).release(t);
   ++total_free_[static_cast<std::size_t>(t)];
+  update_gauges();
+}
+
+void Cluster::set_slot_gauges(obs::Gauge* free_map, obs::Gauge* free_reduce) {
+  gauges_[0] = free_map;
+  gauges_[1] = free_reduce;
+  update_gauges();
+}
+
+void Cluster::update_gauges() const {
+  if (gauges_[0]) gauges_[0]->set(static_cast<double>(total_free_[0]));
+  if (gauges_[1]) gauges_[1]->set(static_cast<double>(total_free_[1]));
 }
 
 void Cluster::deactivate(std::size_t tracker_index) {
@@ -97,6 +112,7 @@ void Cluster::deactivate(std::size_t tracker_index) {
     }
     total_free_[static_cast<std::size_t>(t)] -= tracker.capacity(t);
   }
+  update_gauges();
 }
 
 void Cluster::activate(std::size_t tracker_index) {
@@ -108,6 +124,7 @@ void Cluster::activate(std::size_t tracker_index) {
   for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
     total_free_[static_cast<std::size_t>(t)] += tracker.capacity(t);
   }
+  update_gauges();
 }
 
 }  // namespace woha::hadoop

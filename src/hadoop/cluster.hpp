@@ -13,6 +13,10 @@
 
 #include "common/types.hpp"
 
+namespace woha::obs {
+class Gauge;
+}  // namespace woha::obs
+
 namespace woha::hadoop {
 
 struct ClusterConfig {
@@ -105,10 +109,18 @@ class Cluster {
   /// Return a restarted tracker to the pool with every slot free.
   void activate(std::size_t tracker_index);
 
+  /// Publish the aggregate free-slot counts into two registry gauges
+  /// (updated on every occupy/release/activate/deactivate). Either pointer
+  /// may be null; with both null the hook costs one branch.
+  void set_slot_gauges(obs::Gauge* free_map, obs::Gauge* free_reduce);
+
  private:
+  void update_gauges() const;
+
   ClusterConfig config_;
   std::vector<TrackerState> trackers_;
   std::uint32_t total_free_[2];
+  obs::Gauge* gauges_[2] = {nullptr, nullptr};
 };
 
 }  // namespace woha::hadoop

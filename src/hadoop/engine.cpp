@@ -35,9 +35,60 @@ Engine::Engine(EngineConfig config, std::unique_ptr<WorkflowScheduler> scheduler
   fault_state_.resize(cluster_.tracker_count());
   map_outputs_.resize(cluster_.tracker_count());
   live_trackers_ = cluster_.tracker_count();
+  events_.set_time_source([this] { return sim_.now(); });
+  job_tracker_.set_event_bus(&events_);
   scheduler_->attach(&job_tracker_);
+  scheduler_->observe(&events_, nullptr);
   scheduler_->on_cluster_configured(config_.cluster.total_map_slots(),
                                     config_.cluster.total_reduce_slots());
+}
+
+void Engine::set_metrics_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (!registry) {
+    handles_ = MetricHandles{};
+    cluster_.set_slot_gauges(nullptr, nullptr);
+    scheduler_->observe(&events_, nullptr);
+    return;
+  }
+  // 100 ns .. ~1.6 s in 4x steps: covers a no-op select through a full
+  // plan-regeneration heartbeat.
+  auto latency_buckets = [] { return obs::exponential_buckets(100.0, 4.0, 12); };
+  handles_.heartbeat_ns =
+      &registry->histogram("engine.heartbeat_service_ns", latency_buckets());
+  handles_.select_ns =
+      &registry->histogram("engine.select_task_ns", latency_buckets());
+  handles_.heartbeats = &registry->counter("engine.heartbeats");
+  handles_.tasks_started = &registry->counter("engine.tasks_started");
+  handles_.tasks_finished = &registry->counter("engine.tasks_finished");
+  handles_.tasks_failed = &registry->counter("engine.tasks_failed");
+  handles_.attempts_killed = &registry->counter("engine.attempts_killed");
+  handles_.tracker_crashes = &registry->counter("engine.tracker_crashes");
+  handles_.speculative_launched =
+      &registry->counter("engine.speculative_launched");
+  cluster_.set_slot_gauges(&registry->gauge("cluster.free_map_slots"),
+                           &registry->gauge("cluster.free_reduce_slots"));
+  scheduler_->observe(&events_, registry);
+}
+
+void Engine::set_task_observer(std::function<void(const TaskEvent&)> observer) {
+  if (task_observer_subscription_ != 0) {
+    events_.unsubscribe(task_observer_subscription_);
+    task_observer_subscription_ = 0;
+  }
+  if (!observer) return;
+  task_observer_subscription_ = events_.subscribe(
+      [cb = std::move(observer)](const obs::Event& e) {
+        if (const auto* s = std::get_if<obs::TaskStarted>(&e.payload)) {
+          cb(TaskEvent{e.time, WorkflowId(s->workflow),
+                       JobRef{s->workflow, s->job}, s->slot, true, false, false,
+                       s->speculative, 0});
+        } else if (const auto* f = std::get_if<obs::TaskEnded>(&e.payload)) {
+          cb(TaskEvent{e.time, WorkflowId(f->workflow),
+                       JobRef{f->workflow, f->job}, f->slot, false, f->failed,
+                       f->killed, f->speculative, f->ran_for});
+        }
+      });
 }
 
 void Engine::submit(wf::WorkflowSpec spec) {
@@ -156,12 +207,20 @@ void Engine::activate_job(JobRef ref) {
   WOHA_LOG(LogLevel::kDebug, "engine")
       << "t=" << sim_.now() << " activate job w" << ref.workflow << "/j" << ref.job
       << " ('" << job.spec().name << "')";
+  if (events_.active()) {
+    events_.publish(sim_.now(), obs::JobActivated{ref.workflow, ref.job});
+  }
   scheduler_->on_job_activated(ref, sim_.now());
 }
 
 void Engine::heartbeat(std::size_t tracker_index) {
   TrackerState& tracker = cluster_.tracker(tracker_index);
   if (!tracker.alive()) return;  // dead nodes do not heartbeat
+
+  // Wall-clock service time is only measured with a registry attached; the
+  // clock reads themselves are part of the cost we promise to avoid.
+  std::chrono::steady_clock::time_point hb_start;
+  if (handles_.heartbeat_ns) hb_start = std::chrono::steady_clock::now();
 
   // Per-job blacklisting: the offered slot carries an eligibility filter so
   // a blacklisted job can still run elsewhere but never again on this node.
@@ -176,6 +235,7 @@ void Engine::heartbeat(std::size_t tracker_index) {
 
   // Offer every idle slot on this tracker; maps first (Hadoop-1's
   // assignTasks fills map slots before reduce slots).
+  std::uint32_t assigned[2] = {0, 0};
   for (const SlotType type : {SlotType::kMap, SlotType::kReduce}) {
     while (tracker.free_slots(type) > 0) {
       const SlotOffer offer{type, tracker_index, filter};
@@ -184,14 +244,33 @@ void Engine::heartbeat(std::size_t tracker_index) {
       const auto t1 = std::chrono::steady_clock::now();
       ++select_calls_;
       select_wall_ms_ += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (handles_.select_ns) {
+        handles_.select_ns->observe(
+            std::chrono::duration<double, std::nano>(t1 - t0).count());
+      }
       if (!choice) break;
       start_task(*choice, type, tracker_index);
+      ++assigned[static_cast<std::size_t>(type)];
     }
     // Slots no pending task wants may still host speculative backups.
     if (config_.faults.speculative_execution) {
       while (tracker.free_slots(type) > 0 && try_speculate(type, tracker_index)) {
+        ++assigned[static_cast<std::size_t>(type)];
       }
     }
+  }
+
+  if (handles_.heartbeats) handles_.heartbeats->add();
+  if (handles_.heartbeat_ns) {
+    handles_.heartbeat_ns->observe(std::chrono::duration<double, std::nano>(
+                                       std::chrono::steady_clock::now() - hb_start)
+                                       .count());
+  }
+  if (events_.active()) {
+    events_.publish(sim_.now(),
+                    obs::HeartbeatServed{tracker_index, assigned[0], assigned[1],
+                                         tracker.free_slots(SlotType::kMap),
+                                         tracker.free_slots(SlotType::kReduce)});
   }
 }
 
@@ -258,12 +337,13 @@ void Engine::start_task(JobRef ref, SlotType type, std::size_t tracker_index) {
   bool will_fail = false;
   const Duration dur = draw_attempt(ref, type, tracker_index, will_fail);
   busy_ms_[static_cast<std::size_t>(type)] += static_cast<double>(dur);
+  if (handles_.tasks_started) handles_.tasks_started->add();
 
-  if (task_observer_) {
-    task_observer_(TaskEvent{sim_.now(), WorkflowId(ref.workflow), ref, type, true,
-                             false, false, false, 0});
-  }
   const std::uint64_t id = next_attempt_id_++;
+  if (events_.active()) {
+    events_.publish(sim_.now(), obs::TaskStarted{id, ref.workflow, ref.job, type,
+                                                 tracker_index, dur, false});
+  }
   Attempt attempt{ref,      type,      tracker_index, sim_.now(), dur,
                   retry_level, will_fail, false,         0,          {}};
   attempt.finish_event =
@@ -283,38 +363,35 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
   cluster_.release(a.tracker, a.type);
   JobInProgress& job = job_tracker_.job(a.ref);
 
+  const auto publish_ended = [&](bool failed) {
+    if (!events_.active()) return;
+    events_.publish(sim_.now(),
+                    obs::TaskEnded{attempt_id, a.ref.workflow, a.ref.job, a.type,
+                                   a.tracker, failed, false, a.speculative,
+                                   a.duration});
+  };
+
   if (a.will_fail) {
     ++tasks_failed_;
+    if (handles_.tasks_failed) handles_.tasks_failed->add();
     record_attempt_failure(a.ref, a.tracker);
     if (a.rival != 0) {
       // The speculation twin keeps running the task alone; this failure
       // burns an attempt but re-queues nothing.
       const auto rit = attempts_.find(a.rival);
       if (rit != attempts_.end()) rit->second.rival = 0;
-      if (task_observer_) {
-        task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref,
-                                 a.type, false, true, false, a.speculative,
-                                 a.duration});
-      }
+      publish_ended(true);
       return;
     }
     if (config_.faults.max_attempts > 0 &&
         a.retry_level + 1 >= config_.faults.max_attempts) {
-      if (task_observer_) {
-        task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref,
-                                 a.type, false, true, false, a.speculative,
-                                 a.duration});
-      }
+      publish_ended(true);
       fail_workflow(a.ref.workflow, sim_.now());
       return;
     }
     job.fail_task(a.type, a.retry_level + 1);
     scheduler_->on_task_finished(a.ref, a.type, sim_.now());
-    if (task_observer_) {
-      task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref,
-                               a.type, false, true, false, a.speculative,
-                               a.duration});
-    }
+    publish_ended(true);
     // The task re-enters the pending pool; the next heartbeat with a free
     // slot may schedule a fresh attempt (Hadoop's retry behaviour).
     return;
@@ -342,17 +419,18 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
   }
 
   const bool job_done = job.finish_task(a.type, sim_.now());
+  if (handles_.tasks_finished) handles_.tasks_finished->add();
   scheduler_->on_task_finished(a.ref, a.type, sim_.now());
-  if (task_observer_) {
-    task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref, a.type,
-                             false, false, false, a.speculative, a.duration});
-  }
+  publish_ended(false);
   if (!job_done) return;
 
   WorkflowRuntime& wf_rt = job_tracker_.workflow(WorkflowId(a.ref.workflow));
   WOHA_LOG(LogLevel::kDebug, "engine")
       << "t=" << sim_.now() << " job w" << a.ref.workflow << "/j" << a.ref.job
       << " complete";
+  if (events_.active()) {
+    events_.publish(sim_.now(), obs::JobCompleted{a.ref.workflow, a.ref.job});
+  }
   const auto unlocked = wf_rt.on_job_complete(a.ref.job, sim_.now());
   scheduler_->on_job_completed(a.ref, sim_.now());
   for (std::uint32_t j : unlocked) {
@@ -367,6 +445,12 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
         << "t=" << sim_.now() << " workflow " << a.ref.workflow << " finished"
         << (wf_rt.finish_time() <= wf_rt.deadline() ? " (deadline met)"
                                                     : " (DEADLINE MISSED)");
+    if (events_.active()) {
+      events_.publish(sim_.now(),
+                      obs::WorkflowCompleted{
+                          a.ref.workflow,
+                          wf_rt.finish_time() <= wf_rt.deadline()});
+    }
     scheduler_->on_workflow_completed(WorkflowId(a.ref.workflow), sim_.now());
   }
 }
@@ -383,9 +467,12 @@ Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time
   busy_ms_[static_cast<std::size_t>(a.type)] -=
       static_cast<double>(a.duration - executed);
   ++attempts_killed_;
-  if (task_observer_) {
-    task_observer_(TaskEvent{sim_.now(), WorkflowId(a.ref.workflow), a.ref, a.type,
-                             false, false, true, a.speculative, executed});
+  if (handles_.attempts_killed) handles_.attempts_killed->add();
+  if (events_.active()) {
+    events_.publish(sim_.now(),
+                    obs::TaskEnded{attempt_id, a.ref.workflow, a.ref.job, a.type,
+                                   a.tracker, false, true, a.speculative,
+                                   executed});
   }
   return a;
 }
@@ -400,6 +487,10 @@ void Engine::crash_tracker(std::size_t tracker_index, SimTime restart_time) {
   cluster_.tracker(tracker_index).set_alive(false);
   --live_trackers_;
   ++tracker_crashes_;
+  if (handles_.tracker_crashes) handles_.tracker_crashes->add();
+  if (events_.active()) {
+    events_.publish(sim_.now(), obs::TrackerCrashed{tracker_index, restart_time});
+  }
   WOHA_LOG(LogLevel::kInfo, "engine")
       << "t=" << sim_.now() << " tracker " << tracker_index << " crashed"
       << (restart_time == kTimeInfinity
@@ -440,6 +531,9 @@ void Engine::restart_tracker(std::size_t tracker_index) {
   cluster_.activate(tracker_index);
   ++live_trackers_;
   --pending_restarts_;
+  if (events_.active()) {
+    events_.publish(sim_.now(), obs::TrackerRestarted{tracker_index});
+  }
   WOHA_LOG(LogLevel::kInfo, "engine")
       << "t=" << sim_.now() << " tracker " << tracker_index << " re-registered";
   if (config_.faults.tracker_mtbf > 0.0) schedule_next_mtbf_crash(tracker_index);
@@ -456,6 +550,8 @@ void Engine::detect_tracker_loss(std::size_t tracker_index) {
   // Kill every attempt that was running there. KILLED, not FAILED: node
   // loss never counts against the task's attempt budget.
   const std::vector<std::uint64_t> ids = tracker_attempts_[tracker_index];
+  const auto killed_here = static_cast<std::uint32_t>(ids.size());
+  std::uint32_t outputs_lost_here = 0;
   for (const std::uint64_t id : ids) {
     const Attempt a = kill_attempt(id, fs.crash_time);
     if (a.rival != 0) {
@@ -480,10 +576,16 @@ void Engine::detect_tracker_loss(std::size_t tracker_index) {
     if (job.complete() || job.state() == JobState::kFailed) continue;
     job.invalidate_finished_maps(count);
     map_outputs_lost_ += count;
+    outputs_lost_here += count;
     scheduler_->on_tasks_lost(ref, SlotType::kMap, count, sim_.now());
   }
   map_outputs_[tracker_index].clear();
   cluster_.deactivate(tracker_index);
+  if (events_.active()) {
+    events_.publish(sim_.now(),
+                    obs::TrackerLost{tracker_index, fs.crash_time, killed_here,
+                                     outputs_lost_here});
+  }
 }
 
 void Engine::fail_workflow(std::uint32_t workflow, SimTime now) {
@@ -495,6 +597,9 @@ void Engine::fail_workflow(std::uint32_t workflow, SimTime now) {
       << config_.faults.max_attempts << ")";
   wf_rt.mark_failed(now);
   ++workflows_failed_;
+  if (events_.active()) {
+    events_.publish(now, obs::WorkflowFailed{workflow});
+  }
 
   // Kill the workflow's remaining attempts everywhere (deterministic
   // tracker-order scan).
@@ -568,14 +673,20 @@ bool Engine::try_speculate(SlotType type, std::size_t tracker_index) {
       cluster_.occupy(tracker_index, type);
       ++tasks_executed_;
       ++speculative_launched_;
+      if (handles_.tasks_started) handles_.tasks_started->add();
+      if (handles_.speculative_launched) handles_.speculative_launched->add();
       bool will_fail = false;
       const Duration dur = draw_attempt(a.ref, type, tracker_index, will_fail);
       busy_ms_[static_cast<std::size_t>(type)] += static_cast<double>(dur);
-      if (task_observer_) {
-        task_observer_(TaskEvent{now, WorkflowId(a.ref.workflow), a.ref, type,
-                                 true, false, false, true, 0});
-      }
       const std::uint64_t backup_id = next_attempt_id_++;
+      if (events_.active()) {
+        events_.publish(now, obs::SpeculativeLaunched{backup_id, id,
+                                                      a.ref.workflow, a.ref.job,
+                                                      type, tracker_index});
+        events_.publish(now, obs::TaskStarted{backup_id, a.ref.workflow,
+                                              a.ref.job, type, tracker_index,
+                                              dur, true});
+      }
       Attempt backup{a.ref,         type,      tracker_index, now, dur,
                      a.retry_level, will_fail, true,          id,  {}};
       backup.finish_event =

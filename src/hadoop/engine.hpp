@@ -22,6 +22,7 @@
 //    disk. See fault.hpp and DESIGN.md ("Fault model").
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -37,6 +38,8 @@
 #include "hadoop/fault.hpp"
 #include "hadoop/job_tracker.hpp"
 #include "hadoop/scheduler.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/simulation.hpp"
 
 namespace woha::hadoop {
@@ -159,8 +162,28 @@ class Engine {
   void submit(wf::WorkflowSpec spec);
 
   /// Optional observer invoked on every task start/finish (timelines).
-  void set_task_observer(std::function<void(const TaskEvent&)> observer) {
-    task_observer_ = std::move(observer);
+  /// Implemented as an EventBus subscription translating obs::TaskStarted /
+  /// obs::TaskEnded back into the legacy TaskEvent shape, so the bus is the
+  /// single event pipeline. Passing nullptr removes the observer.
+  void set_task_observer(std::function<void(const TaskEvent&)> observer);
+
+  /// The engine's event bus. Subscribe exporters/tests before run(); with
+  /// no subscribers every publish site reduces to a single branch.
+  [[nodiscard]] obs::EventBus& events() { return events_; }
+  [[nodiscard]] const obs::EventBus& events() const { return events_; }
+
+  /// Attach a metrics registry (nullptr detaches). Instrument handles are
+  /// resolved once here, so hot-path updates are plain field writes; with
+  /// no registry attached the engine records nothing and skips the
+  /// wall-clock reads entirely.
+  void set_metrics_registry(obs::MetricsRegistry* registry);
+  [[nodiscard]] obs::MetricsRegistry* metrics_registry() const { return registry_; }
+
+  /// The engine RNG's full state. Determinism-under-observability tests
+  /// compare this across bus-off/bus-on runs: equal final states prove the
+  /// observability layer never consumed a draw.
+  [[nodiscard]] std::array<std::uint64_t, 5> rng_state() const {
+    return rng_.state();
   }
 
   /// Run to completion (or to config.horizon).
@@ -246,8 +269,27 @@ class Engine {
   std::unique_ptr<WorkflowScheduler> scheduler_;
   Rng rng_;
   std::vector<wf::WorkflowSpec> pending_submissions_;
-  std::function<void(const TaskEvent&)> task_observer_;
   bool started_ = false;
+
+  // Observability. The bus is owned here so every component shares one
+  // stream; the registry is borrowed (callers own snapshots/dumping).
+  // Instrument handles are resolved once in set_metrics_registry so the
+  // hot paths touch raw pointers only.
+  obs::EventBus events_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  struct MetricHandles {
+    obs::Histogram* heartbeat_ns = nullptr;
+    obs::Histogram* select_ns = nullptr;
+    obs::Counter* heartbeats = nullptr;
+    obs::Counter* tasks_started = nullptr;
+    obs::Counter* tasks_finished = nullptr;
+    obs::Counter* tasks_failed = nullptr;
+    obs::Counter* attempts_killed = nullptr;
+    obs::Counter* tracker_crashes = nullptr;
+    obs::Counter* speculative_launched = nullptr;
+  };
+  MetricHandles handles_;
+  obs::EventBus::SubscriptionId task_observer_subscription_ = 0;
 
   // Running attempts, keyed by attempt id (ids start at 1 so 0 can mean "no
   // rival"). Lookup only — all iteration goes through tracker_attempts_,

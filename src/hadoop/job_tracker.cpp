@@ -1,11 +1,19 @@
 #include "hadoop/job_tracker.hpp"
 
+#include "obs/event_bus.hpp"
+
 namespace woha::hadoop {
 
 WorkflowId JobTracker::add_workflow(wf::WorkflowSpec spec, SimTime now) {
   const WorkflowId id(static_cast<std::uint32_t>(workflows_.size()));
   workflows_.push_back(std::make_unique<WorkflowRuntime>(id, std::move(spec), now));
   ++active_workflows_;
+  if (bus_ && bus_->active()) {
+    const WorkflowRuntime& rt = *workflows_.back();
+    bus_->publish(now, obs::WorkflowSubmitted{
+                           id.value(), rt.spec().name, rt.deadline(),
+                           static_cast<std::uint32_t>(rt.spec().job_count())});
+  }
   return id;
 }
 

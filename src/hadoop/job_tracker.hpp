@@ -10,13 +10,21 @@
 #include "common/types.hpp"
 #include "hadoop/job.hpp"
 
+namespace woha::obs {
+class EventBus;
+}  // namespace woha::obs
+
 namespace woha::hadoop {
 
 class JobTracker {
  public:
   /// Register a workflow at its submission time; returns its WorkflowId
   /// (dense index, as in paper step (f): "gets a unique workflow ID").
+  /// Publishes obs::WorkflowSubmitted when an event bus is attached.
   WorkflowId add_workflow(wf::WorkflowSpec spec, SimTime now);
+
+  /// Attach the run's event bus (the engine does this at construction).
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
 
   [[nodiscard]] std::size_t workflow_count() const { return workflows_.size(); }
   [[nodiscard]] WorkflowRuntime& workflow(WorkflowId id) {
@@ -46,6 +54,7 @@ class JobTracker {
   // submissions because schedulers hold references between calls.
   std::vector<std::unique_ptr<WorkflowRuntime>> workflows_;
   std::uint32_t active_workflows_ = 0;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace woha::hadoop

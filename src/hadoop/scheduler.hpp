@@ -14,6 +14,11 @@
 #include "common/types.hpp"
 #include "hadoop/job.hpp"
 
+namespace woha::obs {
+class EventBus;
+class MetricsRegistry;
+}  // namespace woha::obs
+
 namespace woha::hadoop {
 
 class JobTracker;
@@ -43,6 +48,16 @@ class WorkflowScheduler {
   /// Called once before the simulation starts; gives the scheduler read
   /// access to JobTracker state. The pointer outlives the scheduler.
   virtual void attach(const JobTracker* tracker) { tracker_ = tracker; }
+
+  /// Observability hookup. The engine installs its event bus at
+  /// construction (registry may arrive later, via
+  /// Engine::set_metrics_registry). Schedulers publish decision traces on
+  /// `bus` only while it is active, and record latency metrics only when
+  /// `registry` is non-null — with neither, the hooks must cost nothing.
+  virtual void observe(obs::EventBus* bus, obs::MetricsRegistry* registry) {
+    bus_ = bus;
+    metrics_ = registry;
+  }
 
   /// Reports the cluster's slot capacity before the run. WOHA clients use
   /// this for plan generation (the "consult the JobTracker about the
@@ -110,6 +125,8 @@ class WorkflowScheduler {
 
  protected:
   const JobTracker* tracker_ = nullptr;
+  obs::EventBus* bus_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace woha::hadoop

@@ -19,14 +19,14 @@ std::vector<ClusterPoint> paper_cluster_sizes() {
 std::vector<SweepCell> sweep_cluster_sizes(
     const hadoop::EngineConfig& base, const std::vector<wf::WorkflowSpec>& workload,
     const std::vector<ClusterPoint>& clusters,
-    const std::vector<SchedulerEntry>& schedulers) {
+    const std::vector<SchedulerEntry>& schedulers, const ObsHooks& hooks) {
   std::vector<SweepCell> cells;
   for (const ClusterPoint& cp : clusters) {
     hadoop::EngineConfig config = base;
     config.cluster = hadoop::ClusterConfig::with_totals(cp.map_slots, cp.reduce_slots);
     config.cluster.heartbeat_period = base.cluster.heartbeat_period;
     for (const SchedulerEntry& entry : schedulers) {
-      const auto result = run_experiment(config, workload, entry);
+      const auto result = run_experiment(config, workload, entry, nullptr, hooks);
       cells.push_back(SweepCell{cp.label, entry.label,
                                 result.summary.deadline_miss_ratio,
                                 result.summary.max_tardiness,

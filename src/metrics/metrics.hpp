@@ -31,11 +31,12 @@ struct ClusterPoint {
 [[nodiscard]] std::vector<ClusterPoint> paper_cluster_sizes();
 
 /// Run `workload` on every (cluster, scheduler) pair. `base` provides the
-/// non-cluster engine settings (latency, jitter, seed).
+/// non-cluster engine settings (latency, jitter, seed). `hooks` (if any)
+/// apply to every cell's engine.
 [[nodiscard]] std::vector<SweepCell> sweep_cluster_sizes(
     const hadoop::EngineConfig& base, const std::vector<wf::WorkflowSpec>& workload,
     const std::vector<ClusterPoint>& clusters,
-    const std::vector<SchedulerEntry>& schedulers);
+    const std::vector<SchedulerEntry>& schedulers, const ObsHooks& hooks = {});
 
 /// Render a sweep as one table per metric, rows = cluster size, columns =
 /// scheduler — the layout of the paper's bar charts.

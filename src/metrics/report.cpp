@@ -49,12 +49,11 @@ std::vector<SchedulerEntry> extended_schedulers() {
 ExperimentResult run_experiment(const hadoop::EngineConfig& config,
                                 const std::vector<wf::WorkflowSpec>& workload,
                                 const SchedulerEntry& scheduler,
-                                TimelineRecorder* timeline) {
+                                TimelineRecorder* timeline, const ObsHooks& hooks) {
   hadoop::Engine engine(config, scheduler.make());
-  if (timeline) {
-    engine.set_task_observer(
-        [timeline](const hadoop::TaskEvent& e) { timeline->record(e); });
-  }
+  if (hooks.registry) engine.set_metrics_registry(hooks.registry);
+  if (hooks.configure) hooks.configure(engine);
+  if (timeline) timeline->subscribe(engine.events());
   for (const auto& spec : workload) engine.submit(spec);
   engine.run();
   return ExperimentResult{scheduler.label, engine.summarize()};
@@ -63,11 +62,11 @@ ExperimentResult run_experiment(const hadoop::EngineConfig& config,
 std::vector<ExperimentResult> run_comparison(
     const hadoop::EngineConfig& config,
     const std::vector<wf::WorkflowSpec>& workload,
-    const std::vector<SchedulerEntry>& entries) {
+    const std::vector<SchedulerEntry>& entries, const ObsHooks& hooks) {
   std::vector<ExperimentResult> out;
   out.reserve(entries.size());
   for (const auto& entry : entries) {
-    out.push_back(run_experiment(config, workload, entry));
+    out.push_back(run_experiment(config, workload, entry, nullptr, hooks));
   }
   return out;
 }

@@ -37,18 +37,27 @@ struct ExperimentResult {
   hadoop::RunSummary summary;
 };
 
+/// Observability attachments for harness-driven runs. `registry` (if any)
+/// is attached to every engine before run(), so one registry accumulates
+/// across a comparison/sweep; `configure` (if any) runs right after engine
+/// construction — subscribe exporters to engine.events() there.
+struct ObsHooks {
+  obs::MetricsRegistry* registry = nullptr;
+  std::function<void(hadoop::Engine&)> configure;
+};
+
 /// Build an engine, submit the workload, run, summarize. If `timeline` is
-/// non-null it receives every task event.
+/// non-null it rides the engine's event bus and receives every task event.
 [[nodiscard]] ExperimentResult run_experiment(
     const hadoop::EngineConfig& config,
     const std::vector<wf::WorkflowSpec>& workload, const SchedulerEntry& scheduler,
-    TimelineRecorder* timeline = nullptr);
+    TimelineRecorder* timeline = nullptr, const ObsHooks& hooks = {});
 
 /// Run the workload under every scheduler in `entries`.
 [[nodiscard]] std::vector<ExperimentResult> run_comparison(
     const hadoop::EngineConfig& config,
     const std::vector<wf::WorkflowSpec>& workload,
-    const std::vector<SchedulerEntry>& entries);
+    const std::vector<SchedulerEntry>& entries, const ObsHooks& hooks = {});
 
 /// Render per-workflow results of one run as a fixed-width table.
 [[nodiscard]] std::string format_workflow_results(const hadoop::RunSummary& summary);

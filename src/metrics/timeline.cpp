@@ -10,6 +10,21 @@ void TimelineRecorder::record(const hadoop::TaskEvent& event) {
   workflow_count_ = std::max(workflow_count_, event.workflow.value() + 1);
 }
 
+obs::EventBus::SubscriptionId TimelineRecorder::subscribe(obs::EventBus& bus) {
+  return bus.subscribe([this](const obs::Event& e) {
+    if (const auto* s = std::get_if<obs::TaskStarted>(&e.payload)) {
+      record(hadoop::TaskEvent{e.time, WorkflowId(s->workflow),
+                               hadoop::JobRef{s->workflow, s->job}, s->slot,
+                               true, false, false, s->speculative, 0});
+    } else if (const auto* f = std::get_if<obs::TaskEnded>(&e.payload)) {
+      record(hadoop::TaskEvent{e.time, WorkflowId(f->workflow),
+                               hadoop::JobRef{f->workflow, f->job}, f->slot,
+                               false, f->failed, f->killed, f->speculative,
+                               f->ran_for});
+    }
+  });
+}
+
 std::vector<TimelineRecorder::Sample> TimelineRecorder::sample(SlotType slot,
                                                                Duration period) const {
   if (period <= 0) throw std::invalid_argument("TimelineRecorder: period <= 0");

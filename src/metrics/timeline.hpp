@@ -21,6 +21,11 @@ class TimelineRecorder {
   ///   engine.set_task_observer([&](const TaskEvent& e) { rec.record(e); });
   void record(const hadoop::TaskEvent& event);
 
+  /// Ride the unified event stream directly: subscribes to `bus` and
+  /// records every obs::TaskStarted / obs::TaskEnded. The recorder must
+  /// outlive the subscription (unsubscribe with the returned id).
+  obs::EventBus::SubscriptionId subscribe(obs::EventBus& bus);
+
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
   [[nodiscard]] std::uint32_t workflow_count() const { return workflow_count_; }
 

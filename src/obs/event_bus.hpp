@@ -1,0 +1,76 @@
+// The event bus: a deterministic publish/subscribe fan-out for obs::Event.
+//
+// Design constraints (tested in tests/integration/observability_*):
+//  * A bus with no subscribers must add no observable cost: publishers guard
+//    event construction behind active(), which is a single empty() check.
+//  * An active bus must not perturb the simulation: handlers run
+//    synchronously, in subscription order, and the bus never touches
+//    simulated time or any RNG stream. Publishing is append-only fan-out.
+//
+// "Lock-free in spirit": the simulator is single-threaded by construction,
+// so the bus carries no locks at all — determinism comes from the fixed
+// subscription order, not from synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace woha::obs {
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+  using SubscriptionId = std::uint32_t;
+
+  /// Register a handler; it sees every subsequent publish. Returns an id
+  /// for unsubscribe(). Handlers fire in subscription order.
+  SubscriptionId subscribe(Handler handler) {
+    const SubscriptionId id = next_id_++;
+    handlers_.emplace_back(id, std::move(handler));
+    return id;
+  }
+
+  /// Remove a handler. No-op if the id is unknown.
+  void unsubscribe(SubscriptionId id) {
+    std::erase_if(handlers_, [id](const auto& e) { return e.first == id; });
+  }
+
+  /// True when at least one subscriber is attached. Publishers check this
+  /// before constructing an event, so a disabled bus costs one branch.
+  [[nodiscard]] bool active() const { return !handlers_.empty(); }
+
+  [[nodiscard]] std::size_t subscriber_count() const { return handlers_.size(); }
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+
+  /// Fan an event out to every subscriber, in subscription order.
+  void publish(Event event) {
+    if (handlers_.empty()) return;
+    ++published_;
+    for (const auto& [id, handler] : handlers_) handler(event);
+  }
+
+  /// Convenience: stamp `payload` with `time` and publish.
+  template <class P>
+  void publish(SimTime time, P payload) {
+    publish(Event{time, Payload(std::move(payload))});
+  }
+
+  /// Simulated-time source for publishers without their own clock (the
+  /// WOHA_LOG bridge). The engine installs its Simulation::now.
+  void set_time_source(std::function<SimTime()> source) {
+    time_source_ = std::move(source);
+  }
+  [[nodiscard]] SimTime now() const { return time_source_ ? time_source_() : 0; }
+
+ private:
+  std::vector<std::pair<SubscriptionId, Handler>> handlers_;
+  std::function<SimTime()> time_source_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace woha::obs

@@ -1,0 +1,38 @@
+// JSONL exporter: one JSON object per published event, one event per line.
+//
+// The line format is stable and greppable:
+//   {"t":123000,"type":"task-started","workflow":2,"job":0,...}
+// `t` is simulated milliseconds. Streams are flushed only when the caller
+// flushes; the exporter itself never toggles stream state.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/event.hpp"
+#include "obs/event_bus.hpp"
+
+namespace woha::obs {
+
+/// Serialize one event to a single-line JSON object (no trailing newline).
+[[nodiscard]] std::string event_to_json(const Event& event);
+
+/// Subscribes to `bus` on construction, unsubscribes on destruction. The
+/// stream must outlive the exporter.
+class JsonlExporter {
+ public:
+  JsonlExporter(EventBus& bus, std::ostream& out);
+  ~JsonlExporter();
+  JsonlExporter(const JsonlExporter&) = delete;
+  JsonlExporter& operator=(const JsonlExporter&) = delete;
+
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  EventBus& bus_;
+  std::ostream& out_;
+  EventBus::SubscriptionId subscription_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace woha::obs

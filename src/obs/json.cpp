@@ -1,0 +1,104 @@
+#include "obs/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace woha::obs {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair; no comma
+  }
+  if (!need_comma_stack_.empty()) {
+    if (need_comma_stack_.back() == '1') out_ += ',';
+    need_comma_stack_.back() = '1';
+  }
+}
+
+void JsonWriter::open(char c) {
+  comma_if_needed();
+  out_ += c;
+  need_comma_stack_ += '0';
+}
+
+void JsonWriter::close(char c) {
+  out_ += c;
+  if (!need_comma_stack_.empty()) need_comma_stack_.pop_back();
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_if_needed();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_if_needed();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::raw_value(const std::string& raw) {
+  comma_if_needed();
+  out_ += raw;
+}
+
+}  // namespace woha::obs

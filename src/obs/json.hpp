@@ -1,0 +1,60 @@
+// Minimal JSON writer shared by the registry snapshot and the exporters.
+//
+// Append-only: the caller drives structure (begin/end object, keys), the
+// writer handles commas, escaping, and number formatting. No DOM, no
+// allocation beyond the output string — exporters stream millions of events
+// through this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace woha::obs {
+
+class JsonWriter {
+ public:
+  /// The buffer being built; valid JSON once every begin_* is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Object member key; must be followed by exactly one value (or begin_*).
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  /// key + value in one call.
+  template <class T>
+  void member(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// Append `raw` verbatim as one value (it must already be valid JSON).
+  void raw_value(const std::string& raw);
+
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  void open(char c);
+  void close(char c);
+  void comma_if_needed();
+
+  std::string out_;
+  /// True when the next value/key at the current level needs a ',' first.
+  std::string need_comma_stack_;  // one char per nesting level: '0' or '1'
+  bool pending_key_ = false;
+};
+
+}  // namespace woha::obs

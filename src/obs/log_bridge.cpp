@@ -1,0 +1,26 @@
+#include "obs/log_bridge.hpp"
+
+#include <cstdio>
+
+namespace woha::obs {
+
+LogBridge::LogBridge(EventBus& bus, bool mirror_to_stderr) {
+  previous_ = set_log_sink(
+      [&bus, mirror_to_stderr, this](LogLevel level, const std::string& component,
+                                     const std::string& message) {
+        bus.publish(bus.now(), LogEmitted{level, component, message});
+        if (mirror_to_stderr) {
+          if (previous_) {
+            previous_(level, component, message);
+          } else {
+            std::fprintf(stderr, "[sim t=%lld] %s: %s\n",
+                         static_cast<long long>(bus.now()), component.c_str(),
+                         message.c_str());
+          }
+        }
+      });
+}
+
+LogBridge::~LogBridge() { set_log_sink(previous_); }
+
+}  // namespace woha::obs

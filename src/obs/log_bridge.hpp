@@ -1,0 +1,29 @@
+// WOHA_LOG -> event-bus bridge.
+//
+// While a LogBridge is alive, every enabled WOHA_LOG line is published on
+// the bus as a LogEmitted event stamped with *simulated* time (taken from
+// the bus's time source, which the engine installs) instead of being
+// printed with the stderr sink. Scoped/RAII so tests and examples cannot
+// leak a sink into unrelated code; the previous sink is restored on
+// destruction.
+#pragma once
+
+#include "common/log.hpp"
+#include "obs/event_bus.hpp"
+
+namespace woha::obs {
+
+class LogBridge {
+ public:
+  /// `mirror_to_stderr` additionally forwards to the previously installed
+  /// sink (or the stderr default), so bridged runs can stay chatty.
+  explicit LogBridge(EventBus& bus, bool mirror_to_stderr = false);
+  ~LogBridge();
+  LogBridge(const LogBridge&) = delete;
+  LogBridge& operator=(const LogBridge&) = delete;
+
+ private:
+  LogSink previous_;
+};
+
+}  // namespace woha::obs

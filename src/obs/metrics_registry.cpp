@@ -1,0 +1,142 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace woha::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be sorted");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("exponential_buckets: need start > 0, factor > 1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Instrument& inst = instruments_[name];
+  if (!inst.counter) {
+    if (inst.gauge || inst.histogram) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    inst.counter = std::make_unique<Counter>();
+  }
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Instrument& inst = instruments_[name];
+  if (!inst.gauge) {
+    if (inst.counter || inst.histogram) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  Instrument& inst = instruments_[name];
+  if (!inst.histogram) {
+    if (inst.counter || inst.gauge) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with another kind");
+    }
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else if (inst.histogram->bounds() != bounds) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' re-registered with different buckets");
+  }
+  return *inst.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : it->second.histogram.get();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.counter) w.member(name, inst.counter->value());
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.gauge) w.member(name, inst.gauge->value());
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, inst] : instruments_) {
+    if (!inst.histogram) continue;
+    const Histogram& h = *inst.histogram;
+    w.key(name);
+    w.begin_object();
+    w.member("count", h.count());
+    w.member("sum", h.sum());
+    w.member("min", h.min());
+    w.member("max", h.max());
+    w.member("mean", h.mean());
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds()) w.value(b);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t c : h.counts()) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace woha::obs

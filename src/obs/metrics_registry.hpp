@@ -1,0 +1,108 @@
+// The metrics registry: named counters, gauges, and fixed-bucket histograms,
+// snapshotable mid-run and dumpable as JSON.
+//
+// Hot-path friendly by construction: instruments are resolved to stable
+// references once (registration walks a std::map; the map never invalidates
+// element addresses), after which every update is a plain field write —
+// cheap enough for per-heartbeat and per-decision instrumentation. All
+// iteration is over the std::map, so snapshots are deterministically
+// ordered by name.
+//
+// Wall-clock histograms (heartbeat service time, select_task latency) are
+// intentionally host-dependent diagnostics; determinism tests compare
+// simulation outputs, never wall-clock metric values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace woha::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// N buckets; one implicit overflow bucket catches the rest. Tracks sum,
+/// count, min, and max alongside the bucket counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// counts().size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially growing bucket bounds: start, start*factor, ... (count
+/// bounds). The default shape for latency histograms.
+[[nodiscard]] std::vector<double> exponential_buckets(double start, double factor,
+                                                      std::size_t count);
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. The returned references stay valid for the registry's
+  /// lifetime. Re-registering a name with a different instrument kind (or a
+  /// histogram with different buckets) throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Lookup without creating; nullptr when absent or of another kind.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const { return instruments_.size(); }
+
+  /// Deterministic (name-sorted) JSON snapshot:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// Safe to call mid-run; reads never disturb instrument state.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Instrument {
+    // Exactly one is non-null.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace woha::obs

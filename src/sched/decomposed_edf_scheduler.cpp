@@ -1,5 +1,8 @@
 #include "sched/decomposed_edf_scheduler.hpp"
 
+#include <algorithm>
+
+#include "obs/event_bus.hpp"
 #include "workflow/analysis.hpp"
 
 namespace woha::sched {
@@ -43,11 +46,34 @@ void DecomposedEdfScheduler::on_workflow_failed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> DecomposedEdfScheduler::select_task(
     const hadoop::SlotOffer& slot, SimTime now) {
-  (void)now;
+  std::optional<hadoop::JobRef> choice;
   for (const auto& [key, ref] : active_) {
-    if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) return ref;
+    if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) {
+      choice = ref;
+      break;
+    }
   }
-  return std::nullopt;
+  if (bus_ && bus_->active()) {
+    obs::SchedulerDecision d;
+    d.scheduler = name();
+    d.slot = slot.type;
+    d.tracker = slot.tracker;
+    d.assigned = choice.has_value();
+    if (choice) {
+      d.workflow = choice->workflow;
+      d.job = choice->job;
+    }
+    // Ranking = active jobs by ascending virtual deadline; score is the
+    // decomposed per-job deadline.
+    for (const auto& [key, ref] : active_) {
+      if (d.ranking.size() >= obs::kMaxRankedCandidates) break;
+      d.ranking.push_back(obs::SchedulerDecision::Candidate{
+          ref.workflow, ref.job, static_cast<std::int64_t>(std::get<0>(key)), 0,
+          0});
+    }
+    bus_->publish(now, std::move(d));
+  }
+  return choice;
 }
 
 SimTime DecomposedEdfScheduler::job_deadline(hadoop::JobRef job) const {

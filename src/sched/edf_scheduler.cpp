@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/event_bus.hpp"
+
 namespace woha::sched {
 
 void EdfScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
@@ -28,16 +30,42 @@ void EdfScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> EdfScheduler::select_task(const hadoop::SlotOffer& slot,
                                                         SimTime now) {
-  (void)now;
+  std::optional<hadoop::JobRef> choice;
   for (const WorkflowId wf : by_deadline_) {
     const auto it = active_jobs_.find(wf.value());
     if (it == active_jobs_.end()) continue;
     for (std::uint32_t j : it->second) {
       const hadoop::JobRef ref{wf.value(), j};
-      if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) return ref;
+      if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) {
+        choice = ref;
+        break;
+      }
     }
+    if (choice) break;
   }
-  return std::nullopt;
+  if (bus_ && bus_->active()) {
+    obs::SchedulerDecision d;
+    d.scheduler = name();
+    d.slot = slot.type;
+    d.tracker = slot.tracker;
+    d.assigned = choice.has_value();
+    if (choice) {
+      d.workflow = choice->workflow;
+      d.job = choice->job;
+    }
+    // Ranking = workflows by ascending absolute deadline; score is the
+    // deadline itself.
+    const std::size_t k = std::min(by_deadline_.size(), obs::kMaxRankedCandidates);
+    d.ranking.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      d.ranking.push_back(obs::SchedulerDecision::Candidate{
+          by_deadline_[i].value(), obs::SchedulerDecision::kNoJob,
+          static_cast<std::int64_t>(tracker_->workflow(by_deadline_[i]).deadline()),
+          0, 0});
+    }
+    bus_->publish(now, std::move(d));
+  }
+  return choice;
 }
 
 }  // namespace woha::sched

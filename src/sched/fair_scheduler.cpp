@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/event_bus.hpp"
+
 namespace woha::sched {
 
 void FairScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
@@ -34,7 +36,6 @@ void FairScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> FairScheduler::select_task(const hadoop::SlotOffer& slot,
                                                          SimTime now) {
-  (void)now;
   // Most-starved workflow first: fewest running tasks, ties by workflow id
   // (submission order) for determinism.
   WorkflowShare* best = nullptr;
@@ -51,6 +52,33 @@ std::optional<hadoop::JobRef> FairScheduler::select_task(const hadoop::SlotOffer
         break;
       }
     }
+  }
+  if (bus_ && bus_->active()) {
+    obs::SchedulerDecision d;
+    d.scheduler = name();
+    d.slot = slot.type;
+    d.tracker = slot.tracker;
+    d.assigned = best != nullptr;
+    if (best) {
+      d.workflow = best_job.workflow;
+      d.job = best_job.job;
+    }
+    // Ranking = workflows by ascending running-task count (pre-decision
+    // counts), ties by id — the fairness order this pick was made under.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+    order.reserve(workflows_.size());
+    for (const auto& share : workflows_) {
+      order.emplace_back(share.running_tasks, share.id.value());
+    }
+    std::sort(order.begin(), order.end());
+    const std::size_t k = std::min(order.size(), obs::kMaxRankedCandidates);
+    d.ranking.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      d.ranking.push_back(obs::SchedulerDecision::Candidate{
+          order[i].second, obs::SchedulerDecision::kNoJob,
+          static_cast<std::int64_t>(order[i].first), 0, 0});
+    }
+    bus_->publish(now, std::move(d));
   }
   if (!best) return std::nullopt;
   ++best->running_tasks;

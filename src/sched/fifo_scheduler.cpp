@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/event_bus.hpp"
+
 namespace woha::sched {
 
 void FifoScheduler::on_job_activated(hadoop::JobRef job, SimTime now) {
@@ -26,11 +28,33 @@ void FifoScheduler::on_workflow_failed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> FifoScheduler::select_task(const hadoop::SlotOffer& slot,
                                                          SimTime now) {
-  (void)now;
+  std::optional<hadoop::JobRef> choice;
   for (const hadoop::JobRef ref : queue_) {
-    if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) return ref;
+    if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) {
+      choice = ref;
+      break;
+    }
   }
-  return std::nullopt;
+  if (bus_ && bus_->active()) {
+    obs::SchedulerDecision d;
+    d.scheduler = name();
+    d.slot = slot.type;
+    d.tracker = slot.tracker;
+    d.assigned = choice.has_value();
+    if (choice) {
+      d.workflow = choice->workflow;
+      d.job = choice->job;
+    }
+    // Ranking = queue head in FIFO order; score is the queue position.
+    const std::size_t k = std::min(queue_.size(), obs::kMaxRankedCandidates);
+    d.ranking.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      d.ranking.push_back(obs::SchedulerDecision::Candidate{
+          queue_[i].workflow, queue_[i].job, static_cast<std::int64_t>(i), 0, 0});
+    }
+    bus_->publish(now, std::move(d));
+  }
+  return choice;
 }
 
 }  // namespace woha::sched

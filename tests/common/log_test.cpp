@@ -1,0 +1,109 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace woha {
+namespace {
+
+/// Probe whose streaming records that it was evaluated. WOHA_LOG must never
+/// evaluate operands (or construct the ostringstream-backed LogLine) for a
+/// disabled level — that is the cheap-discard guarantee.
+struct Probe {
+  int* evaluations;
+};
+
+std::ostream& operator<<(std::ostream& os, const Probe& p) {
+  ++*p.evaluations;
+  return os << "probe";
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = log_level();
+    previous_sink_ = set_log_sink(
+        [this](LogLevel level, const std::string& component,
+               const std::string& message) {
+          lines_.push_back({level, component + ": " + message});
+        });
+  }
+  void TearDown() override {
+    set_log_sink(std::move(previous_sink_));
+    set_log_level(previous_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+
+ private:
+  LogLevel previous_level_ = LogLevel::kWarn;
+  LogSink previous_sink_;
+};
+
+TEST_F(LogTest, DisabledLevelEvaluatesNoOperands) {
+  set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  WOHA_LOG(LogLevel::kDebug, "engine") << "x=" << Probe{&evaluations};
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, EnabledLevelEvaluatesOnce) {
+  set_log_level(LogLevel::kDebug);
+  int evaluations = 0;
+  WOHA_LOG(LogLevel::kDebug, "engine") << "x=" << Probe{&evaluations};
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].first, LogLevel::kDebug);
+  EXPECT_EQ(lines_[0].second, "engine: x=probe");
+}
+
+TEST_F(LogTest, LevelThresholdIsInclusive) {
+  set_log_level(LogLevel::kInfo);
+  WOHA_LOG(LogLevel::kInfo, "a") << "at threshold";
+  WOHA_LOG(LogLevel::kWarn, "b") << "above";
+  WOHA_LOG(LogLevel::kDebug, "c") << "below";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].second, "a: at threshold");
+  EXPECT_EQ(lines_[1].second, "b: above");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  WOHA_LOG(LogLevel::kError, "x") << "even errors";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, MacroBindsTightlyInIfElse) {
+  set_log_level(LogLevel::kOff);
+  bool else_taken = false;
+  // Must not trigger -Wdangling-else or steal the else branch.
+  if (false)
+    WOHA_LOG(LogLevel::kError, "x") << "unreached";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+}
+
+TEST_F(LogTest, SinkRestorePlumbing) {
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::string> captured;
+  LogSink mine = set_log_sink(
+      [&captured](LogLevel, const std::string&, const std::string& message) {
+        captured.push_back(message);
+      });
+  WOHA_LOG(LogLevel::kInfo, "x") << "to inner sink";
+  set_log_sink(std::move(mine));  // restore the fixture's sink
+  WOHA_LOG(LogLevel::kInfo, "x") << "to fixture sink";
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "to inner sink");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].second, "x: to fixture sink");
+}
+
+}  // namespace
+}  // namespace woha

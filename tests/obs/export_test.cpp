@@ -1,0 +1,155 @@
+// Exporter tests: JSONL line format, Chrome trace structural validity
+// (balanced B/E slices, metadata before use), and subscription lifecycle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/woha_scheduler.hpp"
+#include "hadoop/engine.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_jsonl.hpp"
+#include "obs/log_bridge.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha::obs {
+namespace {
+
+TEST(JsonlExport, LineFormat) {
+  Event e;
+  e.time = 123000;
+  e.payload = TaskStarted{.attempt = 7,
+                          .workflow = 2,
+                          .job = 1,
+                          .slot = SlotType::kMap,
+                          .tracker = 4,
+                          .scheduled_duration = 60000,
+                          .speculative = false};
+  EXPECT_EQ(event_to_json(e),
+            R"({"t":123000,"type":"task-started","attempt":7,"workflow":2,)"
+            R"("job":1,"slot":"map","tracker":4,"scheduled_duration":60000})");
+}
+
+TEST(JsonlExport, OptionalFieldsOnlyWhenSet) {
+  Event e;
+  e.time = 1;
+  e.payload = TaskEnded{.attempt = 1,
+                        .workflow = 0,
+                        .job = 0,
+                        .slot = SlotType::kReduce,
+                        .tracker = 0,
+                        .failed = false,
+                        .killed = true,
+                        .speculative = true,
+                        .ran_for = 500};
+  const std::string line = event_to_json(e);
+  EXPECT_NE(line.find(R"("killed":true)"), std::string::npos);
+  EXPECT_NE(line.find(R"("speculative":true)"), std::string::npos);
+  EXPECT_EQ(line.find("failed"), std::string::npos);
+}
+
+TEST(JsonlExport, EscapesStrings) {
+  Event e;
+  e.time = 0;
+  e.payload = LogEmitted{LogLevel::kInfo, "engine", "a \"quoted\"\nline"};
+  const std::string line = event_to_json(e);
+  EXPECT_NE(line.find(R"(a \"quoted\"\nline)"), std::string::npos);
+}
+
+TEST(JsonlExport, ExporterSubscribesAndUnsubscribes) {
+  EventBus bus;
+  std::ostringstream out;
+  {
+    JsonlExporter exporter(bus, out);
+    EXPECT_TRUE(bus.active());
+    bus.publish(SimTime{10}, WorkflowFailed{3});
+    bus.publish(SimTime{20}, TrackerRestarted{1});
+    EXPECT_EQ(exporter.lines_written(), 2u);
+  }
+  EXPECT_FALSE(bus.active());  // destructor detached
+  const std::string text = out.str();
+  EXPECT_EQ(text,
+            "{\"t\":10,\"type\":\"workflow-failed\",\"workflow\":3}\n"
+            "{\"t\":20,\"type\":\"tracker-restarted\",\"tracker\":1}\n");
+}
+
+// Run a small real experiment through both exporters and check the Chrome
+// document's structure: it must be a single {"traceEvents":[...]} object
+// whose B and E slices pair up exactly.
+TEST(ChromeExport, SlicesBalanceOnRealRun) {
+  hadoop::EngineConfig config;
+  config.cluster.num_trackers = 4;
+  config.cluster.map_slots_per_tracker = 2;
+  config.cluster.reduce_slots_per_tracker = 1;
+  config.faults.events = {{.tracker = 1,
+                           .crash_time = minutes(2),
+                           .restart_time = minutes(5)}};
+  config.faults.expiry_interval = minutes(1);
+  hadoop::Engine engine(config, std::make_unique<core::WohaScheduler>());
+
+  std::ostringstream trace;
+  ChromeTraceExporter exporter(engine.events(), trace);
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto spec = wf::diamond(3);
+    spec.name = "wf" + std::to_string(i);
+    spec.relative_deadline = minutes(45);
+    engine.submit(spec);
+  }
+  engine.run();
+  exporter.finish();
+  exporter.finish();  // idempotent
+
+  const std::string doc = trace.str();
+  ASSERT_GT(exporter.events_written(), 0u);
+  EXPECT_EQ(doc.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(doc.substr(doc.size() - 3), "]}\n");
+
+  std::size_t begins = 0, ends = 0, crashes = 0;
+  for (std::size_t pos = 0; (pos = doc.find("\"ph\":\"B\"", pos)) != std::string::npos;
+       ++pos)
+    ++begins;
+  for (std::size_t pos = 0; (pos = doc.find("\"ph\":\"E\"", pos)) != std::string::npos;
+       ++pos)
+    ++ends;
+  for (std::size_t pos = 0; (pos = doc.find("\"CRASH\"", pos)) != std::string::npos;
+       ++pos)
+    ++crashes;
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);  // every attempt slice closed
+  EXPECT_EQ(crashes, 1u);
+}
+
+TEST(LogBridge, RoutesLogLinesOntoBusWithSimTime) {
+  EventBus bus;
+  bus.set_time_source([] { return SimTime{4242}; });
+  std::vector<Event> seen;
+  bus.subscribe([&seen](const Event& e) { seen.push_back(e); });
+
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kInfo);
+  int fallback_lines = 0;
+  LogSink prev = set_log_sink(
+      [&fallback_lines](LogLevel, const std::string&, const std::string&) {
+        ++fallback_lines;
+      });
+  {
+    LogBridge bridge(bus);
+    WOHA_LOG(LogLevel::kInfo, "test") << "bridged " << 42;
+    WOHA_LOG(LogLevel::kDebug, "test") << "below level, dropped";
+  }
+  WOHA_LOG(LogLevel::kError, "test") << "after scope";  // restored sink
+  set_log_sink(std::move(prev));
+  set_log_level(before);
+
+  EXPECT_EQ(fallback_lines, 1);  // only the post-scope line; bridge restored us
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].time, 4242);
+  const auto& log = std::get<LogEmitted>(seen[0].payload);
+  EXPECT_EQ(log.component, "test");
+  EXPECT_EQ(log.message, "bridged 42");
+}
+
+}  // namespace
+}  // namespace woha::obs

@@ -1,0 +1,109 @@
+#include "obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace woha::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterGetOrCreateReturnsStableReference) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("engine.heartbeats");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(reg.counter("engine.heartbeats").value(), 5u);
+  EXPECT_EQ(&reg.counter("engine.heartbeats"), &c);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("cluster.free_map_slots");
+  g.set(64.0);
+  g.add(-3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("cluster.free_map_slots").value(), 61.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsCountsAndStats) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(5.0);     // bucket 0
+  h.observe(10.0);    // inclusive upper bound: still bucket 0
+  h.observe(50.0);    // bucket 1
+  h.observe(5000.0);  // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5065.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5065.0 / 4.0);
+}
+
+TEST(MetricsRegistry, EmptyHistogramStatsAreZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsRegistry, ExponentialBuckets) {
+  const auto b = exponential_buckets(100.0, 4.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 100.0);
+  EXPECT_DOUBLE_EQ(b[1], 400.0);
+  EXPECT_DOUBLE_EQ(b[2], 1600.0);
+  EXPECT_DOUBLE_EQ(b[3], 6400.0);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::invalid_argument);
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), std::invalid_argument);
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));  // same buckets: get
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+
+  reg.counter("c");
+  EXPECT_NE(reg.find_counter("c"), nullptr);
+  EXPECT_EQ(reg.find_gauge("c"), nullptr);  // wrong kind
+}
+
+TEST(MetricsRegistry, ToJsonIsDeterministicAndNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("z.late").add(2);
+  reg.counter("a.early").add(1);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h", {10.0}).observe(3.0);
+
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json, reg.to_json());  // snapshots never disturb state
+  // Name-sorted within each section.
+  EXPECT_LT(json.find("\"a.early\""), json.find("\"z.late\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyRegistryJsonHasAllSections) {
+  MetricsRegistry reg;
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace woha::obs
