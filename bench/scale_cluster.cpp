@@ -1,0 +1,111 @@
+// Master-scalability sweep: wall-clock cost of the heartbeat → select_task
+// hot path as the cluster grows from paper scale (80 trackers) toward
+// 10,000 trackers, for all five schedulers.
+//
+// The workload is frozen so numbers are comparable across engine changes:
+// one Fig. 8 trace replica (46 workflows, 165 jobs) per 80 trackers, each
+// replica drawn with its own seed — offered load scales with the slot pool,
+// so the cluster stays saturated at every size. Reported per point:
+// simulated makespan, events fired, select_task calls, mean select_task
+// latency (the paper's master-overhead claim), and wall-clock runtime.
+//
+// Usage:
+//   bench_scale_cluster [--points 80,500,2000] [--schedulers WOHA-LPF,FIFO]
+//                       [--metrics-json out.json]
+// Defaults sweep 80/200/500/1000/2000 for every scheduler; pass
+// --points 10000 for the full-scale run (minutes of wall clock pre-optimisation,
+// seconds after).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "trace/paper_workloads.hpp"
+#include "trace/scale_workload.hpp"
+
+namespace {
+
+std::vector<std::uint32_t> parse_points(const std::string& arg) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? arg.npos : comma - pos);
+    if (!tok.empty()) out.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace woha;
+  bench::MetricsSession metrics_session(argc, argv);
+
+  std::vector<std::uint32_t> points = {80, 200, 500, 1000, 2000};
+  std::vector<std::string> only_schedulers;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
+      points = parse_points(argv[++i]);
+    } else if (std::strcmp(argv[i], "--schedulers") == 0 && i + 1 < argc) {
+      std::size_t pos = 0;
+      const std::string arg = argv[++i];
+      while (pos < arg.size()) {
+        const std::size_t comma = arg.find(',', pos);
+        only_schedulers.push_back(arg.substr(
+            pos, comma == std::string::npos ? arg.npos : comma - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  bench::banner("Scale sweep",
+                "heartbeat/select_task cost vs cluster size (frozen fig8 load)");
+  std::printf("%-10s %-10s %12s %12s %12s %14s %10s\n", "trackers", "scheduler",
+              "makespan", "events", "selects", "select_us/call", "wall_s");
+
+  for (const std::uint32_t n : points) {
+    hadoop::EngineConfig config;
+    config.cluster.num_trackers = n;
+    config.cluster.map_slots_per_tracker = 2;
+    config.cluster.reduce_slots_per_tracker = 1;
+    const auto workload = trace::scale_workload(n, trace::kScaleWorkloadSeed);
+    for (const auto& entry : metrics::paper_schedulers()) {
+      if (!only_schedulers.empty()) {
+        bool wanted = false;
+        for (const auto& s : only_schedulers) wanted |= s == entry.label;
+        if (!wanted) continue;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto result = metrics::run_experiment(config, workload, entry,
+                                                  nullptr, metrics_session.hooks());
+      const auto wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      const hadoop::RunSummary& s = result.summary;
+      const double us_per_select =
+          s.select_calls == 0
+              ? 0.0
+              : s.select_wall_ms * 1000.0 / static_cast<double>(s.select_calls);
+      std::printf("%-10u %-10s %12lld %12llu %12llu %14.3f %10.2f\n", n,
+                  entry.label.c_str(), static_cast<long long>(s.makespan),
+                  static_cast<unsigned long long>(s.events_fired),
+                  static_cast<unsigned long long>(s.select_calls),
+                  us_per_select, wall);
+    }
+  }
+  bench::note("select_us/call is wall-clock and machine-dependent; makespan, "
+              "events and selects are deterministic.");
+  return 0;
+}

@@ -4,13 +4,26 @@
 
 namespace woha::core {
 
+namespace {
+
+// std::map::emplace silently keeps the old entry on a duplicate key, which
+// here would unschedule a workflow forever. Same hardening as DslQueue.
+template <class Tree, class Key, class Value>
+void checked_emplace(Tree& tree, const Key& key, Value* st, const char* what) {
+  if (!tree.emplace(key, st).second) throw std::logic_error(what);
+}
+
+}  // namespace
+
 void BstQueue::insert(std::uint32_t id, ProgressTracker tracker) {
   if (states_.count(id)) throw std::invalid_argument("BstQueue: duplicate id");
   auto st = std::make_unique<WfState>(WfState{id, std::move(tracker), 0, 0});
   st->ct_key = st->tracker.next_change_time();
   st->pri_key = -st->tracker.lag();
-  ct_tree_.emplace(CtKey{st->ct_key, id}, st.get());
-  pri_tree_.emplace(PriKey{st->pri_key, id}, st.get());
+  checked_emplace(ct_tree_, CtKey{st->ct_key, id}, st.get(),
+                  "BstQueue: duplicate ct key on insert");
+  checked_emplace(pri_tree_, PriKey{st->pri_key, id}, st.get(),
+                  "BstQueue: duplicate pri key on insert");
   states_.emplace(id, std::move(st));
 }
 
@@ -30,11 +43,15 @@ std::uint32_t BstQueue::assign(SimTime now,
     WfState* st = head->second;
     ct_tree_.erase(head);
     st->tracker.advance_to(now);
-    pri_tree_.erase({st->pri_key, st->id});
+    if (pri_tree_.erase({st->pri_key, st->id}) != 1) {
+      throw std::logic_error("BstQueue: stale pri key on refresh");
+    }
     st->pri_key = -st->tracker.lag();
-    pri_tree_.emplace(PriKey{st->pri_key, st->id}, st);
+    checked_emplace(pri_tree_, PriKey{st->pri_key, st->id}, st,
+                    "BstQueue: duplicate pri key on refresh");
     st->ct_key = st->tracker.next_change_time();
-    ct_tree_.emplace(CtKey{st->ct_key, st->id}, st);
+    checked_emplace(ct_tree_, CtKey{st->ct_key, st->id}, st,
+                    "BstQueue: duplicate ct key on refresh");
   }
 
   WfState* chosen = nullptr;
@@ -46,10 +63,13 @@ std::uint32_t BstQueue::assign(SimTime now,
   }
   if (!chosen) return kNone;
 
-  pri_tree_.erase({chosen->pri_key, chosen->id});
+  if (pri_tree_.erase({chosen->pri_key, chosen->id}) != 1) {
+    throw std::logic_error("BstQueue: stale pri key on assignment");
+  }
   chosen->tracker.count_scheduled();
   chosen->pri_key = -chosen->tracker.lag();
-  pri_tree_.emplace(PriKey{chosen->pri_key, chosen->id}, chosen);
+  checked_emplace(pri_tree_, PriKey{chosen->pri_key, chosen->id}, chosen,
+                  "BstQueue: duplicate pri key on assignment");
   return chosen->id;
 }
 
@@ -67,10 +87,13 @@ void BstQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
   const auto it = states_.find(id);
   if (it == states_.end()) return;
   WfState* st = it->second.get();
-  pri_tree_.erase({st->pri_key, st->id});
+  if (pri_tree_.erase({st->pri_key, st->id}) != 1) {
+    throw std::logic_error("BstQueue: stale pri key on progress loss");
+  }
   st->tracker.count_lost(count);
   st->pri_key = -st->tracker.lag();
-  pri_tree_.emplace(PriKey{st->pri_key, st->id}, st);
+  checked_emplace(pri_tree_, PriKey{st->pri_key, st->id}, st,
+                  "BstQueue: duplicate pri key on progress loss");
 }
 
 }  // namespace woha::core

@@ -4,14 +4,27 @@
 
 namespace woha::core {
 
+// SkipList::insert returns false on a duplicate key *without inserting*, so
+// an unchecked call would silently drop the workflow from one of the lists —
+// it would simply never be scheduled again. Every internal reposition goes
+// through these guards: a failure means the cached ct_key/pri_key went out
+// of sync with the list, which is a corruption bug, never a recoverable
+// condition.
+void DslQueue::checked_insert(SkipList<CtKey, WfState*>& list, const CtKey& key,
+                              WfState* st, const char* what) {
+  if (!list.insert(key, st)) throw std::logic_error(what);
+}
+
 void DslQueue::insert(std::uint32_t id, ProgressTracker tracker) {
   if (states_.count(id)) throw std::invalid_argument("DslQueue: duplicate id");
   auto st = std::make_unique<WfState>(
       WfState{id, std::move(tracker), 0, 0});
   st->ct_key = st->tracker.next_change_time();
   st->pri_key = -st->tracker.lag();
-  ct_list_.insert({st->ct_key, id}, st.get());
-  pri_list_.insert({st->pri_key, id}, st.get());
+  checked_insert(ct_list_, {st->ct_key, id}, st.get(),
+                 "DslQueue: duplicate ct key on insert");
+  checked_insert(pri_list_, {st->pri_key, id}, st.get(),
+                 "DslQueue: duplicate pri key on insert");
   states_.emplace(id, std::move(st));
 }
 
@@ -25,11 +38,15 @@ void DslQueue::remove(std::uint32_t id) {
 
 void DslQueue::refresh(WfState& st, SimTime now) {
   st.tracker.advance_to(now);
-  pri_list_.erase({st.pri_key, st.id});
+  if (!pri_list_.erase({st.pri_key, st.id})) {
+    throw std::logic_error("DslQueue: stale pri key on refresh");
+  }
   st.pri_key = -st.tracker.lag();
-  pri_list_.insert({st.pri_key, st.id}, &st);
+  checked_insert(pri_list_, {st.pri_key, st.id}, &st,
+                 "DslQueue: duplicate pri key on refresh");
   st.ct_key = st.tracker.next_change_time();
-  ct_list_.insert({st.ct_key, st.id}, &st);
+  checked_insert(ct_list_, {st.ct_key, st.id}, &st,
+                 "DslQueue: duplicate ct key on refresh");
 }
 
 std::uint32_t DslQueue::assign(SimTime now,
@@ -61,12 +78,13 @@ std::uint32_t DslQueue::assign(SimTime now,
 
   if (chosen_is_head) {
     pri_list_.pop_front();  // O(1): the paper's common case
-  } else {
-    pri_list_.erase({chosen->pri_key, chosen->id});
+  } else if (!pri_list_.erase({chosen->pri_key, chosen->id})) {
+    throw std::logic_error("DslQueue: stale pri key on assignment");
   }
   chosen->tracker.count_scheduled();  // rho+1 <=> p-1
   chosen->pri_key = -chosen->tracker.lag();
-  pri_list_.insert({chosen->pri_key, chosen->id}, chosen);
+  checked_insert(pri_list_, {chosen->pri_key, chosen->id}, chosen,
+                 "DslQueue: duplicate pri key on assignment");
   return chosen->id;
 }
 
@@ -85,10 +103,13 @@ void DslQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
   const auto it = states_.find(id);
   if (it == states_.end()) return;
   WfState& st = *it->second;
-  pri_list_.erase({st.pri_key, st.id});
+  if (!pri_list_.erase({st.pri_key, st.id})) {
+    throw std::logic_error("DslQueue: stale pri key on progress loss");
+  }
   st.tracker.count_lost(count);  // rho-n <=> p+n
   st.pri_key = -st.tracker.lag();
-  pri_list_.insert({st.pri_key, st.id}, &st);
+  checked_insert(pri_list_, {st.pri_key, st.id}, &st,
+                 "DslQueue: duplicate pri key on progress loss");
 }
 
 }  // namespace woha::core

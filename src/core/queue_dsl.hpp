@@ -41,6 +41,11 @@ class DslQueue final : public SchedulerQueue {
   using PriKey = std::pair<std::int64_t, std::uint32_t>;
 
   void refresh(WfState& st, SimTime now);
+  // Insert-or-throw: a failed (duplicate-key) insert into either skip list
+  // would silently unschedule a workflow; see queue_dsl.cpp for the rationale.
+  // CtKey and PriKey are the same pair type, so one helper serves both lists.
+  static void checked_insert(SkipList<CtKey, WfState*>& list, const CtKey& key,
+                             WfState* st, const char* what);
 
   std::unordered_map<std::uint32_t, std::unique_ptr<WfState>> states_;
   SkipList<CtKey, WfState*> ct_list_;

@@ -97,6 +97,13 @@ void WohaScheduler::on_tasks_lost(hadoop::JobRef job, SlotType t,
 
 std::optional<std::uint32_t> WohaScheduler::pick_job(
     std::uint32_t wf, const hadoop::SlotOffer& slot) const {
+  // O(1) fast-fail: the per-workflow availability count tells us whether
+  // the scan below could possibly find anything. With hundreds of active
+  // workflows, assign() probes pick_job once per queue candidate — this
+  // check is what keeps that probe cheap on saturated clusters.
+  if (tracker_->workflow(WorkflowId(wf)).available_jobs(slot.type) == 0) {
+    return std::nullopt;
+  }
   const WorkflowState& st = states_.at(wf);
   for (std::uint32_t j : st.active_jobs) {
     const hadoop::JobRef ref{wf, j};
@@ -109,8 +116,17 @@ std::optional<hadoop::JobRef> WohaScheduler::select_task(
     const hadoop::SlotOffer& slot, SimTime now) {
   std::chrono::steady_clock::time_point t0;
   if (assign_ns_) t0 = std::chrono::steady_clock::now();
-  const std::uint32_t wf = queue_->assign(
-      now, [this, &slot](std::uint32_t id) { return pick_job(id, slot).has_value(); });
+  // Cluster-wide availability early-out: when no workflow has an assignable
+  // task of this type, assign() would refresh orderings and probe every
+  // candidate only to return kNone. Skipping it is decision-identical (the
+  // refresh is deferred to the next assign; orderings depend only on `now`)
+  // and keeps the empty-offer heartbeat storm O(1). nothing_available is
+  // false while tracing, so published decision snapshots are unchanged.
+  std::uint32_t wf = SchedulerQueue::kNone;
+  if (!nothing_available(slot.type)) {
+    wf = queue_->assign(
+        now, [this, &slot](std::uint32_t id) { return pick_job(id, slot).has_value(); });
+  }
   if (assign_ns_) {
     assign_ns_->observe(std::chrono::duration<double, std::nano>(
                             std::chrono::steady_clock::now() - t0)

@@ -40,6 +40,20 @@ ClusterConfig ClusterConfig::with_totals(std::uint32_t map_slots,
   c.num_trackers = trackers;
   c.map_slots_per_tracker = map_slots / trackers;
   c.reduce_slots_per_tracker = reduce_slots / trackers;
+  // Coprime totals (e.g. 200 map + 1 reduce) collapse to a single tracker
+  // holding every slot, which silently models a cluster with no parallelism
+  // at all. Reject such shapes instead of producing nonsense: no real
+  // TaskTracker carries more than a handful of slots per type.
+  constexpr std::uint32_t kMaxSlotsPerTrackerType = 32;
+  if (c.map_slots_per_tracker > kMaxSlotsPerTrackerType ||
+      c.reduce_slots_per_tracker > kMaxSlotsPerTrackerType) {
+    throw std::invalid_argument(
+        "with_totals: no tracker count <= 128 divides both slot totals into "
+        "<= 32 slots per tracker per type (totals " + std::to_string(map_slots) +
+        "m/" + std::to_string(reduce_slots) +
+        "r are near-coprime); pick totals with a common factor or configure "
+        "the cluster explicitly");
+  }
   return c;
 }
 
@@ -70,6 +84,42 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   }
   total_free_[0] = config.total_map_slots();
   total_free_[1] = config.total_reduce_slots();
+  // Seed the freelists in tracker-index order (tracker 0 at the head).
+  const std::uint32_t caps[2] = {config.map_slots_per_tracker,
+                                 config.reduce_slots_per_tracker};
+  for (std::size_t s = 0; s < 2; ++s) {
+    next_[s].assign(config.num_trackers, kNoTracker);
+    prev_[s].assign(config.num_trackers, kNoTracker);
+    if (caps[s] == 0) continue;
+    head_[s] = 0;
+    free_count_[s] = config.num_trackers;
+    for (std::size_t i = 0; i < config.num_trackers; ++i) {
+      if (i > 0) prev_[s][i] = i - 1;
+      if (i + 1 < config.num_trackers) next_[s][i] = i + 1;
+    }
+  }
+}
+
+void Cluster::link(std::size_t tracker_index, std::size_t s) {
+  prev_[s][tracker_index] = kNoTracker;
+  next_[s][tracker_index] = head_[s];
+  if (head_[s] != kNoTracker) prev_[s][head_[s]] = tracker_index;
+  head_[s] = tracker_index;
+  ++free_count_[s];
+}
+
+void Cluster::unlink(std::size_t tracker_index, std::size_t s) {
+  const std::size_t prev = prev_[s][tracker_index];
+  const std::size_t next = next_[s][tracker_index];
+  if (prev != kNoTracker) {
+    next_[s][prev] = next;
+  } else {
+    head_[s] = next;
+  }
+  if (next != kNoTracker) prev_[s][next] = prev;
+  prev_[s][tracker_index] = kNoTracker;
+  next_[s][tracker_index] = kNoTracker;
+  --free_count_[s];
 }
 
 std::uint32_t Cluster::total_busy(SlotType t) const {
@@ -79,14 +129,22 @@ std::uint32_t Cluster::total_busy(SlotType t) const {
 }
 
 void Cluster::occupy(std::size_t tracker_index, SlotType t) {
-  trackers_.at(tracker_index).occupy(t);
-  --total_free_[static_cast<std::size_t>(t)];
+  TrackerState& tracker = trackers_.at(tracker_index);
+  tracker.occupy(t);
+  const auto s = static_cast<std::size_t>(t);
+  --total_free_[s];
+  if (tracker.alive() && tracker.free_slots(t) == 0) unlink(tracker_index, s);
   update_gauges();
 }
 
 void Cluster::release(std::size_t tracker_index, SlotType t) {
-  trackers_.at(tracker_index).release(t);
-  ++total_free_[static_cast<std::size_t>(t)];
+  TrackerState& tracker = trackers_.at(tracker_index);
+  tracker.release(t);
+  const auto s = static_cast<std::size_t>(t);
+  ++total_free_[s];
+  // A dead tracker's slots are reconciled (released) during loss detection;
+  // it must not re-enter the freelist until it restarts.
+  if (tracker.alive() && tracker.free_slots(t) == 1) link(tracker_index, s);
   update_gauges();
 }
 
@@ -99,6 +157,18 @@ void Cluster::set_slot_gauges(obs::Gauge* free_map, obs::Gauge* free_reduce) {
 void Cluster::update_gauges() const {
   if (gauges_[0]) gauges_[0]->set(static_cast<double>(total_free_[0]));
   if (gauges_[1]) gauges_[1]->set(static_cast<double>(total_free_[1]));
+}
+
+void Cluster::mark_dead(std::size_t tracker_index) {
+  TrackerState& tracker = trackers_.at(tracker_index);
+  if (!tracker.alive()) {
+    throw std::logic_error("Cluster::mark_dead: tracker already dead");
+  }
+  for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
+    const auto s = static_cast<std::size_t>(t);
+    if (on_freelist(tracker_index, s)) unlink(tracker_index, s);
+  }
+  tracker.set_alive(false);
 }
 
 void Cluster::deactivate(std::size_t tracker_index) {
@@ -122,7 +192,9 @@ void Cluster::activate(std::size_t tracker_index) {
   }
   tracker.set_alive(true);
   for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
-    total_free_[static_cast<std::size_t>(t)] += tracker.capacity(t);
+    const auto s = static_cast<std::size_t>(t);
+    total_free_[s] += tracker.capacity(t);
+    if (tracker.capacity(t) > 0) link(tracker_index, s);
   }
   update_gauges();
 }

@@ -82,9 +82,20 @@ class TrackerState {
   bool alive_ = true;
 };
 
-/// All trackers of a cluster plus aggregate free-slot counters.
+/// All trackers of a cluster plus aggregate free-slot counters and, per slot
+/// type, an intrusive doubly-linked freelist of live trackers with at least
+/// one free slot of that type. The freelist is updated incrementally on
+/// every occupy/release/crash/restart (O(1) each), so "is any slot of type t
+/// free anywhere?" and "enumerate trackers with a free t-slot" never scan
+/// the full tracker array — the scan was O(trackers) per query and dominated
+/// large-cluster runs. List order is recency of becoming free (push-front),
+/// not tracker index; consumers that need a deterministic order independent
+/// of history must not rely on it.
 class Cluster {
  public:
+  /// Sentinel terminating freelist traversal.
+  static constexpr std::size_t kNoTracker = static_cast<std::size_t>(-1);
+
   explicit Cluster(const ClusterConfig& config);
 
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
@@ -97,10 +108,31 @@ class Cluster {
   }
   [[nodiscard]] std::uint32_t total_busy(SlotType t) const;
 
+  /// Number of live trackers with >= 1 free slot of type `t`.
+  [[nodiscard]] std::uint32_t free_tracker_count(SlotType t) const {
+    return free_count_[static_cast<std::size_t>(t)];
+  }
+  /// Head of the type-`t` freelist (kNoTracker when empty).
+  [[nodiscard]] std::size_t first_free(SlotType t) const {
+    return head_[static_cast<std::size_t>(t)];
+  }
+  /// Successor of `tracker_index` on the type-`t` freelist (kNoTracker at
+  /// the tail). Only meaningful while the tracker is on the list.
+  [[nodiscard]] std::size_t next_free(SlotType t, std::size_t tracker_index) const {
+    return next_[static_cast<std::size_t>(t)].at(tracker_index);
+  }
+
   /// Aggregate bookkeeping wrappers — keep the totals in sync with the
   /// per-tracker state.
   void occupy(std::size_t tracker_index, SlotType t);
   void release(std::size_t tracker_index, SlotType t);
+
+  /// Mark a tracker dead at the instant of the crash: it stops heartbeating
+  /// and leaves both freelists immediately (its slots stay formally occupied
+  /// until detect_tracker_loss reconciles them). The only sanctioned way to
+  /// kill a tracker — writing TrackerState::set_alive directly would leave
+  /// the freelists stale.
+  void mark_dead(std::size_t tracker_index);
 
   /// Remove a lost tracker's slots from the aggregate pool once the
   /// JobTracker detects the loss. Requires the tracker marked dead and all
@@ -116,10 +148,22 @@ class Cluster {
 
  private:
   void update_gauges() const;
+  /// Push `tracker_index` onto the front of the type-`s` freelist.
+  void link(std::size_t tracker_index, std::size_t s);
+  /// Remove `tracker_index` from the type-`s` freelist (must be on it).
+  void unlink(std::size_t tracker_index, std::size_t s);
+  [[nodiscard]] bool on_freelist(std::size_t tracker_index, std::size_t s) const {
+    return prev_[s][tracker_index] != kNoTracker || head_[s] == tracker_index;
+  }
 
   ClusterConfig config_;
   std::vector<TrackerState> trackers_;
   std::uint32_t total_free_[2];
+  // Intrusive per-slot-type freelists over tracker indices.
+  std::vector<std::size_t> next_[2];
+  std::vector<std::size_t> prev_[2];
+  std::size_t head_[2] = {kNoTracker, kNoTracker};
+  std::uint32_t free_count_[2] = {0, 0};
   obs::Gauge* gauges_[2] = {nullptr, nullptr};
 };
 

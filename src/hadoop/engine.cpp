@@ -348,8 +348,38 @@ void Engine::start_task(JobRef ref, SlotType type, std::size_t tracker_index) {
                   retry_level, will_fail, false,         0,          {}};
   attempt.finish_event =
       sim_.schedule_after(dur, [this, id]() { finish_attempt(id); });
+  index_attempt_add(id, attempt);
   attempts_.emplace(id, std::move(attempt));
   tracker_attempts_[tracker_index].push_back(id);
+}
+
+void Engine::index_attempt_add(std::uint64_t id, const Attempt& a) {
+  if (config_.faults.max_attempts > 0) {
+    attempts_by_workflow_.emplace(a.ref.workflow, a.tracker, id);
+  }
+  spec_candidate_add(id, a);
+}
+
+void Engine::index_attempt_remove(std::uint64_t id, const Attempt& a) {
+  if (config_.faults.max_attempts > 0) {
+    attempts_by_workflow_.erase({a.ref.workflow, a.tracker, id});
+  }
+  spec_candidate_remove(id, a);
+}
+
+void Engine::spec_candidate_add(std::uint64_t id, const Attempt& a) {
+  if (!config_.faults.speculative_execution) return;
+  if (a.speculative || a.rival != 0) return;
+  spec_candidates_[static_cast<std::size_t>(a.type)].emplace(a.tracker, id);
+}
+
+void Engine::spec_candidate_remove(std::uint64_t id, const Attempt& a) {
+  // Mirror of spec_candidate_add: callers invoke it with the attempt state
+  // as of insertion time (rival still 0), so ineligible attempts were
+  // simply never in the set.
+  if (!config_.faults.speculative_execution) return;
+  if (a.speculative || a.rival != 0) return;
+  spec_candidates_[static_cast<std::size_t>(a.type)].erase({a.tracker, id});
 }
 
 void Engine::finish_attempt(std::uint64_t attempt_id) {
@@ -359,6 +389,7 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
   }
   const Attempt a = it->second;
   attempts_.erase(it);
+  index_attempt_remove(attempt_id, a);
   std::erase(tracker_attempts_[a.tracker], attempt_id);
   cluster_.release(a.tracker, a.type);
   JobInProgress& job = job_tracker_.job(a.ref);
@@ -379,7 +410,10 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
       // The speculation twin keeps running the task alone; this failure
       // burns an attempt but re-queues nothing.
       const auto rit = attempts_.find(a.rival);
-      if (rit != attempts_.end()) rit->second.rival = 0;
+      if (rit != attempts_.end()) {
+        rit->second.rival = 0;
+        spec_candidate_add(a.rival, rit->second);
+      }
       publish_ended(true);
       return;
     }
@@ -459,6 +493,7 @@ Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time
   Attempt a = attempts_.at(attempt_id);
   a.finish_event.cancel();
   attempts_.erase(attempt_id);
+  index_attempt_remove(attempt_id, a);
   std::erase(tracker_attempts_[a.tracker], attempt_id);
   cluster_.release(a.tracker, a.type);
   // Busy time was charged for the full scheduled duration at start; refund
@@ -484,7 +519,7 @@ void Engine::crash_tracker(std::size_t tracker_index, SimTime restart_time) {
   fs.detected = false;
   fs.crash_time = sim_.now();
   ++fs.epoch;
-  cluster_.tracker(tracker_index).set_alive(false);
+  cluster_.mark_dead(tracker_index);
   --live_trackers_;
   ++tracker_crashes_;
   if (handles_.tracker_crashes) handles_.tracker_crashes->add();
@@ -557,7 +592,10 @@ void Engine::detect_tracker_loss(std::size_t tracker_index) {
     if (a.rival != 0) {
       // The task lives on in its speculation twin — nothing to re-queue.
       const auto rit = attempts_.find(a.rival);
-      if (rit != attempts_.end()) rit->second.rival = 0;
+      if (rit != attempts_.end()) {
+        rit->second.rival = 0;
+        spec_candidate_add(a.rival, rit->second);
+      }
       continue;
     }
     JobInProgress& job = job_tracker_.job(a.ref);
@@ -601,19 +639,25 @@ void Engine::fail_workflow(std::uint32_t workflow, SimTime now) {
     events_.publish(now, obs::WorkflowFailed{workflow});
   }
 
-  // Kill the workflow's remaining attempts everywhere (deterministic
-  // tracker-order scan).
-  for (std::size_t t = 0; t < tracker_attempts_.size(); ++t) {
-    std::vector<std::uint64_t> victims;
-    for (const std::uint64_t id : tracker_attempts_[t]) {
-      if (attempts_.at(id).ref.workflow == workflow) victims.push_back(id);
-    }
-    for (const std::uint64_t id : victims) {
-      const TrackerFaultState& fs = fault_state_[t];
-      const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now);
-      if (a.rival != 0) {
-        const auto rit = attempts_.find(a.rival);
-        if (rit != attempts_.end()) rit->second.rival = 0;
+  // Kill the workflow's remaining attempts everywhere. The (workflow,
+  // tracker, attempt) index yields them in exactly the order the old
+  // full-cluster sweep did — trackers ascending, launch order within a
+  // tracker — without touching the other 9,999 trackers' lists. Collect
+  // first: kill_attempt mutates the index.
+  std::vector<std::uint64_t> victims;
+  for (auto it = attempts_by_workflow_.lower_bound({workflow, 0, 0});
+       it != attempts_by_workflow_.end() && std::get<0>(*it) == workflow; ++it) {
+    victims.push_back(std::get<2>(*it));
+  }
+  for (const std::uint64_t id : victims) {
+    const std::size_t t = attempts_.at(id).tracker;
+    const TrackerFaultState& fs = fault_state_[t];
+    const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now);
+    if (a.rival != 0) {
+      const auto rit = attempts_.find(a.rival);
+      if (rit != attempts_.end()) {
+        rit->second.rival = 0;
+        spec_candidate_add(a.rival, rit->second);
       }
     }
   }
@@ -642,63 +686,69 @@ void Engine::record_attempt_failure(JobRef ref, std::size_t tracker_index) {
 
 bool Engine::try_speculate(SlotType type, std::size_t tracker_index) {
   const SimTime now = sim_.now();
-  // Deterministic straggler scan: trackers in index order, attempts in
-  // launch order. The duration-based slowness test stands in for Hadoop's
-  // progress-rate estimate (the simulator knows the true remaining time);
-  // an attempt on a silently-dead node reports no progress at all, which is
-  // exactly what LATE flags first — so zombies are always eligible.
-  for (std::size_t t = 0; t < tracker_attempts_.size(); ++t) {
-    for (const std::uint64_t id : tracker_attempts_[t]) {
-      const Attempt& a = attempts_.at(id);
-      if (a.type != type || a.speculative || a.rival != 0) continue;
-      if (a.tracker == tracker_index) continue;  // back up on another node
-      if (now - a.start_time < config_.faults.speculative_min_runtime) continue;
-      const bool zombie = fault_state_[a.tracker].dead;
-      if (!zombie) {
-        const JobInProgress& job = job_tracker_.job(a.ref);
-        const Duration est = type == SlotType::kMap ? job.spec().map_duration
-                                                    : job.spec().reduce_duration;
-        if (static_cast<double>(a.duration) <=
-            config_.faults.speculative_slowness * static_cast<double>(est)) {
-          continue;  // not slow enough to bother
-        }
-        if (now + est >= a.start_time + a.duration) {
-          continue;  // a backup would not beat the original anyway
-        }
+  // Deterministic straggler scan over the candidate index: (tracker
+  // ascending, launch order within tracker) — the exact order the old
+  // every-tracker sweep produced, but visiting only attempts that could
+  // actually receive a backup (non-speculative, no rival yet). The
+  // duration-based slowness test stands in for Hadoop's progress-rate
+  // estimate (the simulator knows the true remaining time); an attempt on a
+  // silently-dead node reports no progress at all, which is exactly what
+  // LATE flags first — so zombies are always eligible.
+  for (const auto& [cand_tracker, id] :
+       spec_candidates_[static_cast<std::size_t>(type)]) {
+    const Attempt& a = attempts_.at(id);
+    if (a.tracker == tracker_index) continue;  // back up on another node
+    if (now - a.start_time < config_.faults.speculative_min_runtime) continue;
+    const bool zombie = fault_state_[a.tracker].dead;
+    if (!zombie) {
+      const JobInProgress& job = job_tracker_.job(a.ref);
+      const Duration est = type == SlotType::kMap ? job.spec().map_duration
+                                                  : job.spec().reduce_duration;
+      if (static_cast<double>(a.duration) <=
+          config_.faults.speculative_slowness * static_cast<double>(est)) {
+        continue;  // not slow enough to bother
       }
-      if (blacklisted(a.ref, tracker_index)) continue;
-
-      // Launch the backup. It occupies a slot and burns budget metrics but
-      // is NOT new task progress: no job/rho accounting, no select_task.
-      cluster_.occupy(tracker_index, type);
-      ++tasks_executed_;
-      ++speculative_launched_;
-      if (handles_.tasks_started) handles_.tasks_started->add();
-      if (handles_.speculative_launched) handles_.speculative_launched->add();
-      bool will_fail = false;
-      const Duration dur = draw_attempt(a.ref, type, tracker_index, will_fail);
-      busy_ms_[static_cast<std::size_t>(type)] += static_cast<double>(dur);
-      const std::uint64_t backup_id = next_attempt_id_++;
-      if (events_.active()) {
-        events_.publish(now, obs::SpeculativeLaunched{backup_id, id,
-                                                      a.ref.workflow, a.ref.job,
-                                                      type, tracker_index});
-        events_.publish(now, obs::TaskStarted{backup_id, a.ref.workflow,
-                                              a.ref.job, type, tracker_index,
-                                              dur, true});
+      if (now + est >= a.start_time + a.duration) {
+        continue;  // a backup would not beat the original anyway
       }
-      Attempt backup{a.ref,         type,      tracker_index, now, dur,
-                     a.retry_level, will_fail, true,          id,  {}};
-      backup.finish_event =
-          sim_.schedule_after(dur, [this, backup_id]() { finish_attempt(backup_id); });
-      attempts_.emplace(backup_id, std::move(backup));
-      tracker_attempts_[tracker_index].push_back(backup_id);
-      attempts_.at(id).rival = backup_id;
-      WOHA_LOG(LogLevel::kDebug, "engine")
-          << "t=" << now << " speculative backup for w" << a.ref.workflow << "/j"
-          << a.ref.job << " on tracker " << tracker_index;
-      return true;
     }
+    if (blacklisted(a.ref, tracker_index)) continue;
+
+    // Launch the backup. It occupies a slot and burns budget metrics but
+    // is NOT new task progress: no job/rho accounting, no select_task.
+    cluster_.occupy(tracker_index, type);
+    ++tasks_executed_;
+    ++speculative_launched_;
+    if (handles_.tasks_started) handles_.tasks_started->add();
+    if (handles_.speculative_launched) handles_.speculative_launched->add();
+    bool will_fail = false;
+    const Duration dur = draw_attempt(a.ref, type, tracker_index, will_fail);
+    busy_ms_[static_cast<std::size_t>(type)] += static_cast<double>(dur);
+    const std::uint64_t backup_id = next_attempt_id_++;
+    if (events_.active()) {
+      events_.publish(now, obs::SpeculativeLaunched{backup_id, id,
+                                                    a.ref.workflow, a.ref.job,
+                                                    type, tracker_index});
+      events_.publish(now, obs::TaskStarted{backup_id, a.ref.workflow,
+                                            a.ref.job, type, tracker_index,
+                                            dur, true});
+    }
+    Attempt backup{a.ref,         type,      tracker_index, now, dur,
+                   a.retry_level, will_fail, true,          id,  {}};
+    backup.finish_event =
+        sim_.schedule_after(dur, [this, backup_id]() { finish_attempt(backup_id); });
+    index_attempt_add(backup_id, backup);
+    attempts_.emplace(backup_id, std::move(backup));
+    tracker_attempts_[tracker_index].push_back(backup_id);
+    WOHA_LOG(LogLevel::kDebug, "engine")
+        << "t=" << now << " speculative backup for w" << a.ref.workflow << "/j"
+        << a.ref.job << " on tracker " << tracker_index;
+    // The original now has a rival: retire it from the candidate set. We
+    // return immediately, so the invalidated loop iterator is never
+    // advanced.
+    spec_candidate_remove(id, a);
+    attempts_.at(id).rival = backup_id;
+    return true;
   }
   return false;
 }

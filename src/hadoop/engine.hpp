@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -257,6 +258,17 @@ class Engine {
   /// Launch at most one speculative backup into a free slot of
   /// `tracker_index`; returns whether one was launched.
   bool try_speculate(SlotType type, std::size_t tracker_index);
+  /// Register / retire an attempt in the hot-path indices
+  /// (attempts_by_workflow_, spec_candidates_). Call _add right after the
+  /// attempt record is complete and _remove right after it leaves
+  /// attempts_, with the record as of insertion time.
+  void index_attempt_add(std::uint64_t id, const Attempt& a);
+  void index_attempt_remove(std::uint64_t id, const Attempt& a);
+  /// Candidate set maintenance for the speculation scan. Eligibility is
+  /// (non-speculative, no rival); both calls are no-ops for ineligible
+  /// attempts or when speculation is off.
+  void spec_candidate_add(std::uint64_t id, const Attempt& a);
+  void spec_candidate_remove(std::uint64_t id, const Attempt& a);
   void schedule_next_mtbf_crash(std::size_t tracker_index);
   [[nodiscard]] bool blacklisted(JobRef ref, std::size_t tracker_index) const {
     return blacklist_.find({ref, tracker_index}) != blacklist_.end();
@@ -297,6 +309,21 @@ class Engine {
   std::unordered_map<std::uint64_t, Attempt> attempts_;
   std::vector<std::vector<std::uint64_t>> tracker_attempts_;
   std::uint64_t next_attempt_id_ = 1;
+
+  // Hot-path attempt indices. Both are ordered sets so their iteration
+  // reproduces, bit for bit, the (tracker ascending, launch order within
+  // tracker) sweep the engine used to perform over every tracker — attempt
+  // ids are handed out monotonically, so launch order == id order.
+  //
+  // spec_candidates_[type]: running attempts eligible to *receive* a backup
+  // (non-speculative, no rival), keyed (tracker, attempt id). Only
+  // maintained when faults.speculative_execution is on.
+  std::set<std::pair<std::size_t, std::uint64_t>> spec_candidates_[2];
+  // attempts_by_workflow_: every running attempt keyed (workflow, tracker,
+  // attempt id), so fail_workflow's kill sweep touches only the failed
+  // workflow's attempts. Only maintained when faults.max_attempts > 0 (the
+  // sole trigger for fail_workflow).
+  std::set<std::tuple<std::uint32_t, std::size_t, std::uint64_t>> attempts_by_workflow_;
 
   // Fault state. map_outputs_[t][job] counts completed maps of `job` whose
   // output sits on tracker t's local disk (only tracked for jobs with

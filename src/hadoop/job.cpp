@@ -4,12 +4,24 @@
 
 namespace woha::hadoop {
 
+void JobInProgress::sync_avail() {
+  for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
+    const auto s = static_cast<std::size_t>(t);
+    const bool now_avail = has_available(t);
+    if (now_avail != avail_cached_[s]) {
+      avail_cached_[s] = now_avail;
+      if (owner_) owner_->on_job_avail_changed(t, now_avail ? +1 : -1);
+    }
+  }
+}
+
 void JobInProgress::mark_active(SimTime now) {
   if (state_ == JobState::kActive || state_ == JobState::kComplete) {
     throw std::logic_error("JobInProgress::mark_active: already active/complete");
   }
   state_ = JobState::kActive;
   activation_time_ = now;
+  sync_avail();
 }
 
 std::uint32_t JobInProgress::start_task(SlotType t) {
@@ -35,6 +47,7 @@ std::uint32_t JobInProgress::start_task(SlotType t) {
     --pending_reduces_;
     ++running_reduces_;
   }
+  sync_avail();
   return level;
 }
 
@@ -64,6 +77,7 @@ void JobInProgress::fail_task(SlotType t, std::uint32_t retry_level) {
   }
   add_pending(t, retry_level, 1);
   ++failed_attempts_;
+  sync_avail();
 }
 
 void JobInProgress::requeue_running(SlotType t, std::uint32_t retry_level) {
@@ -80,6 +94,7 @@ void JobInProgress::requeue_running(SlotType t, std::uint32_t retry_level) {
   }
   // Killed, not failed: same retry level, no failed_attempts_ charge.
   add_pending(t, retry_level, 1);
+  sync_avail();
 }
 
 void JobInProgress::invalidate_finished_maps(std::uint32_t count) {
@@ -95,9 +110,13 @@ void JobInProgress::invalidate_finished_maps(std::uint32_t count) {
   // Re-executions are fresh attempts of tasks that already succeeded once;
   // they re-enter at retry level 0 (lost outputs carry no failure history).
   add_pending(SlotType::kMap, 0, count);
+  sync_avail();
 }
 
-void JobInProgress::mark_failed() { state_ = JobState::kFailed; }
+void JobInProgress::mark_failed() {
+  state_ = JobState::kFailed;
+  sync_avail();
+}
 
 bool JobInProgress::finish_task(SlotType t, SimTime now) {
   if (t == SlotType::kMap) {
@@ -115,12 +134,14 @@ bool JobInProgress::finish_task(SlotType t, SimTime now) {
   }
   const bool all_done =
       finished_maps_ == spec_->num_maps && finished_reduces_ == spec_->num_reduces;
+  bool completed = false;
   if (all_done && state_ != JobState::kComplete) {
     state_ = JobState::kComplete;
     finish_time_ = now;
-    return true;
+    completed = true;
   }
-  return false;
+  sync_avail();
+  return completed;
 }
 
 WorkflowRuntime::WorkflowRuntime(WorkflowId id, wf::WorkflowSpec spec,
@@ -134,6 +155,7 @@ WorkflowRuntime::WorkflowRuntime(WorkflowId id, wf::WorkflowSpec spec,
   remaining_prereqs_.reserve(n);
   for (std::uint32_t j = 0; j < n; ++j) {
     jobs_.emplace_back(JobRef{id_.value(), j}, spec_.jobs[j]);
+    jobs_.back().owner_ = this;
     remaining_prereqs_.push_back(
         static_cast<std::uint32_t>(spec_.jobs[j].prerequisites.size()));
   }
@@ -159,6 +181,15 @@ std::vector<std::uint32_t> WorkflowRuntime::on_job_complete(std::uint32_t j,
   }
   if (unfinished_jobs_ == 0) finish_time_ = now;
   return unlocked;
+}
+
+void WorkflowRuntime::on_job_avail_changed(SlotType t, int delta) {
+  auto& count = avail_jobs_[static_cast<std::size_t>(t)];
+  if (delta < 0 && count == 0) {
+    throw std::logic_error("WorkflowRuntime: availability count underflow");
+  }
+  count += static_cast<std::uint32_t>(delta);
+  if (listener_) listener_->on_available_jobs_changed(id_, t, delta);
 }
 
 void WorkflowRuntime::mark_failed(SimTime now) {

@@ -25,6 +25,19 @@ struct JobRef {
   friend constexpr auto operator<=>(const JobRef&, const JobRef&) = default;
 };
 
+class WorkflowRuntime;
+
+/// Receives incremental availability deltas from every workflow (the
+/// JobTracker implements this to maintain cluster-global per-slot-type
+/// counts of schedulable jobs, so schedulers can answer "is anything at all
+/// runnable?" in O(1) instead of scanning their queues).
+class AvailabilityListener {
+ public:
+  virtual ~AvailabilityListener() = default;
+  /// `delta` is +1 (a job of `wf` became schedulable for type `t`) or -1.
+  virtual void on_available_jobs_changed(WorkflowId wf, SlotType t, int delta) = 0;
+};
+
 enum class JobState : std::uint8_t {
   kWaiting,     ///< Some prerequisite wjob has not finished.
   kActivating,  ///< Prereqs done; submitter map task is loading jars / splits.
@@ -108,8 +121,17 @@ class JobInProgress {
   [[nodiscard]] std::uint32_t failed_attempts() const { return failed_attempts_; }
 
  private:
+  friend class WorkflowRuntime;
+
+  /// Re-derive both has_available flags and push deltas to the owning
+  /// workflow when one flipped. Every mutator ends with this call, so the
+  /// cached availability index can never go stale.
+  void sync_avail();
+
   JobRef ref_;
   const wf::JobSpec* spec_;
+  WorkflowRuntime* owner_ = nullptr;  ///< set by WorkflowRuntime; never reseated
+  bool avail_cached_[2] = {false, false};
   JobState state_ = JobState::kWaiting;
   std::uint32_t pending_maps_;
   std::uint32_t running_maps_ = 0;
@@ -132,6 +154,10 @@ class JobInProgress {
 class WorkflowRuntime {
  public:
   WorkflowRuntime(WorkflowId id, wf::WorkflowSpec spec, SimTime submit_time);
+  // Jobs hold a back-pointer to their workflow; relocating the workflow
+  // would dangle it.
+  WorkflowRuntime(const WorkflowRuntime&) = delete;
+  WorkflowRuntime& operator=(const WorkflowRuntime&) = delete;
 
   [[nodiscard]] WorkflowId id() const { return id_; }
   [[nodiscard]] const wf::WorkflowSpec& spec() const { return spec_; }
@@ -161,6 +187,16 @@ class WorkflowRuntime {
   [[nodiscard]] std::uint64_t tasks_scheduled() const { return tasks_scheduled_; }
   void count_scheduled_task() { ++tasks_scheduled_; }
 
+  /// Number of this workflow's jobs with has_available(t) — maintained
+  /// incrementally, so schedulers can skip a whole workflow in O(1).
+  [[nodiscard]] std::uint32_t available_jobs(SlotType t) const {
+    return avail_jobs_[static_cast<std::size_t>(t)];
+  }
+  /// Forward availability deltas (typically to the owning JobTracker).
+  void set_availability_listener(AvailabilityListener* listener) {
+    listener_ = listener;
+  }
+
   /// Called when job j finishes; decrements dependents' prereq counters and
   /// returns the newly unlocked job indices. Marks the workflow finished
   /// when the last job completes.
@@ -173,6 +209,9 @@ class WorkflowRuntime {
   [[nodiscard]] std::uint32_t unfinished_jobs() const { return unfinished_jobs_; }
 
  private:
+  friend class JobInProgress;
+  void on_job_avail_changed(SlotType t, int delta);
+
   WorkflowId id_;
   wf::WorkflowSpec spec_;
   SimTime submit_time_;
@@ -185,6 +224,8 @@ class WorkflowRuntime {
   std::vector<std::vector<std::uint32_t>> dependents_;
   std::uint32_t unfinished_jobs_;
   std::uint64_t tasks_scheduled_ = 0;
+  std::uint32_t avail_jobs_[2] = {0, 0};
+  AvailabilityListener* listener_ = nullptr;
 };
 
 }  // namespace woha::hadoop

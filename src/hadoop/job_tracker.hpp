@@ -16,7 +16,7 @@ class EventBus;
 
 namespace woha::hadoop {
 
-class JobTracker {
+class JobTracker : public AvailabilityListener {
  public:
   /// Register a workflow at its submission time; returns its WorkflowId
   /// (dense index, as in paper step (f): "gets a unique workflow ID").
@@ -49,11 +49,22 @@ class JobTracker {
   [[nodiscard]] std::uint32_t active_workflows() const { return active_workflows_; }
   void count_workflow_finished() { --active_workflows_; }
 
+  /// Cluster-global count of jobs with has_available(t), across every
+  /// workflow. Maintained incrementally by the per-job availability index;
+  /// lets the heartbeat path answer "could ANY task use this slot?" in O(1)
+  /// before consulting the scheduler's queue.
+  [[nodiscard]] std::uint64_t available_jobs(SlotType t) const {
+    return available_jobs_[static_cast<std::size_t>(t)];
+  }
+
+  void on_available_jobs_changed(WorkflowId wf, SlotType t, int delta) override;
+
  private:
   // unique_ptr: WorkflowRuntime addresses must stay stable across
   // submissions because schedulers hold references between calls.
   std::vector<std::unique_ptr<WorkflowRuntime>> workflows_;
   std::uint32_t active_workflows_ = 0;
+  std::uint64_t available_jobs_[2] = {0, 0};
   obs::EventBus* bus_ = nullptr;
 };
 

@@ -1,0 +1,13 @@
+#include "hadoop/scheduler.hpp"
+
+#include "hadoop/job_tracker.hpp"
+#include "obs/event_bus.hpp"
+
+namespace woha::hadoop {
+
+bool WorkflowScheduler::nothing_available(SlotType t) const {
+  if (bus_ && bus_->active()) return false;
+  return tracker_ != nullptr && tracker_->available_jobs(t) == 0;
+}
+
+}  // namespace woha::hadoop

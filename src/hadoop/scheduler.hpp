@@ -124,6 +124,14 @@ class WorkflowScheduler {
   virtual std::optional<JobRef> select_task(const SlotOffer& slot, SimTime now) = 0;
 
  protected:
+  /// O(1) hot-path guard: true when no job anywhere in the cluster has an
+  /// assignable task of this slot type, so a queue scan cannot possibly
+  /// return one. Disabled while decision tracing is on — the trace records
+  /// the considered ranking even for empty offers, and skipping the scan
+  /// would drop those records. Implemented in scheduler.cpp (needs the full
+  /// JobTracker definition).
+  [[nodiscard]] bool nothing_available(SlotType t) const;
+
   const JobTracker* tracker_ = nullptr;
   obs::EventBus* bus_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -46,6 +46,7 @@ void DecomposedEdfScheduler::on_workflow_failed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> DecomposedEdfScheduler::select_task(
     const hadoop::SlotOffer& slot, SimTime now) {
+  if (nothing_available(slot.type)) return std::nullopt;
   std::optional<hadoop::JobRef> choice;
   for (const auto& [key, ref] : active_) {
     if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) {

@@ -30,8 +30,11 @@ void EdfScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> EdfScheduler::select_task(const hadoop::SlotOffer& slot,
                                                         SimTime now) {
+  if (nothing_available(slot.type)) return std::nullopt;
   std::optional<hadoop::JobRef> choice;
   for (const WorkflowId wf : by_deadline_) {
+    // O(1) skip of workflows with nothing assignable for this slot type.
+    if (tracker_->workflow(wf).available_jobs(slot.type) == 0) continue;
     const auto it = active_jobs_.find(wf.value());
     if (it == active_jobs_.end()) continue;
     for (std::uint32_t j : it->second) {

@@ -36,12 +36,16 @@ void FairScheduler::on_workflow_completed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> FairScheduler::select_task(const hadoop::SlotOffer& slot,
                                                          SimTime now) {
+  if (nothing_available(slot.type)) return std::nullopt;
   // Most-starved workflow first: fewest running tasks, ties by workflow id
   // (submission order) for determinism.
   WorkflowShare* best = nullptr;
   hadoop::JobRef best_job;
   for (auto& share : workflows_) {
     if (best && share.running_tasks >= best->running_tasks) continue;
+    // A workflow with zero available jobs of this type can never win;
+    // skipping it here avoids the per-job scan (same predicate, O(1)).
+    if (tracker_->workflow(share.id).available_jobs(slot.type) == 0) continue;
     const auto it = active_jobs_.find(share.id.value());
     if (it == active_jobs_.end()) continue;
     for (std::uint32_t j : it->second) {

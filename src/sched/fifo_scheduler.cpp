@@ -28,6 +28,7 @@ void FifoScheduler::on_workflow_failed(WorkflowId wf, SimTime now) {
 
 std::optional<hadoop::JobRef> FifoScheduler::select_task(const hadoop::SlotOffer& slot,
                                                          SimTime now) {
+  if (nothing_available(slot.type)) return std::nullopt;
   std::optional<hadoop::JobRef> choice;
   for (const hadoop::JobRef ref : queue_) {
     if (tracker_->job(ref).has_available(slot.type) && slot.allows(ref)) {

@@ -1,6 +1,6 @@
 #include "sim/simulation.hpp"
 
-#include <memory>
+#include <bit>
 #include <utility>
 
 namespace woha::sim {
@@ -9,12 +9,14 @@ void EventHandle::cancel() {
   if (token_) *token_ = true;
 }
 
+Simulation::Simulation() : ring_(kBuckets), bits_(kWords, 0) {}
+
 EventHandle Simulation::schedule_at(SimTime when, Callback cb) {
   if (when < now_) {
     throw std::invalid_argument("Simulation::schedule_at: time in the past");
   }
   auto token = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(cb), token});
+  push(Event{when, next_seq_++, std::move(cb), token, 0});
   return EventHandle(std::move(token));
 }
 
@@ -25,38 +27,138 @@ EventHandle Simulation::schedule_after(Duration delay, Callback cb) {
 
 EventHandle Simulation::schedule_every(SimTime first, Duration period, Callback cb) {
   if (period <= 0) throw std::invalid_argument("Simulation::schedule_every: period <= 0");
-  // A shared cancellation token covers every future firing; each firing
-  // re-schedules the next one under the same token.
+  // A shared cancellation token covers every future firing; step() re-arms
+  // the event (moving the callback back in) after each firing.
   auto token = std::make_shared<bool>(false);
-  // The recursive lambda owns the callback by value.
-  auto fire = std::make_shared<std::function<void(SimTime)>>();
-  *fire = [this, period, cb = std::move(cb), token, fire](SimTime when) {
-    queue_.push(Event{when, next_seq_++,
-                      [this, period, cb, token, fire, when]() {
-                        cb();
-                        if (!*token) (*fire)(when + period);
-                      },
-                      token});
-  };
   if (first < now_) first = now_;
-  (*fire)(first);
+  push(Event{first, next_seq_++, std::move(cb), token, period});
   return EventHandle(std::move(token));
 }
 
-bool Simulation::step(SimTime until) {
-  while (!queue_.empty()) {
-    const Event& head = queue_.top();
-    if (head.time > until) return false;
-    // Skip cancelled events without advancing the clock for them.
-    if (*head.cancelled) {
-      queue_.pop();
-      continue;
+void Simulation::push(Event&& ev) {
+  if (size_ == 0) {
+    // Empty queue: re-anchor the window at the clock so every schedulable
+    // time (>= now) is representable.
+    base_ = sweep_ = now_;
+  }
+  ++size_;
+  if (ev.time < base_ + kWindow) {
+    ring_push(std::move(ev));
+  } else {
+    heap_push(std::move(ev));
+  }
+}
+
+void Simulation::ring_push(Event&& ev) {
+  const std::size_t b = bucket_of(ev.time);
+  ring_[b].items.push_back(std::move(ev));
+  bits_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  ++ring_count_;
+}
+
+void Simulation::drain_overflow() {
+  // Heap pops come out in (time, seq) order, so per-tick append order stays
+  // FIFO. Events already in the ring for the same tick cannot exist: the
+  // ring is empty whenever the window advances (see step()).
+  while (!overflow_.empty() && overflow_.front().time < base_ + kWindow) {
+    ring_push(heap_pop());
+  }
+}
+
+std::size_t Simulation::find_next_bucket() {
+  std::size_t b = bucket_of(sweep_);
+  std::size_t word = b >> 6;
+  // First word: mask off buckets before the cursor.
+  std::uint64_t w = bits_[word] & (~std::uint64_t{0} << (b & 63));
+  for (std::size_t scanned = 0; scanned <= kWords; ++scanned) {
+    if (w != 0) {
+      const std::size_t found = (word << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      // Translate the circular bucket index back to an absolute tick at or
+      // after sweep_ (the ring spans less than one full window).
+      const std::size_t cur = bucket_of(sweep_);
+      const SimTime ahead = static_cast<SimTime>(
+          found >= cur ? found - cur : kBuckets - cur + found);
+      sweep_ += ahead;
+      return found;
     }
-    Event ev = head;  // copy out: cb may schedule new events
-    queue_.pop();
+    word = (word + 1) & (kWords - 1);
+    w = bits_[word];
+  }
+  throw std::logic_error("Simulation: ring bitmap inconsistent");
+}
+
+void Simulation::heap_push(Event&& ev) {
+  overflow_.push_back(std::move(ev));
+  std::size_t i = overflow_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    Event& p = overflow_[parent];
+    Event& c = overflow_[i];
+    if (p.time < c.time || (p.time == c.time && p.seq < c.seq)) break;
+    std::swap(p, c);
+    i = parent;
+  }
+}
+
+Simulation::Event Simulation::heap_pop() {
+  Event out = std::move(overflow_.front());
+  if (overflow_.size() > 1) overflow_.front() = std::move(overflow_.back());
+  overflow_.pop_back();
+  const std::size_t n = overflow_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t smallest = i;
+    const auto less = [this](std::size_t a, std::size_t b) {
+      const Event& x = overflow_[a];
+      const Event& y = overflow_[b];
+      return x.time < y.time || (x.time == y.time && x.seq < y.seq);
+    };
+    if (l < n && less(l, smallest)) smallest = l;
+    if (r < n && less(r, smallest)) smallest = r;
+    if (smallest == i) break;
+    std::swap(overflow_[i], overflow_[smallest]);
+    i = smallest;
+  }
+  return out;
+}
+
+bool Simulation::step(SimTime until) {
+  while (size_ > 0) {
+    if (ring_count_ == 0) {
+      // Window exhausted: jump it to the next far-future event. The check
+      // against `until` comes first so a no-op step never moves the window
+      // (callers may still schedule near-past events afterwards).
+      const SimTime next = overflow_.front().time;
+      if (next > until) return false;
+      base_ = sweep_ = next;
+      drain_overflow();
+    }
+    const std::size_t b = find_next_bucket();
+    if (sweep_ > until) return false;
+    Bucket& bucket = ring_[b];
+    Event ev = std::move(bucket.items[bucket.head]);
+    if (++bucket.head == bucket.items.size()) {
+      bucket.items.clear();
+      bucket.head = 0;
+      bits_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    }
+    --ring_count_;
+    --size_;
+    // Skip cancelled events without advancing the clock for them.
+    if (*ev.cancelled) continue;
     now_ = ev.time;
     ++fired_;
     ev.cb();
+    if (ev.period > 0 && !*ev.cancelled) {
+      // Re-arm the periodic event under the same token. The re-push happens
+      // after the callback (matching the legacy recursive-lambda order), so
+      // events the callback scheduled for the next tick keep smaller seqs.
+      ev.time += ev.period;
+      ev.seq = next_seq_++;
+      push(std::move(ev));
+    }
     return true;
   }
   return false;
@@ -65,9 +167,6 @@ bool Simulation::step(SimTime until) {
 void Simulation::run(SimTime until) {
   stop_requested_ = false;
   while (!stop_requested_ && step(until)) {
-  }
-  if (until != kTimeInfinity && now_ < until && queue_.empty()) {
-    // Queue drained before the horizon; leave now() at the last event time.
   }
 }
 

@@ -5,13 +5,25 @@
 // events. Determinism is a hard requirement (EXPERIMENTS.md numbers must be
 // reproducible), so ties in firing time are broken by a monotonically
 // increasing sequence number — two events scheduled for the same tick fire in
-// scheduling order, never in heap order.
+// scheduling order, never in container order.
+//
+// The queue is a bucketed calendar: a ring of kBuckets one-millisecond
+// buckets covers the window [base, base + kBuckets); each bucket is a plain
+// FIFO vector (push order == seq order, so same-tick FIFO costs nothing),
+// and a bitmap over buckets lets the scan skip empty ticks a word at a
+// time. Events beyond the window wait in a (time, seq)-ordered binary heap
+// and are drained into the ring whenever the window advances. This makes
+// the dominant near-future traffic — the per-tracker heartbeat storm, which
+// is O(trackers) events every period — O(1) per event instead of
+// O(log pending), while far-future events (task completions, submissions)
+// pay one heap pass. Recurring events (schedule_every) are re-armed in
+// place: the callback is moved back into the queue after each firing, so a
+// 10k-tracker heartbeat storm allocates nothing per tick.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
@@ -28,7 +40,8 @@ class EventHandle {
   /// True if this handle refers to an event (cancelled or not).
   [[nodiscard]] bool valid() const { return token_ != nullptr; }
   /// Prevent the event from firing. Safe to call multiple times and after
-  /// the event fired (no-op then).
+  /// the event fired (no-op then). Cancelling a periodic event stops all
+  /// future firings.
   void cancel();
 
  private:
@@ -41,7 +54,7 @@ class Simulation {
  public:
   using Callback = std::function<void()>;
 
-  Simulation() = default;
+  Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -56,8 +69,8 @@ class Simulation {
   /// Returns a handle that cancels all future firings.
   EventHandle schedule_every(SimTime first, Duration period, Callback cb);
 
-  /// Number of pending (non-cancelled at scheduling time) events.
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Number of pending events (cancelled-but-not-yet-popped included).
+  [[nodiscard]] std::size_t pending_events() const { return size_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
   /// Run until the queue drains or `until` is passed (events with
@@ -69,19 +82,52 @@ class Simulation {
   /// Ask run() to return after the current event completes.
   void request_stop() { stop_requested_ = true; }
 
+  /// Calendar-ring width in ms (also the bucket count: 1 ms per bucket).
+  /// Exposed so tests can construct events on both sides of the window.
+  static constexpr SimTime kWindow = 65536;
+
  private:
   struct Event {
-    SimTime time;
-    std::uint64_t seq;
+    SimTime time = 0;
+    std::uint64_t seq = 0;
     Callback cb;
     std::shared_ptr<bool> cancelled;
-    // Min-heap by (time, seq): strict FIFO among same-tick events.
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
+    Duration period = 0;  ///< > 0: re-armed after each firing
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// One calendar tick's events in FIFO order. `head` indexes the next
+  /// event to pop; the vector is recycled (capacity kept) once drained.
+  struct Bucket {
+    std::vector<Event> items;
+    std::size_t head = 0;
+  };
+
+  static constexpr std::size_t kBuckets = static_cast<std::size_t>(kWindow);
+  static constexpr std::size_t kWords = kBuckets / 64;
+
+  [[nodiscard]] static std::size_t bucket_of(SimTime t) {
+    return static_cast<std::size_t>(t) & (kBuckets - 1);
+  }
+  void push(Event&& ev);
+  void ring_push(Event&& ev);
+  /// Move every overflow event inside [base_, base_ + kWindow) into the
+  /// ring, in (time, seq) order (preserves per-tick FIFO).
+  void drain_overflow();
+  /// First non-empty bucket at or after sweep_ (circular; caller must
+  /// guarantee ring_count_ > 0). Advances sweep_ to the found tick.
+  [[nodiscard]] std::size_t find_next_bucket();
+  // Binary min-heap over (time, seq); allows moving the top out.
+  void heap_push(Event&& ev);
+  Event heap_pop();
+
+  std::vector<Bucket> ring_;         // kBuckets entries, tick = time % kBuckets
+  std::vector<std::uint64_t> bits_;  // kWords words: bucket non-empty bits
+  std::vector<Event> overflow_;      // events at time >= base_ + kWindow
+  std::size_t ring_count_ = 0;       // events currently in the ring
+  std::size_t size_ = 0;             // total queued events (ring + overflow)
+  SimTime base_ = 0;                 // window start (<= every queued time)
+  SimTime sweep_ = 0;                // scan cursor, base_ <= sweep_ <= next event
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;

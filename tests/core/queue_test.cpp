@@ -213,5 +213,88 @@ TEST_P(QueueEquivalence, AllThreeImplementationsAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, QueueEquivalence,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+// Adversarial equal-lag workload: every workflow shares the same plan and
+// deadline, so lags tie at every instant and the whole ordering rests on the
+// (-lag, id) tie-break. The random fuzz above almost never produces ties;
+// this test makes them the common case and checks full head orderings (not
+// just the winner) across all four implementations, through assignments,
+// progress losses (which recreate ties) and mid-run remove/reinsert (which
+// exercises the duplicate-key insertion paths the skip list / std::map would
+// otherwise fail silently on).
+TEST(QueueEquivalence, EqualLagTieBreakIsIdenticalAcrossImplementations) {
+  constexpr std::uint32_t kWorkflows = 12;
+  // One step per 40 ticks so requirement changes keep firing; all workflows
+  // change at the same instants (another source of same-key stress in the
+  // ct structures).
+  SchedulingPlan plan;
+  for (Duration ttd = 400; ttd > 0; ttd -= 40) {
+    plan.steps.push_back(
+        ProgressStep{ttd, static_cast<std::uint64_t>((400 - ttd) / 40 + 1)});
+  }
+  plan.simulated_makespan = plan.steps.front().ttd;
+  constexpr SimTime kDeadline = 400;
+
+  auto dsl = make_queue(QueueKind::kDsl);
+  auto bst = make_queue(QueueKind::kBst);
+  auto bst_plain = make_queue(QueueKind::kBstPlain);
+  auto naive = make_queue(QueueKind::kNaive);
+  const auto all = {dsl.get(), bst.get(), bst_plain.get(), naive.get()};
+  for (std::uint32_t w = 0; w < kWorkflows; ++w) {
+    for (auto* q : all) q->insert(w, ProgressTracker(&plan, kDeadline));
+  }
+
+  const auto expect_same_ordering = [&](SimTime now) {
+    std::vector<SchedulerQueue::QueueEntry> ref;
+    dsl->top(kWorkflows, ref);
+    for (auto* q : {bst.get(), bst_plain.get(), naive.get()}) {
+      std::vector<SchedulerQueue::QueueEntry> got;
+      q->top(kWorkflows, got);
+      ASSERT_EQ(got.size(), ref.size()) << q->name() << " at t=" << now;
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(got[i].id, ref[i].id)
+            << q->name() << " head position " << i << " at t=" << now;
+        ASSERT_EQ(got[i].lag, ref[i].lag)
+            << q->name() << " head position " << i << " at t=" << now;
+      }
+    }
+  };
+
+  Rng rng(7);
+  SimTime now = 0;
+  for (int call = 0; call < 400; ++call) {
+    now += rng.uniform_int(0, 6);
+    const std::uint64_t salt = rng.next();
+    const auto can_use = [salt](std::uint32_t id) {
+      std::uint64_t h = salt ^ (id * 0x9e3779b97f4a7c15ull);
+      h ^= h >> 33;
+      return (h & 3) != 0;
+    };
+    const auto winner = dsl->assign(now, can_use);
+    for (auto* q : {bst.get(), bst_plain.get(), naive.get()}) {
+      ASSERT_EQ(q->assign(now, can_use), winner)
+          << q->name() << " call " << call << " t=" << now;
+    }
+    // Losses in bursts: several workflows collapse back onto the same lag.
+    if (winner != SchedulerQueue::kNone && (salt & 7) == 0) {
+      const std::uint32_t other = (winner + 1) % kWorkflows;
+      for (auto* q : all) {
+        q->on_progress_lost(winner, 2);
+        q->on_progress_lost(other, 2);
+      }
+    }
+    // Churn a workflow id through remove + reinsert: the fresh tracker ties
+    // with the survivors (same plan, rho=0) and must slot back into the
+    // exact same ordering position everywhere.
+    if ((salt & 31) == 1) {
+      const std::uint32_t victim = static_cast<std::uint32_t>(salt >> 8) % kWorkflows;
+      for (auto* q : all) {
+        q->remove(victim);
+        q->insert(victim, ProgressTracker(&plan, kDeadline));
+      }
+    }
+    expect_same_ordering(now);
+  }
+}
+
 }  // namespace
 }  // namespace woha::core

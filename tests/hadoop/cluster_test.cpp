@@ -36,6 +36,23 @@ TEST(ClusterConfig, WithTotalsRejectsZero) {
   EXPECT_THROW((void)ClusterConfig::with_totals(10, 0), std::invalid_argument);
 }
 
+// Small coprime totals still fit on a single tracker and must stay valid.
+TEST(ClusterConfig, WithTotalsSmallCoprimeIsValid) {
+  const auto c = ClusterConfig::with_totals(2, 1);
+  EXPECT_EQ(c.num_trackers, 1u);
+  EXPECT_EQ(c.total_map_slots(), 2u);
+  EXPECT_EQ(c.total_reduce_slots(), 1u);
+}
+
+// Regression: with_totals(200, 1) used to silently produce a single tracker
+// carrying 200 map slots — a zero-parallelism "cluster". Near-coprime totals
+// that cannot be split into realistic trackers must be rejected loudly.
+TEST(ClusterConfig, WithTotalsRejectsDegenerateCoprime) {
+  EXPECT_THROW((void)ClusterConfig::with_totals(200, 1), std::invalid_argument);
+  EXPECT_THROW((void)ClusterConfig::with_totals(1, 200), std::invalid_argument);
+  EXPECT_THROW((void)ClusterConfig::with_totals(131, 7), std::invalid_argument);
+}
+
 TEST(TrackerState, OccupyRelease) {
   TrackerState t(TrackerId(0), 2, 1);
   EXPECT_EQ(t.free_slots(SlotType::kMap), 2u);
@@ -85,6 +102,82 @@ TEST(Cluster, RejectsZeroTrackers) {
 TEST(Cluster, OutOfRangeTrackerThrows) {
   Cluster cluster(ClusterConfig::paper_32_slaves());
   EXPECT_THROW(cluster.occupy(32, SlotType::kMap), std::out_of_range);
+}
+
+// Walk a freelist into a vector for order/membership assertions.
+std::vector<std::size_t> freelist_of(const Cluster& cluster, SlotType t) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = cluster.first_free(t); i != Cluster::kNoTracker;
+       i = cluster.next_free(t, i)) {
+    out.push_back(i);
+    if (out.size() > cluster.tracker_count()) {
+      ADD_FAILURE() << "freelist cycle";
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(ClusterFreelist, StartsWithAllTrackersInIndexOrder) {
+  ClusterConfig config;
+  config.num_trackers = 4;
+  Cluster cluster(config);
+  EXPECT_EQ(freelist_of(cluster, SlotType::kMap),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(freelist_of(cluster, SlotType::kReduce),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(cluster.free_tracker_count(SlotType::kMap), 4u);
+}
+
+TEST(ClusterFreelist, OccupyToZeroUnlinksAndReleaseRelinks) {
+  ClusterConfig config;
+  config.num_trackers = 3;
+  config.map_slots_per_tracker = 2;
+  Cluster cluster(config);
+
+  cluster.occupy(1, SlotType::kMap);  // 1 of 2 busy: stays on the list
+  EXPECT_EQ(freelist_of(cluster, SlotType::kMap),
+            (std::vector<std::size_t>{0, 1, 2}));
+  cluster.occupy(1, SlotType::kMap);  // now full: must leave
+  EXPECT_EQ(freelist_of(cluster, SlotType::kMap),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(cluster.free_tracker_count(SlotType::kMap), 2u);
+  // Reduce list is untouched by map traffic.
+  EXPECT_EQ(cluster.free_tracker_count(SlotType::kReduce), 3u);
+
+  cluster.release(1, SlotType::kMap);  // re-enters at the front
+  EXPECT_EQ(freelist_of(cluster, SlotType::kMap),
+            (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(ClusterFreelist, MarkDeadRemovesFromBothLists) {
+  ClusterConfig config;
+  config.num_trackers = 3;
+  Cluster cluster(config);
+  cluster.mark_dead(1);
+  EXPECT_FALSE(cluster.tracker(1).alive());
+  EXPECT_EQ(freelist_of(cluster, SlotType::kMap),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(freelist_of(cluster, SlotType::kReduce),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_THROW(cluster.mark_dead(1), std::logic_error);
+}
+
+TEST(ClusterFreelist, ReleaseOnDeadTrackerDoesNotRelink) {
+  ClusterConfig config;
+  config.num_trackers = 2;
+  config.map_slots_per_tracker = 1;
+  Cluster cluster(config);
+  cluster.occupy(0, SlotType::kMap);   // tracker 0 full, off the list
+  cluster.mark_dead(0);                // crashes while running a task
+  cluster.release(0, SlotType::kMap);  // loss detection reconciles the slot
+  EXPECT_EQ(freelist_of(cluster, SlotType::kMap), (std::vector<std::size_t>{1}));
+  cluster.deactivate(0);
+  EXPECT_EQ(cluster.total_free(SlotType::kMap), 1u);
+
+  cluster.activate(0);  // restart: rejoins both pools
+  EXPECT_EQ(freelist_of(cluster, SlotType::kMap), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(cluster.free_tracker_count(SlotType::kMap), 2u);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <variant>
+#include <vector>
 
 #include "core/woha_scheduler.hpp"
 #include "hadoop/engine.hpp"
@@ -99,6 +101,54 @@ INSTANTIATE_TEST_SUITE_P(Queues, ChaosDeterminism,
                                            core::QueueKind::kBst,
                                            core::QueueKind::kNaive),
                          [](const auto& info) { return to_string(info.param); });
+
+// rho accounting invariant under full chaos: the scheduled-task credit of
+// every workflow equals its count of non-speculative attempt starts. A
+// double credit in a speculation race, a missing credit on a retry, or a
+// backup leaking into the counter would break the equality. (Rollbacks via
+// on_tasks_lost adjust the scheduler-side rho, never tasks_scheduled — the
+// credit is per *launch*, and lost work launches again.)
+TEST(ChaosRhoInvariant, ScheduledCreditMatchesNonSpeculativeStarts) {
+  hadoop::EngineConfig config;
+  config.cluster.num_trackers = 6;
+  config.cluster.map_slots_per_tracker = 2;
+  config.cluster.reduce_slots_per_tracker = 1;
+  config.cluster.heartbeat_period = seconds(3);
+  config.seed = 42;
+  config.duration_jitter_sigma = 0.3;
+  config.task_failure_prob = 0.05;
+  config.faults.tracker_mtbf = 400.0 * 1000.0;
+  config.faults.tracker_restart_delay = seconds(60);
+  config.faults.expiry_interval = seconds(120);
+  config.faults.max_attempts = 25;
+  config.faults.blacklist_task_failures = 3;
+  config.faults.speculative_execution = true;
+
+  hadoop::Engine engine(config,
+                        std::make_unique<core::WohaScheduler>(core::WohaConfig{}));
+  std::vector<std::uint64_t> nonspec_starts(3, 0);
+  engine.events().subscribe([&](const obs::Event& e) {
+    if (const auto* t = std::get_if<obs::TaskStarted>(&e.payload)) {
+      if (!t->speculative) ++nonspec_starts[t->workflow];
+    }
+  });
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto spec = wf::diamond(3);
+    spec.name = "wf" + std::to_string(i);
+    spec.submit_time = i * seconds(30);
+    spec.relative_deadline = minutes(40);
+    engine.submit(spec);
+  }
+  engine.run();
+  const auto summary = engine.summarize();
+  ASSERT_GT(summary.speculative_launched, 0u);  // races actually occurred
+  ASSERT_GT(summary.tracker_crashes, 0u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(engine.job_tracker().workflow(WorkflowId(i)).tasks_scheduled(),
+              nonspec_starts[i])
+        << "workflow " << i;
+  }
+}
 
 }  // namespace
 }  // namespace woha
