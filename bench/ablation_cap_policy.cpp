@@ -8,6 +8,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/woha_scheduler.hpp"
+#include "metrics/grid.hpp"
 #include "metrics/report.hpp"
 #include "trace/paper_workloads.hpp"
 
@@ -15,6 +16,7 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Ablation", "resource-cap policy (WOHA-LPF, 200m-200r, Fig. 8 trace)");
 
   hadoop::EngineConfig config;
@@ -34,7 +36,7 @@ int main(int argc, char** argv) {
       {"fixed 5% (20 slots)", core::CapPolicy::kFixed, 20},
   };
 
-  TextTable table({"cap policy", "miss ratio", "total tardiness", "utilization"});
+  std::vector<metrics::GridPoint> grid;
   for (const auto& c : cases) {
     metrics::SchedulerEntry entry{
         "WOHA-LPF/" + c.label, [&c]() {
@@ -44,9 +46,17 @@ int main(int argc, char** argv) {
           wc.fixed_cap = c.fixed;
           return std::make_unique<core::WohaScheduler>(wc);
         }};
-    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
-                                                metrics_session.hooks());
-    table.add_row({c.label, TextTable::percent(result.summary.deadline_miss_ratio),
+    grid.push_back(metrics::GridPoint{config, &workload, std::move(entry)});
+  }
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+
+  TextTable table({"cap policy", "miss ratio", "total tardiness", "utilization"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    table.add_row({cases[i].label,
+                   TextTable::percent(result.summary.deadline_miss_ratio),
                    format_duration(result.summary.total_tardiness),
                    TextTable::percent(result.summary.overall_utilization)});
   }

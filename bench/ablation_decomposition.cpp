@@ -18,6 +18,7 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Ablation", "critical-path deadline decomposition (EDF-JOB) vs WOHA");
 
   // Restrict to the deadline-aware contenders; FIFO/Fair add nothing here.
@@ -34,11 +35,11 @@ int main(int argc, char** argv) {
     config.cluster = hadoop::ClusterConfig::paper_32_slaves();
     const auto workload = trace::fig11_scenario();
     TextTable table({"scheduler", "W-1", "W-2", "W-3", "misses"});
-    for (const auto& entry : entries) {
-      const auto result = metrics::run_experiment(config, workload, entry, nullptr,
-                                                metrics_session.hooks());
+    for (const auto& result :
+         metrics::run_comparison(config, workload, entries,
+                                 metrics_session.hooks(), jobs.jobs())) {
       int misses = 0;
-      std::vector<std::string> row{entry.label};
+      std::vector<std::string> row{result.scheduler};
       for (const auto& wf : result.summary.workflows) {
         row.push_back(format_duration(wf.workspan) + (wf.met_deadline ? "" : " *MISS*"));
         misses += !wf.met_deadline;
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     const auto workload = trace::fig8_trace(42);
     const auto cells = metrics::sweep_cluster_sizes(
         base, workload, {{"200m-200r", 200, 200}, {"240m-240r", 240, 240}}, entries,
-        metrics_session.hooks());
+        metrics_session.hooks(), jobs.jobs());
     TextTable table({"cluster", "scheduler", "miss ratio", "total tardiness"});
     for (const auto& c : cells) {
       table.add_row({c.cluster_label, c.scheduler,

@@ -10,6 +10,7 @@
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "metrics/grid.hpp"
 #include "metrics/report.hpp"
 #include "trace/paper_workloads.hpp"
 
@@ -17,6 +18,7 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Ablation", "task duration estimation error (WOHA-LPF, Fig. 11)");
 
   const auto workload = trace::fig11_scenario();
@@ -31,19 +33,27 @@ int main(int argc, char** argv) {
       {1.0, 0.2},  {1.0, 0.4},
   };
 
-  TextTable table({"actual/estimated scale", "jitter sigma", "misses",
-                   "max tardiness", "makespan"});
+  std::vector<metrics::GridPoint> grid;
   for (const auto& c : cases) {
     hadoop::EngineConfig config;
     config.cluster = hadoop::ClusterConfig::paper_32_slaves();
     config.duration_scale = c.scale;
     config.duration_jitter_sigma = c.jitter_sigma;
     config.seed = 17;
-    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
-                                                metrics_session.hooks());
+    grid.push_back(metrics::GridPoint{config, &workload, entry});
+  }
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+
+  TextTable table({"actual/estimated scale", "jitter sigma", "misses",
+                   "max tardiness", "makespan"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
     int misses = 0;
     for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
-    table.add_row({TextTable::num(c.scale, 2), TextTable::num(c.jitter_sigma, 1),
+    table.add_row({TextTable::num(cases[i].scale, 2),
+                   TextTable::num(cases[i].jitter_sigma, 1),
                    std::to_string(misses),
                    format_duration(result.summary.max_tardiness),
                    format_duration(result.summary.makespan)});

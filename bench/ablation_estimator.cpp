@@ -6,6 +6,9 @@
 // slip (see bench_ablation_estimation_error). A HistoryEstimator trained on
 // one prior execution (the "logs of historical executions" of the paper's
 // Sec. IV-A) restores honest plans — and the deadlines.
+//
+// Deliberately serial (no --jobs): the three runs share one estimator whose
+// state must flow cold -> warm, so they cannot fan out over run_grid().
 #include <cstdio>
 
 #include "bench_util.hpp"

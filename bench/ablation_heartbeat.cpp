@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "metrics/grid.hpp"
 #include "metrics/report.hpp"
 #include "trace/paper_workloads.hpp"
 
@@ -16,22 +17,32 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Ablation", "heartbeat period (WOHA-LPF, Fig. 11 workload)");
 
   const auto workload = trace::fig11_scenario();
   const auto entry = metrics::paper_schedulers()[3];  // WOHA-LPF
 
-  TextTable table({"heartbeat", "W-1 workspan", "W-2 workspan", "W-3 workspan",
-                   "misses", "utilization"});
-  for (const Duration hb : {seconds(1), seconds(3), seconds(10), seconds(30)}) {
+  const std::vector<Duration> heartbeats = {seconds(1), seconds(3), seconds(10),
+                                            seconds(30)};
+  std::vector<metrics::GridPoint> grid;
+  for (const Duration hb : heartbeats) {
     hadoop::EngineConfig config;
     config.cluster = hadoop::ClusterConfig::paper_32_slaves();
     config.cluster.heartbeat_period = hb;
-    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
-                                                metrics_session.hooks());
+    grid.push_back(metrics::GridPoint{config, &workload, entry});
+  }
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+
+  TextTable table({"heartbeat", "W-1 workspan", "W-2 workspan", "W-3 workspan",
+                   "misses", "utilization"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
     int misses = 0;
     for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
-    table.add_row({format_duration(hb),
+    table.add_row({format_duration(heartbeats[i]),
                    format_duration(result.summary.workflows[0].workspan),
                    format_duration(result.summary.workflows[1].workspan),
                    format_duration(result.summary.workflows[2].workspan),

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "metrics/grid.hpp"
 #include "metrics/report.hpp"
 #include "trace/paper_workloads.hpp"
 
@@ -16,6 +17,7 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Ablation", "data locality and failure injection (Fig. 11 workload)");
 
   const auto workload = trace::fig11_scenario();
@@ -36,8 +38,8 @@ int main(int argc, char** argv) {
       {"remote maps 2.0x + 5% failures", 2.0, 0.05},
   };
 
-  TextTable table({"environment", "scheduler", "misses", "makespan",
-                   "local maps", "retries"});
+  std::vector<metrics::GridPoint> grid;
+  std::vector<const char*> row_labels;  // parallel to grid
   for (const auto& c : cases) {
     for (const auto* entry : {&fifo, &woha}) {
       hadoop::EngineConfig config;
@@ -45,16 +47,25 @@ int main(int argc, char** argv) {
       config.remote_map_penalty = c.remote_penalty;
       config.task_failure_prob = c.failure_prob;
       config.seed = 23;
-      const auto result = metrics::run_experiment(config, workload, *entry, nullptr,
-                                                metrics_session.hooks());
-      int misses = 0;
-      for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
-      table.add_row({c.label, entry->label, std::to_string(misses),
-                     format_duration(result.summary.makespan),
-                     TextTable::percent(result.summary.map_locality_ratio),
-                     TextTable::num(static_cast<std::int64_t>(
-                         result.summary.tasks_failed))});
+      grid.push_back(metrics::GridPoint{config, &workload, *entry});
+      row_labels.push_back(c.label);
     }
+  }
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+
+  TextTable table({"environment", "scheduler", "misses", "makespan",
+                   "local maps", "retries"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    int misses = 0;
+    for (const auto& wf : result.summary.workflows) misses += !wf.met_deadline;
+    table.add_row({row_labels[i], result.scheduler, std::to_string(misses),
+                   format_duration(result.summary.makespan),
+                   TextTable::percent(result.summary.map_locality_ratio),
+                   TextTable::num(static_cast<std::int64_t>(
+                       result.summary.tasks_failed))});
   }
   std::printf("%s\n", table.to_string().c_str());
   bench::note("uniform placement with 3 replicas over 32 slaves gives ~9% "

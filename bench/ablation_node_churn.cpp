@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "metrics/grid.hpp"
 #include "metrics/report.hpp"
 #include "trace/paper_workloads.hpp"
 
@@ -19,6 +20,7 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Ablation", "node churn and recovery (Fig. 8 workload, 32 slaves)");
 
   const auto workload = trace::fig8_trace(42);
@@ -40,8 +42,8 @@ int main(int argc, char** argv) {
       {"MTBF 1h/node", 1.0 * 60 * 60 * 1000},
   };
 
-  TextTable table({"environment", "scheduler", "misses", "total tardiness",
-                   "crashes", "killed", "maps lost", "spec waste"});
+  std::vector<metrics::GridPoint> grid;
+  std::vector<const char*> row_labels;  // parallel to grid
   for (const auto& c : cases) {
     for (const auto& entry : schedulers) {
       hadoop::EngineConfig config;
@@ -52,18 +54,26 @@ int main(int argc, char** argv) {
       config.faults.expiry_interval = minutes(2);
       config.faults.speculative_execution = c.mtbf_ms > 0;
       config.horizon = 150000000;  // ~42 h simulated: bounds pathological cells
-      const auto result = metrics::run_experiment(config, workload, entry, nullptr,
-                                                metrics_session.hooks());
-      const auto& s = result.summary;
-      int misses = 0;
-      for (const auto& wf : s.workflows) misses += !wf.met_deadline;
-      table.add_row({c.label, entry.label, std::to_string(misses),
-                     format_duration(s.total_tardiness),
-                     TextTable::num(static_cast<std::int64_t>(s.tracker_crashes)),
-                     TextTable::num(static_cast<std::int64_t>(s.attempts_killed)),
-                     TextTable::num(static_cast<std::int64_t>(s.map_outputs_lost)),
-                     format_duration(static_cast<Duration>(s.speculative_wasted_ms))});
+      grid.push_back(metrics::GridPoint{config, &workload, entry});
+      row_labels.push_back(c.label);
     }
+  }
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+
+  TextTable table({"environment", "scheduler", "misses", "total tardiness",
+                   "crashes", "killed", "maps lost", "spec waste"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& s = results[i].summary;
+    int misses = 0;
+    for (const auto& wf : s.workflows) misses += !wf.met_deadline;
+    table.add_row({row_labels[i], results[i].scheduler, std::to_string(misses),
+                   format_duration(s.total_tardiness),
+                   TextTable::num(static_cast<std::int64_t>(s.tracker_crashes)),
+                   TextTable::num(static_cast<std::int64_t>(s.attempts_killed)),
+                   TextTable::num(static_cast<std::int64_t>(s.map_outputs_lost)),
+                   format_duration(static_cast<Duration>(s.speculative_wasted_ms))});
   }
   std::printf("%s\n", table.to_string().c_str());
   bench::note("every crash silences a tracker until the 2 min lease expires "

@@ -1,13 +1,15 @@
 // Shared helpers for the bench binaries: a banner that names the paper
-// figure being reproduced, the common sweep plumbing, and the
-// `--metrics-json <path>` registry-dump flag every fig*/ablation binary
-// accepts.
+// figure being reproduced, the common sweep plumbing, the
+// `--metrics-json <path>` registry-dump flag, and the `--jobs N` /
+// WOHA_JOBS parallelism knob every fig*/ablation binary accepts.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
+#include "metrics/grid.hpp"
 #include "metrics/report.hpp"
 #include "obs/metrics_registry.hpp"
 
@@ -20,6 +22,38 @@ inline void banner(const std::string& figure, const std::string& what) {
 }
 
 inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str()); }
+
+/// `--jobs N` (or `--jobs=N`) support shared by every sweep bench: strips
+/// the flag from argv and exposes the requested experiment-level
+/// parallelism. Precedence: flag > WOHA_JOBS env > 1 (serial). N = 0 means
+/// "hardware concurrency". Any value is bit-identical to serial — the knob
+/// only trades wall clock (see src/metrics/grid.hpp).
+class JobsFlag {
+ public:
+  JobsFlag(int& argc, char** argv) : jobs_(metrics::jobs_from_env()) {
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      const std::string arg = argv[r];
+      if (arg == "--jobs" && r + 1 < argc) {
+        jobs_ = static_cast<unsigned>(std::strtoul(argv[++r], nullptr, 10));
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs_ = static_cast<unsigned>(
+            std::strtoul(arg.substr(std::string("--jobs=").size()).c_str(),
+                         nullptr, 10));
+      } else {
+        argv[w++] = argv[r];
+      }
+    }
+    argc = w;
+    argv[argc] = nullptr;
+  }
+
+  /// Raw request: 0 = hardware concurrency (run_grid resolves it).
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+ private:
+  unsigned jobs_ = 1;
+};
 
 /// `--metrics-json <path>` (or `--metrics-json=<path>`) support shared by
 /// every bench binary: strips the flag from argv — so downstream parsers

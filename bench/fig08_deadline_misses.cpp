@@ -15,8 +15,9 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Fig. 8", "deadline violation ratio vs cluster size");
-  const auto cells = bench::fig8_sweep(42, metrics_session.hooks());
+  const auto cells = bench::fig8_sweep(42, metrics_session.hooks(), jobs.jobs());
 
   TextTable table({"cluster", "scheduler", "miss ratio"});
   for (const auto& c : cells) {

@@ -10,8 +10,9 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Fig. 9", "maximum workflow tardiness vs cluster size");
-  const auto cells = bench::fig8_sweep(42, metrics_session.hooks());
+  const auto cells = bench::fig8_sweep(42, metrics_session.hooks(), jobs.jobs());
 
   TextTable table({"cluster", "scheduler", "max tardiness"});
   for (const auto& c : cells) {

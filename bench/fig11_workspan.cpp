@@ -17,6 +17,7 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Fig. 11", "synthetic workflow workspan, 32 slaves");
 
   hadoop::EngineConfig config;
@@ -25,11 +26,11 @@ int main(int argc, char** argv) {
 
   TextTable table({"scheduler", "W-1 workspan", "W-2 workspan", "W-3 workspan",
                    "misses"});
-  for (const auto& entry : metrics::paper_schedulers()) {
-    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
-                                                metrics_session.hooks());
+  for (const auto& result :
+       metrics::run_comparison(config, workload, metrics::paper_schedulers(),
+                               metrics_session.hooks(), jobs.jobs())) {
     int misses = 0;
-    std::vector<std::string> row{entry.label};
+    std::vector<std::string> row{result.scheduler};
     for (const auto& wf : result.summary.workflows) {
       row.push_back(format_duration(wf.workspan) + (wf.met_deadline ? "" : " *MISS*"));
       misses += !wf.met_deadline;

@@ -15,6 +15,7 @@ using namespace woha;
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
   bench::banner("Fig. 12", "cluster utilization, Fig. 11 workload with 3 recurrences");
 
   hadoop::EngineConfig config;
@@ -23,10 +24,10 @@ int main(int argc, char** argv) {
 
   TextTable table({"scheduler", "map util", "reduce util", "overall util",
                    "makespan"});
-  for (const auto& entry : metrics::paper_schedulers()) {
-    const auto result = metrics::run_experiment(config, workload, entry, nullptr,
-                                                metrics_session.hooks());
-    table.add_row({entry.label,
+  for (const auto& result :
+       metrics::run_comparison(config, workload, metrics::paper_schedulers(),
+                               metrics_session.hooks(), jobs.jobs())) {
+    table.add_row({result.scheduler,
                    TextTable::percent(result.summary.map_slot_utilization),
                    TextTable::percent(result.summary.reduce_slot_utilization),
                    TextTable::percent(result.summary.overall_utilization),

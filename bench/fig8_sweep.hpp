@@ -1,6 +1,8 @@
 // Shared sweep for Figs. 8-10: the 46 multi-job Yahoo-like workflows with
 // derived deadlines, across the paper's three cluster sizes and all six
-// schedulers.
+// schedulers. The 18-cell grid is embarrassingly parallel; `jobs` fans it
+// out bit-identically (one trace is generated once and borrowed by every
+// cell — never copied per grid point).
 #pragma once
 
 #include <vector>
@@ -11,11 +13,12 @@
 namespace woha::bench {
 
 inline std::vector<metrics::SweepCell> fig8_sweep(std::uint64_t seed = 42,
-                                                  const metrics::ObsHooks& hooks = {}) {
+                                                  const metrics::ObsHooks& hooks = {},
+                                                  unsigned jobs = 1) {
   hadoop::EngineConfig base;  // paper defaults: 3 s heartbeat, 3 s activation
   const auto workload = trace::fig8_trace(seed);
   return metrics::sweep_cluster_sizes(base, workload, metrics::paper_cluster_sizes(),
-                                      metrics::paper_schedulers(), hooks);
+                                      metrics::paper_schedulers(), hooks, jobs);
 }
 
 }  // namespace woha::bench

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/job_priority.hpp"
+#include "core/plan_cache.hpp"
 #include "core/resource_cap.hpp"
 #include "workflow/analysis.hpp"
 #include "workflow/topology.hpp"
@@ -63,5 +64,43 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.to_string().c_str());
   bench::note("all of this runs on the client at submission; the master only "
               "walks the finished requirement list.");
+
+  // Part 2 — plan cache on recurrent submissions. A coordinator resubmits
+  // the same DAG every period (Fig. 12 runs 3 recurrences); the cache keys
+  // plan generation's inputs, so instance 2..N cost one hash-map probe
+  // instead of a full rank + binary-searched cap + plan build.
+  bench::banner("Plan cache", "recurrent submission cost, cold vs cached");
+  constexpr int kRecurrences = 20;
+  TextTable cache_table({"workflow", "cold (us/submission)",
+                         "cached (us/submission)", "speedup", "hits/misses"});
+  for (auto& [label, spec] : cases) {
+    const auto full_compute = [&spec]() {
+      const auto rank = core::job_priority_ranks(spec, core::JobPriorityPolicy::kLpf);
+      const auto cap =
+          core::min_feasible_cap(spec, rank, spec.relative_deadline, 480);
+      return core::generate_plan(spec, cap.value_or(480), rank);
+    };
+    const double cold_us = time_us([&] { (void)full_compute(); }, kRecurrences);
+
+    core::PlanCache cache;
+    if (auto* registry = metrics_session.registry()) {
+      cache.bind_counters(&registry->counter("woha.plan_cache_hits"),
+                          &registry->counter("woha.plan_cache_misses"));
+    }
+    const std::uint64_t key = core::plan_fingerprint(
+        spec, 480, core::JobPriorityPolicy::kLpf, core::CapPolicy::kMinFeasible,
+        0, 1.0);
+    const double cached_us = time_us(
+        [&] { (void)cache.get_or_compute(key, full_compute); }, kRecurrences);
+
+    cache_table.add_row(
+        {label, TextTable::num(cold_us, 1), TextTable::num(cached_us, 1),
+         TextTable::num(cached_us > 0 ? cold_us / cached_us : 0.0, 0) + "x",
+         std::to_string(cache.hits()) + "/" + std::to_string(cache.misses())});
+  }
+  std::printf("%s\n", cache_table.to_string().c_str());
+  bench::note("cached cost amortizes the single miss over the recurrence "
+              "count; WohaScheduler enables this cache by default "
+              "(WohaConfig::plan_cache).");
   return 0;
 }

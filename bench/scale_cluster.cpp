@@ -11,17 +11,23 @@
 //
 // Usage:
 //   bench_scale_cluster [--points 80,500,2000] [--schedulers WOHA-LPF,FIFO]
-//                       [--metrics-json out.json]
+//                       [--jobs N] [--metrics-json out.json]
 // Defaults sweep 80/200/500/1000/2000 for every scheduler; pass
 // --points 10000 for the full-scale run (minutes of wall clock pre-optimisation,
-// seconds after).
+// seconds after). `--jobs N` (or WOHA_JOBS) fans the (point, scheduler) grid
+// across N threads — results are bit-identical to --jobs 1; per-run
+// wall-clock is measured inside each run so rows stay meaningful under
+// parallelism (total elapsed shrinks; per-run wall does not).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "metrics/grid.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
 #include "trace/paper_workloads.hpp"
@@ -48,6 +54,7 @@ std::vector<std::uint32_t> parse_points(const std::string& arg) {
 int main(int argc, char** argv) {
   using namespace woha;
   bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
 
   std::vector<std::uint32_t> points = {80, 200, 500, 1000, 2000};
   std::vector<std::string> only_schedulers;
@@ -75,37 +82,54 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-10s %12s %12s %12s %14s %10s\n", "trackers", "scheduler",
               "makespan", "events", "selects", "select_us/call", "wall_s");
 
+  // Build the whole (cluster size, scheduler) grid up front; each cluster
+  // size generates its workload once, borrowed by every scheduler's point.
+  std::vector<std::unique_ptr<std::vector<wf::WorkflowSpec>>> workloads;
+  std::vector<metrics::GridPoint> grid;
+  std::vector<std::uint32_t> row_trackers;  // parallel to grid
   for (const std::uint32_t n : points) {
     hadoop::EngineConfig config;
     config.cluster.num_trackers = n;
     config.cluster.map_slots_per_tracker = 2;
     config.cluster.reduce_slots_per_tracker = 1;
-    const auto workload = trace::scale_workload(n, trace::kScaleWorkloadSeed);
+    workloads.push_back(std::make_unique<std::vector<wf::WorkflowSpec>>(
+        trace::scale_workload(n, trace::kScaleWorkloadSeed)));
     for (const auto& entry : metrics::paper_schedulers()) {
       if (!only_schedulers.empty()) {
         bool wanted = false;
         for (const auto& s : only_schedulers) wanted |= s == entry.label;
         if (!wanted) continue;
       }
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto result = metrics::run_experiment(config, workload, entry,
-                                                  nullptr, metrics_session.hooks());
-      const auto wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-      const hadoop::RunSummary& s = result.summary;
-      const double us_per_select =
-          s.select_calls == 0
-              ? 0.0
-              : s.select_wall_ms * 1000.0 / static_cast<double>(s.select_calls);
-      std::printf("%-10u %-10s %12lld %12llu %12llu %14.3f %10.2f\n", n,
-                  entry.label.c_str(), static_cast<long long>(s.makespan),
-                  static_cast<unsigned long long>(s.events_fired),
-                  static_cast<unsigned long long>(s.select_calls),
-                  us_per_select, wall);
+      grid.push_back(metrics::GridPoint{config, workloads.back().get(), entry});
+      row_trackers.push_back(n);
     }
   }
-  bench::note("select_us/call is wall-clock and machine-dependent; makespan, "
-              "events and selects are deterministic.");
+
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const hadoop::RunSummary& s = results[i].summary;
+    const double us_per_select =
+        s.select_calls == 0
+            ? 0.0
+            : s.select_wall_ms * 1000.0 / static_cast<double>(s.select_calls);
+    std::printf("%-10u %-10s %12lld %12llu %12llu %14.3f %10.2f\n",
+                row_trackers[i], results[i].scheduler.c_str(),
+                static_cast<long long>(s.makespan),
+                static_cast<unsigned long long>(s.events_fired),
+                static_cast<unsigned long long>(s.select_calls),
+                us_per_select, results[i].wall_seconds);
+  }
+  double run_seconds = 0.0;
+  for (const auto& r : results) run_seconds += r.wall_seconds;
+  std::printf("total: %.2f s elapsed for %.2f s of runs (jobs=%u)\n", elapsed,
+              run_seconds, ThreadPool::resolve(options.jobs));
+  bench::note("select_us/call and wall_s are wall-clock and machine-dependent; "
+              "makespan, events and selects are deterministic at any --jobs.");
   return 0;
 }

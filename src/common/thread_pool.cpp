@@ -1,0 +1,87 @@
+#include "common/thread_pool.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace woha {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("ThreadPool: thread count must be >= 1");
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+double ThreadPool::busy_seconds() const {
+  const std::unique_lock<std::mutex> lock(mutex_);
+  return busy_seconds_;
+}
+
+std::uint64_t ThreadPool::tasks_run() const {
+  const std::unique_lock<std::mutex> lock(mutex_);
+  return tasks_run_;
+}
+
+unsigned ThreadPool::resolve(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: the destructor promises every
+      // submitted task runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    {
+      const std::unique_lock<std::mutex> lock(mutex_);
+      busy_seconds_ += secs;
+      ++tasks_run_;
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace woha

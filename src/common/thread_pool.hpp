@@ -1,0 +1,72 @@
+// A small fixed-size thread pool for the parallel experiment runner.
+//
+// Deliberately work-stealing-free: tasks are taken from one FIFO queue under
+// a mutex. Experiment runs are seconds long, so queue contention is
+// irrelevant — what matters is that the pool imposes *no* ordering or
+// affinity semantics a grid could accidentally depend on. Determinism of a
+// parallel grid comes from per-run isolation (each task owns all of its
+// mutable state) and from collecting results by submission index, never from
+// scheduling order.
+//
+// The pool also keeps occupancy accounting (busy seconds, tasks run) so
+// run_grid can report how well a sweep filled the workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace woha {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (use resolve() to map a user-facing
+  /// "--jobs N" value, where 0 means hardware concurrency, to a count).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains the queue (waits for every submitted task), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw — wrap run bodies that can fail
+  /// and capture the exception (run_grid stores std::exception_ptr per
+  /// point). Submitting after destruction has begun is a logic error.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle. Tasks
+  /// submitted after wait_idle returns start a new quiescence window.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Total wall-clock seconds spent inside tasks, summed over workers.
+  /// Read after wait_idle() for a consistent value.
+  [[nodiscard]] double busy_seconds() const;
+  [[nodiscard]] std::uint64_t tasks_run() const;
+
+  /// Map a user-facing jobs value to a worker count: 0 = hardware
+  /// concurrency (at least 1); anything else is taken as-is.
+  [[nodiscard]] static unsigned resolve(unsigned requested);
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned active_ = 0;
+  bool stopping_ = false;
+  double busy_seconds_ = 0.0;
+  std::uint64_t tasks_run_ = 0;
+};
+
+}  // namespace woha

@@ -19,6 +19,9 @@ void WohaScheduler::observe(obs::EventBus* bus, obs::MetricsRegistry* registry) 
                               "woha.queue_assign_ns",
                               obs::exponential_buckets(100.0, 4.0, 12))
                         : nullptr;
+  plan_cache_.bind_counters(
+      registry ? &registry->counter("woha.plan_cache_hits") : nullptr,
+      registry ? &registry->counter("woha.plan_cache_misses") : nullptr);
 }
 
 std::string WohaScheduler::name() const {
@@ -38,10 +41,23 @@ void WohaScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
   // absent, the configuration's values are trusted as-is.
   const wf::WorkflowSpec planning_spec =
       config_.estimator ? config_.estimator->estimated_spec(rt.spec()) : rt.spec();
-  const auto rank = job_priority_ranks(planning_spec, config_.job_priority);
-  auto plan = std::make_unique<SchedulingPlan>(
-      plan_for_submission(planning_spec, rank, total_slots, config_.cap_policy,
-                          config_.fixed_cap, config_.plan_deadline_factor));
+  const auto compute = [&]() {
+    const auto rank = job_priority_ranks(planning_spec, config_.job_priority);
+    return plan_for_submission(planning_spec, rank, total_slots, config_.cap_policy,
+                               config_.fixed_cap, config_.plan_deadline_factor);
+  };
+  // Recurrent instances fingerprint equal (the estimator's output is part
+  // of the fingerprint, so a learning estimator naturally splits the key).
+  std::shared_ptr<const SchedulingPlan> plan;
+  if (config_.plan_cache) {
+    plan = plan_cache_.get_or_compute(
+        plan_fingerprint(planning_spec, total_slots, config_.job_priority,
+                         config_.cap_policy, config_.fixed_cap,
+                         config_.plan_deadline_factor),
+        compute);
+  } else {
+    plan = std::make_shared<const SchedulingPlan>(compute());
+  }
   WOHA_LOG(LogLevel::kInfo, "woha")
       << "plan for workflow " << wf.value() << ": cap=" << plan->resource_cap
       << " makespan=" << plan->simulated_makespan << " steps=" << plan->steps.size();

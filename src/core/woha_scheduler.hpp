@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/job_priority.hpp"
+#include "core/plan_cache.hpp"
 #include "core/resource_cap.hpp"
 #include "core/scheduler_queue.hpp"
 #include "estimate/estimator.hpp"
@@ -47,6 +48,12 @@ struct WohaConfig {
   /// configuration's durations (SpecEstimator behaviour). Shared so a
   /// HistoryEstimator can accumulate knowledge across runs.
   std::shared_ptr<est::TaskTimeEstimator> estimator;
+  /// Reuse scheduling plans across submissions whose planning inputs
+  /// fingerprint equal (recurrent workflow instances). A hit is
+  /// bit-identical to recomputation — plan generation is pure — so this
+  /// only trades memory for client CPU; disable to force per-instance
+  /// generation (the plan-cache ablation does).
+  bool plan_cache = true;
 };
 
 class WohaScheduler final : public hadoop::WorkflowScheduler {
@@ -80,10 +87,13 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   /// Introspection for tests and benches.
   [[nodiscard]] const SchedulingPlan* plan_of(WorkflowId wf) const;
   [[nodiscard]] const SchedulerQueue& queue() const { return *queue_; }
+  [[nodiscard]] const PlanCache& plan_cache() const { return plan_cache_; }
 
  private:
   struct WorkflowState {
-    std::unique_ptr<SchedulingPlan> plan;
+    /// Shared: recurrent instances with equal planning inputs point at one
+    /// cached plan. Immutable after generation.
+    std::shared_ptr<const SchedulingPlan> plan;
     /// Active (schedulable) jobs sorted by ascending plan rank.
     std::vector<std::uint32_t> active_jobs;
   };
@@ -97,6 +107,7 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   std::uint32_t cluster_slots_ = 0;
   std::unique_ptr<SchedulerQueue> queue_;
   std::unordered_map<std::uint32_t, WorkflowState> states_;
+  PlanCache plan_cache_;
   /// Resolved by observe(); null with no registry attached.
   obs::Histogram* assign_ns_ = nullptr;
   /// Scratch buffer for decision-trace snapshots (reused across calls).

@@ -5,6 +5,7 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "metrics/grid.hpp"
 
 namespace woha::metrics {
 
@@ -19,21 +20,34 @@ std::vector<ClusterPoint> paper_cluster_sizes() {
 std::vector<SweepCell> sweep_cluster_sizes(
     const hadoop::EngineConfig& base, const std::vector<wf::WorkflowSpec>& workload,
     const std::vector<ClusterPoint>& clusters,
-    const std::vector<SchedulerEntry>& schedulers, const ObsHooks& hooks) {
-  std::vector<SweepCell> cells;
+    const std::vector<SchedulerEntry>& schedulers, const ObsHooks& hooks,
+    unsigned jobs) {
+  std::vector<GridPoint> points;
+  std::vector<const ClusterPoint*> cell_cluster;  // parallel to points
+  points.reserve(clusters.size() * schedulers.size());
+  cell_cluster.reserve(points.capacity());
   for (const ClusterPoint& cp : clusters) {
     hadoop::EngineConfig config = base;
     config.cluster = hadoop::ClusterConfig::with_totals(cp.map_slots, cp.reduce_slots);
     config.cluster.heartbeat_period = base.cluster.heartbeat_period;
     for (const SchedulerEntry& entry : schedulers) {
-      const auto result = run_experiment(config, workload, entry, nullptr, hooks);
-      cells.push_back(SweepCell{cp.label, entry.label,
-                                result.summary.deadline_miss_ratio,
-                                result.summary.max_tardiness,
-                                result.summary.total_tardiness,
-                                result.summary.overall_utilization,
-                                result.summary.makespan});
+      points.push_back(GridPoint{config, &workload, entry});
+      cell_cluster.push_back(&cp);
     }
+  }
+  GridOptions options;
+  options.jobs = jobs;
+  const auto results = run_grid(points, options, hooks);
+  std::vector<SweepCell> cells;
+  cells.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& result = results[i];
+    cells.push_back(SweepCell{cell_cluster[i]->label, result.scheduler,
+                              result.summary.deadline_miss_ratio,
+                              result.summary.max_tardiness,
+                              result.summary.total_tardiness,
+                              result.summary.overall_utilization,
+                              result.summary.makespan});
   }
   return cells;
 }

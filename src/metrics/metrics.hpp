@@ -30,13 +30,16 @@ struct ClusterPoint {
 /// The paper's Fig. 8-10 x-axis.
 [[nodiscard]] std::vector<ClusterPoint> paper_cluster_sizes();
 
-/// Run `workload` on every (cluster, scheduler) pair. `base` provides the
-/// non-cluster engine settings (latency, jitter, seed). `hooks` (if any)
-/// apply to every cell's engine.
+/// Run `workload` on every (cluster, scheduler) pair, `jobs` cells at a
+/// time (1 = serial loop, 0 = hardware concurrency; any value produces
+/// bit-identical cells — see grid.hpp). `base` provides the non-cluster
+/// engine settings (latency, jitter, seed). `hooks` (if any) apply to every
+/// cell's engine.
 [[nodiscard]] std::vector<SweepCell> sweep_cluster_sizes(
     const hadoop::EngineConfig& base, const std::vector<wf::WorkflowSpec>& workload,
     const std::vector<ClusterPoint>& clusters,
-    const std::vector<SchedulerEntry>& schedulers, const ObsHooks& hooks = {});
+    const std::vector<SchedulerEntry>& schedulers, const ObsHooks& hooks = {},
+    unsigned jobs = 1);
 
 /// Render a sweep as one table per metric, rows = cluster size, columns =
 /// scheduler — the layout of the paper's bar charts.

@@ -1,8 +1,11 @@
 #include "metrics/report.hpp"
 
+#include <chrono>
+
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/woha_scheduler.hpp"
+#include "metrics/grid.hpp"
 #include "sched/decomposed_edf_scheduler.hpp"
 #include "sched/edf_scheduler.hpp"
 #include "sched/fair_scheduler.hpp"
@@ -50,25 +53,32 @@ ExperimentResult run_experiment(const hadoop::EngineConfig& config,
                                 const std::vector<wf::WorkflowSpec>& workload,
                                 const SchedulerEntry& scheduler,
                                 TimelineRecorder* timeline, const ObsHooks& hooks) {
+  const auto t0 = std::chrono::steady_clock::now();
   hadoop::Engine engine(config, scheduler.make());
   if (hooks.registry) engine.set_metrics_registry(hooks.registry);
   if (hooks.configure) hooks.configure(engine);
   if (timeline) timeline->subscribe(engine.events());
   for (const auto& spec : workload) engine.submit(spec);
   engine.run();
-  return ExperimentResult{scheduler.label, engine.summarize()};
+  ExperimentResult result{scheduler.label, engine.summarize(), 0.0};
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
 }
 
 std::vector<ExperimentResult> run_comparison(
     const hadoop::EngineConfig& config,
     const std::vector<wf::WorkflowSpec>& workload,
-    const std::vector<SchedulerEntry>& entries, const ObsHooks& hooks) {
-  std::vector<ExperimentResult> out;
-  out.reserve(entries.size());
+    const std::vector<SchedulerEntry>& entries, const ObsHooks& hooks,
+    unsigned jobs) {
+  std::vector<GridPoint> points;
+  points.reserve(entries.size());
   for (const auto& entry : entries) {
-    out.push_back(run_experiment(config, workload, entry, nullptr, hooks));
+    points.push_back(GridPoint{config, &workload, entry});
   }
-  return out;
+  GridOptions options;
+  options.jobs = jobs;
+  return run_grid(points, options, hooks);
 }
 
 std::string format_workflow_results(const hadoop::RunSummary& summary) {

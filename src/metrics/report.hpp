@@ -35,6 +35,9 @@ struct SchedulerEntry {
 struct ExperimentResult {
   std::string scheduler;
   hadoop::RunSummary summary;
+  /// Host wall-clock spent inside the run (engine build + submit + run +
+  /// summarize). Diagnostic only — never part of determinism digests.
+  double wall_seconds = 0.0;
 };
 
 /// Observability attachments for harness-driven runs. `registry` (if any)
@@ -53,11 +56,15 @@ struct ObsHooks {
     const std::vector<wf::WorkflowSpec>& workload, const SchedulerEntry& scheduler,
     TimelineRecorder* timeline = nullptr, const ObsHooks& hooks = {});
 
-/// Run the workload under every scheduler in `entries`.
+/// Run the workload under every scheduler in `entries`, `jobs` runs at a
+/// time (1 = the classic serial loop; 0 = hardware concurrency). Results
+/// are in `entries` order and bit-identical at every thread count (see
+/// grid.hpp for the isolation contract).
 [[nodiscard]] std::vector<ExperimentResult> run_comparison(
     const hadoop::EngineConfig& config,
     const std::vector<wf::WorkflowSpec>& workload,
-    const std::vector<SchedulerEntry>& entries, const ObsHooks& hooks = {});
+    const std::vector<SchedulerEntry>& entries, const ObsHooks& hooks = {},
+    unsigned jobs = 1);
 
 /// Render per-workflow results of one run as a fixed-width table.
 [[nodiscard]] std::string format_workflow_results(const hadoop::RunSummary& summary);

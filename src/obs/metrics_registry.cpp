@@ -27,6 +27,23 @@ void Histogram::observe(double v) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<double> exponential_buckets(double start, double factor,
                                         std::size_t count) {
   if (start <= 0.0 || factor <= 1.0) {
@@ -95,6 +112,18 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
   const auto it = instruments_.find(name);
   return it == instruments_.end() ? nullptr : it->second.histogram.get();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, inst] : other.instruments_) {
+    if (inst.counter) {
+      counter(name).add(inst.counter->value());
+    } else if (inst.gauge) {
+      gauge(name).set(inst.gauge->value());
+    } else if (inst.histogram) {
+      histogram(name, inst.histogram->bounds()).merge(*inst.histogram);
+    }
+  }
 }
 
 std::string MetricsRegistry::to_json() const {

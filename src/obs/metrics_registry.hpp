@@ -49,6 +49,11 @@ class Histogram {
 
   void observe(double v);
 
+  /// Fold another histogram with identical bounds into this one (bucket
+  /// counts, sum, count, min/max). Throws std::invalid_argument on a bounds
+  /// mismatch. Used when per-run registries are merged after a grid.
+  void merge(const Histogram& other);
+
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// counts().size() == bounds().size() + 1 (last = overflow).
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
@@ -89,6 +94,14 @@ class MetricsRegistry {
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 
   [[nodiscard]] std::size_t size() const { return instruments_.size(); }
+
+  /// Fold `other` into this registry: counters add, histograms merge
+  /// (bounds must match), gauges take `other`'s value — the same final
+  /// state a shared registry would have reached had `other`'s updates been
+  /// applied after this registry's own. run_grid merges per-run registries
+  /// in submission order, so the aggregate is deterministic regardless of
+  /// which worker thread ran which point.
+  void merge(const MetricsRegistry& other);
 
   /// Deterministic (name-sorted) JSON snapshot:
   ///   {"counters":{...},"gauges":{...},"histograms":{...}}

@@ -1,0 +1,95 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace woha {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(pool.tasks_run(), 100u);
+}
+
+TEST(ThreadPool, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(7), 7u);
+}
+
+TEST(ThreadPool, SizeMatchesRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // No wait_idle: the destructor must finish the queue, not drop it.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, WaitIdleIsAQuiescencePoint) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+  // A second batch after quiescence runs too.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, AccountsBusyTime) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  }
+  pool.wait_idle();
+  EXPECT_GT(pool.busy_seconds(), 0.0);
+  EXPECT_EQ(pool.tasks_run(), 4u);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(m);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(ids.contains(std::this_thread::get_id()));
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace woha

@@ -1,0 +1,168 @@
+#include "core/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/woha_scheduler.hpp"
+#include "hadoop/engine.hpp"
+#include "obs/metrics_registry.hpp"
+#include "trace/paper_workloads.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha::core {
+namespace {
+
+wf::WorkflowSpec sample_spec() {
+  auto spec = wf::paper_fig7_topology();
+  spec.relative_deadline = minutes(80);
+  return spec;
+}
+
+std::uint64_t fp(const wf::WorkflowSpec& spec) {
+  return plan_fingerprint(spec, 96, JobPriorityPolicy::kLpf,
+                          CapPolicy::kMinFeasible, 0, 1.0);
+}
+
+TEST(PlanFingerprint, EqualInputsEqualFingerprints) {
+  EXPECT_EQ(fp(sample_spec()), fp(sample_spec()));
+}
+
+TEST(PlanFingerprint, IgnoresWorkflowNameAndSubmitTime) {
+  // Recurrent instances ("daily-report-r7") differ only in name and submit
+  // time; they must hit the entry the first instance planted.
+  auto a = sample_spec();
+  auto b = sample_spec();
+  b.name = "daily-report-r7";
+  b.submit_time = minutes(90);
+  EXPECT_EQ(fp(a), fp(b));
+}
+
+TEST(PlanFingerprint, SensitiveToEveryPlanningInput) {
+  const auto base = fp(sample_spec());
+
+  auto durations = sample_spec();
+  durations.jobs[0].map_duration += 1;
+  EXPECT_NE(fp(durations), base);
+
+  auto counts = sample_spec();
+  counts.jobs[0].num_maps += 1;
+  EXPECT_NE(fp(counts), base);
+
+  auto prereqs = sample_spec();
+  prereqs.jobs.back().prerequisites.pop_back();
+  EXPECT_NE(fp(prereqs), base);
+
+  auto deadline = sample_spec();
+  deadline.relative_deadline += 1;
+  EXPECT_NE(fp(deadline), base);
+
+  // History estimators key durations by job name, so names are inputs.
+  auto job_name = sample_spec();
+  job_name.jobs[0].name += "-renamed";
+  EXPECT_NE(fp(job_name), base);
+
+  const auto spec = sample_spec();
+  EXPECT_NE(plan_fingerprint(spec, 97, JobPriorityPolicy::kLpf,
+                             CapPolicy::kMinFeasible, 0, 1.0),
+            base);
+  EXPECT_NE(plan_fingerprint(spec, 96, JobPriorityPolicy::kHlf,
+                             CapPolicy::kMinFeasible, 0, 1.0),
+            base);
+  EXPECT_NE(plan_fingerprint(spec, 96, JobPriorityPolicy::kLpf,
+                             CapPolicy::kFixed, 0, 1.0),
+            base);
+  EXPECT_NE(plan_fingerprint(spec, 96, JobPriorityPolicy::kLpf,
+                             CapPolicy::kFixed, 32, 1.0),
+            base);
+  EXPECT_NE(plan_fingerprint(spec, 96, JobPriorityPolicy::kLpf,
+                             CapPolicy::kMinFeasible, 0, 0.9),
+            base);
+}
+
+TEST(PlanCache, MissComputesHitShares) {
+  PlanCache cache;
+  int computes = 0;
+  const auto compute = [&computes] {
+    ++computes;
+    SchedulingPlan plan;
+    plan.resource_cap = 7;
+    return plan;
+  };
+
+  const auto first = cache.get_or_compute(42, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->resource_cap, 7u);
+
+  const auto second = cache.get_or_compute(42, compute);
+  EXPECT_EQ(computes, 1) << "a hit must not recompute";
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(second.get(), first.get()) << "instances share one plan";
+
+  (void)cache.get_or_compute(43, compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  (void)cache.get_or_compute(42, compute);
+  EXPECT_EQ(computes, 3);
+}
+
+TEST(PlanCache, BoundCountersTrackHitsAndMisses) {
+  obs::MetricsRegistry registry;
+  PlanCache cache;
+  cache.bind_counters(&registry.counter("woha.plan_cache_hits"),
+                      &registry.counter("woha.plan_cache_misses"));
+  const auto compute = [] { return SchedulingPlan{}; };
+  (void)cache.get_or_compute(1, compute);
+  (void)cache.get_or_compute(1, compute);
+  (void)cache.get_or_compute(1, compute);
+  EXPECT_EQ(registry.counter("woha.plan_cache_misses").value(), 1u);
+  EXPECT_EQ(registry.counter("woha.plan_cache_hits").value(), 2u);
+}
+
+hadoop::RunSummary run_fig12(bool cache_enabled, std::uint64_t* hits) {
+  hadoop::EngineConfig config;
+  config.cluster = hadoop::ClusterConfig::paper_32_slaves();
+  WohaConfig wc;
+  wc.plan_cache = cache_enabled;
+  hadoop::Engine engine(config, std::make_unique<WohaScheduler>(wc));
+  for (const auto& spec : trace::fig12_scenario(3, minutes(30))) {
+    engine.submit(spec);
+  }
+  engine.run();
+  if (hits != nullptr) {
+    const auto& sched = dynamic_cast<const WohaScheduler&>(engine.scheduler());
+    *hits = sched.plan_cache().hits();
+  }
+  return engine.summarize();
+}
+
+// The determinism contract: a cache hit is bit-identical to recomputation,
+// so the Fig. 12 recurrence scenario (where instances 2..N hit) must
+// produce exactly the same run with the cache on and off.
+TEST(PlanCache, RecurrentRunIsBitIdenticalToUncached) {
+  std::uint64_t hits = 0;
+  const auto cached = run_fig12(true, &hits);
+  const auto uncached = run_fig12(false, nullptr);
+  EXPECT_GT(hits, 0u) << "recurrent instances must actually hit the cache";
+
+  EXPECT_EQ(cached.makespan, uncached.makespan);
+  EXPECT_EQ(cached.total_tardiness, uncached.total_tardiness);
+  EXPECT_EQ(cached.tasks_executed, uncached.tasks_executed);
+  EXPECT_EQ(cached.events_fired, uncached.events_fired);
+  EXPECT_EQ(cached.select_calls, uncached.select_calls);
+  ASSERT_EQ(cached.workflows.size(), uncached.workflows.size());
+  for (std::size_t i = 0; i < cached.workflows.size(); ++i) {
+    EXPECT_EQ(cached.workflows[i].finish_time, uncached.workflows[i].finish_time);
+    EXPECT_EQ(cached.workflows[i].workspan, uncached.workflows[i].workspan);
+    EXPECT_EQ(cached.workflows[i].met_deadline, uncached.workflows[i].met_deadline);
+  }
+}
+
+}  // namespace
+}  // namespace woha::core

@@ -105,5 +105,97 @@ TEST(MetricsRegistry, EmptyRegistryJsonHasAllSections) {
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST(MetricsRegistry, HistogramMergeFoldsCountsAndStats) {
+  Histogram a({10.0, 100.0});
+  Histogram b({10.0, 100.0});
+  a.observe(5.0);
+  a.observe(50.0);
+  b.observe(7.0);
+  b.observe(500.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.counts()[0], 2u);  // 5 and 7
+  EXPECT_EQ(a.counts()[1], 1u);  // 50
+  EXPECT_EQ(a.counts()[2], 1u);  // 500 overflow
+  EXPECT_DOUBLE_EQ(a.sum(), 562.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 500.0);
+}
+
+TEST(MetricsRegistry, HistogramMergeEmptyOtherIsNoOp) {
+  Histogram a({10.0});
+  a.observe(3.0);
+  Histogram empty({10.0});
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+
+  // Merging into an empty histogram adopts the other's min/max.
+  Histogram fresh({10.0});
+  fresh.merge(a);
+  EXPECT_EQ(fresh.count(), 1u);
+  EXPECT_DOUBLE_EQ(fresh.min(), 3.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 3.0);
+}
+
+TEST(MetricsRegistry, HistogramMergeBoundsMismatchThrows) {
+  Histogram a({10.0, 100.0});
+  Histogram b({10.0, 200.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// The parallel runner aggregates per-run scratch registries by merging them
+// into the shared one in submission order: counters add, gauges take the
+// later writer, histograms fold.
+TEST(MetricsRegistry, RegistryMergeCombinesAllInstrumentKinds) {
+  MetricsRegistry target;
+  target.counter("c").add(2);
+  target.gauge("g").set(1.0);
+  target.histogram("h", {10.0}).observe(4.0);
+
+  MetricsRegistry scratch;
+  scratch.counter("c").add(3);
+  scratch.counter("only_in_scratch").add(1);
+  scratch.gauge("g").set(9.0);
+  scratch.histogram("h", {10.0}).observe(40.0);
+
+  target.merge(scratch);
+  EXPECT_EQ(target.counter("c").value(), 5u);
+  EXPECT_EQ(target.counter("only_in_scratch").value(), 1u);
+  EXPECT_DOUBLE_EQ(target.gauge("g").value(), 9.0);  // last writer wins
+  EXPECT_EQ(target.histogram("h", {10.0}).count(), 2u);
+  EXPECT_DOUBLE_EQ(target.histogram("h", {10.0}).sum(), 44.0);
+}
+
+TEST(MetricsRegistry, MergeSequenceEqualsSharedAccumulation) {
+  // Two runs recorded into one shared registry...
+  MetricsRegistry shared;
+  shared.counter("tasks").add(10);
+  shared.histogram("lat", {1.0, 2.0}).observe(0.5);
+  shared.counter("tasks").add(20);
+  shared.histogram("lat", {1.0, 2.0}).observe(1.5);
+
+  // ...must equal the same two runs recorded privately then merged in order.
+  MetricsRegistry run1;
+  run1.counter("tasks").add(10);
+  run1.histogram("lat", {1.0, 2.0}).observe(0.5);
+  MetricsRegistry run2;
+  run2.counter("tasks").add(20);
+  run2.histogram("lat", {1.0, 2.0}).observe(1.5);
+  MetricsRegistry merged;
+  merged.merge(run1);
+  merged.merge(run2);
+
+  EXPECT_EQ(merged.to_json(), shared.to_json());
+}
+
+TEST(MetricsRegistry, MergeKindMismatchThrows) {
+  MetricsRegistry target;
+  target.counter("x");
+  MetricsRegistry scratch;
+  scratch.gauge("x").set(1.0);
+  EXPECT_THROW(target.merge(scratch), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace woha::obs
