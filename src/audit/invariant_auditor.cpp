@@ -1,0 +1,336 @@
+#include "audit/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/plan.hpp"
+#include "core/woha_scheduler.hpp"
+#include "hadoop/cluster.hpp"
+#include "hadoop/engine.hpp"
+#include "hadoop/job_tracker.hpp"
+#include "obs/event.hpp"
+
+namespace woha::audit {
+
+namespace {
+
+std::string format_violation(const std::string& invariant, SimTime time,
+                             std::int64_t expected, std::int64_t actual,
+                             const std::string& detail, std::uint32_t workflow) {
+  std::string msg = "InvariantViolation: [" + invariant + "] t=" +
+                    std::to_string(time) + "ms";
+  if (workflow != kNoWorkflow) msg += " workflow=" + std::to_string(workflow);
+  msg += " expected=" + std::to_string(expected) +
+         " actual=" + std::to_string(actual) + " — " + detail;
+  return msg;
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(std::string invariant, SimTime time,
+                                       std::int64_t expected, std::int64_t actual,
+                                       std::string detail, std::uint32_t workflow)
+    : std::logic_error(
+          format_violation(invariant, time, expected, actual, detail, workflow)),
+      invariant_(std::move(invariant)),
+      time_(time),
+      expected_(expected),
+      actual_(actual),
+      workflow_(workflow) {}
+
+void InvariantAuditor::fail(const std::string& invariant, SimTime t,
+                            std::int64_t expected, std::int64_t actual,
+                            const std::string& detail, std::uint32_t workflow) {
+  throw InvariantViolation(invariant, t, expected, actual, detail, workflow);
+}
+
+InvariantAuditor::InvariantAuditor(hadoop::Engine& engine, AuditConfig config)
+    : engine_(engine), config_(config) {
+  const auto& ec = engine_.config();
+  retries_possible_ =
+      ec.task_failure_prob > 0.0 || ec.faults.churn_enabled();
+  const std::size_t n = engine_.cluster().tracker_count();
+  running_.assign(n, {0, 0});
+  pooled_.assign(n, true);
+  subscription_ =
+      engine_.events().subscribe([this](const obs::Event& e) { on_event(e); });
+}
+
+InvariantAuditor::~InvariantAuditor() {
+  engine_.events().unsubscribe(subscription_);
+}
+
+void InvariantAuditor::on_event(const obs::Event& event) {
+  ++events_seen_;
+  if (event.time < last_event_time_) {
+    fail("event-time-monotonic", event.time, last_event_time_, event.time,
+         "event published before the previous event's sim time — the "
+         "discrete-event core must hand events out in nondecreasing order");
+  }
+  last_event_time_ = event.time;
+  const SimTime t = event.time;
+
+  if (const auto* started = std::get_if<obs::TaskStarted>(&event.payload)) {
+    if (started->tracker >= running_.size()) {
+      fail("attempt-tracker-range", t,
+           static_cast<std::int64_t>(running_.size()) - 1,
+           static_cast<std::int64_t>(started->tracker),
+           "TaskStarted on a tracker index outside the cluster",
+           started->workflow);
+    }
+    const auto [it, inserted] = attempts_.emplace(
+        started->attempt,
+        ShadowAttempt{started->tracker,
+                      static_cast<std::size_t>(started->slot),
+                      started->workflow});
+    if (!inserted) {
+      fail("attempt-id-unique", t, 0, 1,
+           "TaskStarted reused attempt id " + std::to_string(started->attempt) +
+               " while the attempt is still running",
+           started->workflow);
+    }
+    ++running_[started->tracker][static_cast<std::size_t>(started->slot)];
+    check_tracker_slots(started->tracker, t);
+  } else if (const auto* ended = std::get_if<obs::TaskEnded>(&event.payload)) {
+    const auto it = attempts_.find(ended->attempt);
+    if (it == attempts_.end()) {
+      fail("attempt-lifecycle", t, 1, 0,
+           "TaskEnded for attempt " + std::to_string(ended->attempt) +
+               " without a matching TaskStarted",
+           ended->workflow);
+    }
+    --running_[it->second.tracker][it->second.slot];
+    attempts_.erase(it);
+    check_tracker_slots(ended->tracker, t);
+  } else if (const auto* hb = std::get_if<obs::HeartbeatServed>(&event.payload)) {
+    ++heartbeats_seen_;
+    const auto& tracker = engine_.cluster().tracker(hb->tracker);
+    if (hb->free_map != tracker.free_slots(SlotType::kMap) ||
+        hb->free_reduce != tracker.free_slots(SlotType::kReduce)) {
+      fail("heartbeat-free-slots", t,
+           static_cast<std::int64_t>(tracker.free_slots(SlotType::kMap)),
+           static_cast<std::int64_t>(hb->free_map),
+           "HeartbeatServed free-slot report disagrees with cluster state "
+           "for tracker " + std::to_string(hb->tracker));
+    }
+    check_tracker_slots(hb->tracker, t);
+    if (config_.full_sweep_period > 0 &&
+        heartbeats_seen_ % config_.full_sweep_period == 0) {
+      full_sweep();
+    }
+  } else if (const auto* lost = std::get_if<obs::TrackerLost>(&event.payload)) {
+    // detect_tracker_loss kills every attempt (publishing their TaskEnded)
+    // before reconciling, so by now the shadow must agree the node is empty.
+    const auto& counts = running_.at(lost->tracker);
+    if (counts[0] != 0 || counts[1] != 0) {
+      fail("tracker-lost-empty", t, 0, counts[0] + counts[1],
+           "TrackerLost published while attempts still run on tracker " +
+               std::to_string(lost->tracker));
+    }
+    if (engine_.cluster().tracker(lost->tracker).alive()) {
+      fail("tracker-lost-dead", t, 0, 1,
+           "TrackerLost for a tracker still marked alive");
+    }
+    pooled_[lost->tracker] = false;
+  } else if (const auto* restarted =
+                 std::get_if<obs::TrackerRestarted>(&event.payload)) {
+    const auto& tracker = engine_.cluster().tracker(restarted->tracker);
+    if (!tracker.alive()) {
+      fail("tracker-restart-alive", t, 1, 0,
+           "TrackerRestarted for a tracker still marked dead");
+    }
+    for (const SlotType s : {SlotType::kMap, SlotType::kReduce}) {
+      if (tracker.free_slots(s) != tracker.capacity(s)) {
+        fail("tracker-restart-free", t, tracker.capacity(s),
+             tracker.free_slots(s),
+             "restarted tracker must re-register with every slot free");
+      }
+    }
+    pooled_[restarted->tracker] = true;
+  } else if (const auto* plan = std::get_if<obs::PlanGenerated>(&event.payload)) {
+    check_plan(plan->workflow, t);
+  } else if (const auto* reorder =
+                 std::get_if<obs::QueueReordered>(&event.payload)) {
+    // Rollback path: rho regressed. The plan itself is immutable, but the
+    // monotonicity re-check here pins the "including post-rollback" clause.
+    check_plan(reorder->workflow, t);
+  }
+}
+
+void InvariantAuditor::check_tracker_slots(std::size_t tracker, SimTime t) const {
+  const auto& state = engine_.cluster().tracker(tracker);
+  const auto& counts = running_.at(tracker);
+  for (const SlotType s : {SlotType::kMap, SlotType::kReduce}) {
+    const auto idx = static_cast<std::size_t>(s);
+    const std::int64_t expected = state.capacity(s);
+    const std::int64_t actual =
+        static_cast<std::int64_t>(state.free_slots(s)) + counts[idx];
+    if (expected != actual) {
+      fail("slot-conservation", t, expected, actual,
+           "tracker " + std::to_string(tracker) + " " +
+               (s == SlotType::kMap ? "map" : "reduce") +
+               " free slots + running attempts != capacity");
+    }
+  }
+}
+
+void InvariantAuditor::check_cluster(SimTime t) const {
+  const auto& cluster = engine_.cluster();
+  const std::size_t n = cluster.tracker_count();
+  std::uint64_t pooled_free[2] = {0, 0};
+  std::uint32_t free_anywhere[2] = {0, 0};
+  for (std::size_t i = 0; i < n; ++i) {
+    check_tracker_slots(i, t);
+    const auto& tracker = cluster.tracker(i);
+    for (const SlotType s : {SlotType::kMap, SlotType::kReduce}) {
+      const auto idx = static_cast<std::size_t>(s);
+      if (pooled_[i]) pooled_free[idx] += tracker.free_slots(s);
+      if (tracker.alive() && tracker.free_slots(s) > 0) ++free_anywhere[idx];
+    }
+  }
+  for (const SlotType s : {SlotType::kMap, SlotType::kReduce}) {
+    const auto idx = static_cast<std::size_t>(s);
+    if (pooled_free[idx] != cluster.total_free(s)) {
+      fail("cluster-free-total", t, static_cast<std::int64_t>(pooled_free[idx]),
+           cluster.total_free(s),
+           "sum of pooled trackers' free slots disagrees with the aggregate "
+           "counter");
+    }
+    // Freelist walk: bounded (cycle-safe), every node alive with a free
+    // slot, node count == the maintained counter == the ground-truth scan.
+    std::vector<bool> visited(n, false);
+    std::uint32_t walked = 0;
+    for (std::size_t i = cluster.first_free(s); i != hadoop::Cluster::kNoTracker;
+         i = cluster.next_free(s, i)) {
+      if (i >= n || visited[i]) {
+        fail("freelist-shape", t, 0, 1,
+             "freelist walk revisited or left the tracker range at index " +
+                 std::to_string(i));
+      }
+      visited[i] = true;
+      ++walked;
+      const auto& tracker = cluster.tracker(i);
+      if (!tracker.alive() || tracker.free_slots(s) == 0) {
+        fail("freelist-membership", t, 1, 0,
+             "freelist contains tracker " + std::to_string(i) +
+                 " that is dead or has no free slot of its type");
+      }
+    }
+    if (walked != cluster.free_tracker_count(s) ||
+        walked != free_anywhere[idx]) {
+      fail("freelist-count", t, free_anywhere[idx],
+           static_cast<std::int64_t>(walked),
+           "freelist length disagrees with the alive-trackers-with-free-"
+           "slots ground truth (maintained counter: " +
+               std::to_string(cluster.free_tracker_count(s)) + ")");
+    }
+  }
+}
+
+void InvariantAuditor::check_scheduler(SimTime t) const {
+  const auto* woha =
+      dynamic_cast<const core::WohaScheduler*>(&engine_.scheduler());
+  if (woha == nullptr) return;
+
+  try {
+    woha->queue().check_structure();
+  } catch (const InvariantViolation&) {
+    throw;
+  } catch (const std::logic_error& e) {
+    fail("queue-structure", t, 0, 1, e.what());
+  }
+
+  std::vector<core::SchedulerQueue::QueueEntry> entries;
+  woha->queue().top(config_.max_sampled_workflows, entries);
+  const auto& job_tracker = engine_.job_tracker();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& entry = entries[i];
+    if (i > 0) {
+      // top() promises descending priority: (-lag, id) ascending.
+      const auto prev = std::make_pair(-entries[i - 1].lag, entries[i - 1].id);
+      const auto cur = std::make_pair(-entry.lag, entry.id);
+      if (cur < prev) {
+        fail("queue-top-order", t, entries[i - 1].lag, entry.lag,
+             "top() entries not in descending-priority order", entry.id);
+      }
+    }
+    const std::int64_t derived_lag =
+        static_cast<std::int64_t>(entry.requirement) -
+        static_cast<std::int64_t>(entry.rho);
+    if (entry.lag != derived_lag) {
+      fail("lag-consistency", t, derived_lag, entry.lag,
+           "queue entry lag != requirement - rho", entry.id);
+    }
+    const auto& wf_rt = job_tracker.workflow(WorkflowId(entry.id));
+    if (entry.rho > wf_rt.tasks_scheduled()) {
+      // Queue rho only regresses (count_lost); the runtime counter never
+      // does — so the queue can never claim more progress than the engine.
+      fail("rho-ceiling", t,
+           static_cast<std::int64_t>(wf_rt.tasks_scheduled()),
+           static_cast<std::int64_t>(entry.rho),
+           "queue rho exceeds WorkflowRuntime::tasks_scheduled()", entry.id);
+    }
+    std::uint64_t finished = 0;
+    for (std::uint32_t j = 0; j < wf_rt.job_count(); ++j) {
+      finished += wf_rt.job(j).finished(SlotType::kMap);
+      finished += wf_rt.job(j).finished(SlotType::kReduce);
+    }
+    if (entry.rho < finished) {
+      fail("rho-floor", t, static_cast<std::int64_t>(finished),
+           static_cast<std::int64_t>(entry.rho),
+           "queue rho below the workflow's completed-task count — a finished "
+           "task was never counted as scheduled",
+           entry.id);
+    }
+    if (const auto* plan = woha->plan_of(WorkflowId(entry.id))) {
+      if (entry.requirement > plan->total_tasks()) {
+        fail("requirement-ceiling", t,
+             static_cast<std::int64_t>(plan->total_tasks()),
+             static_cast<std::int64_t>(entry.requirement),
+             "progress requirement exceeds the plan's total task count",
+             entry.id);
+      }
+      if (!retries_possible_ && entry.rho > plan->total_tasks()) {
+        fail("rho-plan-ceiling", t,
+             static_cast<std::int64_t>(plan->total_tasks()),
+             static_cast<std::int64_t>(entry.rho),
+             "rho exceeds the plan's total tasks in a run with no retry path",
+             entry.id);
+      }
+    }
+  }
+}
+
+void InvariantAuditor::check_plan(std::uint32_t workflow, SimTime t) const {
+  const auto* woha =
+      dynamic_cast<const core::WohaScheduler*>(&engine_.scheduler());
+  if (woha == nullptr) return;
+  const auto* plan = woha->plan_of(WorkflowId(workflow));
+  if (plan == nullptr) return;  // already dequeued (completed/failed)
+  if (plan->resource_cap < 1) {
+    fail("plan-cap", t, 1, plan->resource_cap,
+         "scheduling plan generated with a zero resource cap", workflow);
+  }
+  for (std::size_t i = 1; i < plan->steps.size(); ++i) {
+    if (plan->steps[i].ttd >= plan->steps[i - 1].ttd) {
+      fail("plan-ttd-decreasing", t, plan->steps[i - 1].ttd - 1,
+           plan->steps[i].ttd,
+           "F_i steps must strictly decrease in time-to-deadline", workflow);
+    }
+    if (plan->steps[i].cumulative_req < plan->steps[i - 1].cumulative_req) {
+      fail("plan-monotone", t,
+           static_cast<std::int64_t>(plan->steps[i - 1].cumulative_req),
+           static_cast<std::int64_t>(plan->steps[i].cumulative_req),
+           "F_i cumulative requirements must be non-decreasing", workflow);
+    }
+  }
+}
+
+void InvariantAuditor::full_sweep() {
+  ++sweeps_run_;
+  const SimTime t = engine_.now();
+  check_cluster(t);
+  check_scheduler(t);
+}
+
+}  // namespace woha::audit

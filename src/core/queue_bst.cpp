@@ -1,6 +1,9 @@
 #include "core/queue_bst.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace woha::core {
 
@@ -80,6 +83,69 @@ void BstQueue::top(std::size_t k, std::vector<QueueEntry>& out) const {
     out.push_back(QueueEntry{st->id, st->tracker.lag(),
                              st->tracker.current_requirement(),
                              st->tracker.rho()});
+  }
+}
+
+void BstQueue::check_structure() const {
+  // std::map keeps its own ordering, so beyond sizes the checks are: cached
+  // keys in sync with trackers, tree keys matching the caches, and both
+  // trees covering the same id set (collected from the ordered trees, never
+  // by iterating the unordered states_ map).
+  if (ct_tree_.size() != states_.size() || pri_tree_.size() != states_.size()) {
+    throw std::logic_error(
+        "BstQueue::check_structure: index sizes diverged (states=" +
+        std::to_string(states_.size()) + " ct=" + std::to_string(ct_tree_.size()) +
+        " pri=" + std::to_string(pri_tree_.size()) + ")");
+  }
+  std::vector<std::uint32_t> ct_ids, pri_ids;
+  ct_ids.reserve(states_.size());
+  pri_ids.reserve(states_.size());
+  for (const auto& [key, st] : ct_tree_) {
+    if (key.first != st->ct_key || key.second != st->id) {
+      throw std::logic_error(
+          "BstQueue::check_structure: ct node key disagrees with cached "
+          "ct_key for id " + std::to_string(st->id));
+    }
+    if (st->ct_key != st->tracker.next_change_time()) {
+      throw std::logic_error(
+          "BstQueue::check_structure: cached ct_key stale for id " +
+          std::to_string(st->id));
+    }
+    const auto it = states_.find(st->id);
+    if (it == states_.end() || it->second.get() != st) {
+      throw std::logic_error(
+          "BstQueue::check_structure: ct entry not backed by states_ for id " +
+          std::to_string(st->id));
+    }
+    ct_ids.push_back(st->id);
+  }
+  for (const auto& [key, st] : pri_tree_) {
+    if (key.first != st->pri_key || key.second != st->id) {
+      throw std::logic_error(
+          "BstQueue::check_structure: priority node key disagrees with "
+          "cached pri_key for id " + std::to_string(st->id));
+    }
+    if (st->pri_key != -st->tracker.lag()) {
+      throw std::logic_error(
+          "BstQueue::check_structure: cached pri_key stale for id " +
+          std::to_string(st->id) + " (cached=" + std::to_string(st->pri_key) +
+          " tracker=" + std::to_string(-st->tracker.lag()) + ")");
+    }
+    const auto it = states_.find(st->id);
+    if (it == states_.end() || it->second.get() != st) {
+      throw std::logic_error(
+          "BstQueue::check_structure: priority entry not backed by states_ "
+          "for id " + std::to_string(st->id));
+    }
+    pri_ids.push_back(st->id);
+  }
+  std::sort(ct_ids.begin(), ct_ids.end());
+  std::sort(pri_ids.begin(), pri_ids.end());
+  if (ct_ids != pri_ids ||
+      std::adjacent_find(ct_ids.begin(), ct_ids.end()) != ct_ids.end()) {
+    throw std::logic_error(
+        "BstQueue::check_structure: ct and priority trees do not cover the "
+        "same workflow set exactly once each");
   }
 }
 

@@ -1,6 +1,9 @@
 #include "core/queue_dsl.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace woha::core {
 
@@ -97,6 +100,87 @@ void DslQueue::top(std::size_t k, std::vector<QueueEntry>& out) const {
                              st->tracker.rho()});
     return true;
   });
+}
+
+void DslQueue::check_structure() const {
+  if (ct_list_.size() != states_.size() || pri_list_.size() != states_.size()) {
+    throw std::logic_error(
+        "DslQueue::check_structure: index sizes diverged (states=" +
+        std::to_string(states_.size()) + " ct=" + std::to_string(ct_list_.size()) +
+        " pri=" + std::to_string(pri_list_.size()) + ")");
+  }
+  // Walk both skip lists: keys strictly ascending, cached keys in sync with
+  // the trackers, every entry resolving into states_. Collecting the id
+  // sequences (instead of iterating the unordered states_ map) keeps this
+  // check itself deterministic; equal sorted id sets plus equal sizes prove
+  // both lists cover exactly the queued workflows.
+  std::vector<std::uint32_t> ct_ids, pri_ids;
+  ct_ids.reserve(states_.size());
+  pri_ids.reserve(states_.size());
+  const CtKey* prev_ct = nullptr;
+  ct_list_.for_each([&](const CtKey& key, WfState* const& st) {
+    if (prev_ct != nullptr && !(*prev_ct < key)) {
+      throw std::logic_error(
+          "DslQueue::check_structure: ct list keys not strictly ascending at id " +
+          std::to_string(st->id));
+    }
+    prev_ct = &key;
+    if (key.first != st->ct_key || key.second != st->id) {
+      throw std::logic_error(
+          "DslQueue::check_structure: ct node key disagrees with cached "
+          "ct_key for id " + std::to_string(st->id));
+    }
+    if (st->ct_key != st->tracker.next_change_time()) {
+      throw std::logic_error(
+          "DslQueue::check_structure: cached ct_key stale for id " +
+          std::to_string(st->id) + " (cached=" + std::to_string(st->ct_key) +
+          " tracker=" + std::to_string(st->tracker.next_change_time()) + ")");
+    }
+    const auto it = states_.find(st->id);
+    if (it == states_.end() || it->second.get() != st) {
+      throw std::logic_error(
+          "DslQueue::check_structure: ct entry not backed by states_ for id " +
+          std::to_string(st->id));
+    }
+    ct_ids.push_back(st->id);
+    return true;
+  });
+  const PriKey* prev_pri = nullptr;
+  pri_list_.for_each([&](const PriKey& key, WfState* const& st) {
+    if (prev_pri != nullptr && !(*prev_pri < key)) {
+      throw std::logic_error(
+          "DslQueue::check_structure: priority list keys not strictly "
+          "ascending at id " + std::to_string(st->id));
+    }
+    prev_pri = &key;
+    if (key.first != st->pri_key || key.second != st->id) {
+      throw std::logic_error(
+          "DslQueue::check_structure: priority node key disagrees with "
+          "cached pri_key for id " + std::to_string(st->id));
+    }
+    if (st->pri_key != -st->tracker.lag()) {
+      throw std::logic_error(
+          "DslQueue::check_structure: cached pri_key stale for id " +
+          std::to_string(st->id) + " (cached=" + std::to_string(st->pri_key) +
+          " tracker=" + std::to_string(-st->tracker.lag()) + ")");
+    }
+    const auto it = states_.find(st->id);
+    if (it == states_.end() || it->second.get() != st) {
+      throw std::logic_error(
+          "DslQueue::check_structure: priority entry not backed by states_ "
+          "for id " + std::to_string(st->id));
+    }
+    pri_ids.push_back(st->id);
+    return true;
+  });
+  std::sort(ct_ids.begin(), ct_ids.end());
+  std::sort(pri_ids.begin(), pri_ids.end());
+  if (ct_ids != pri_ids ||
+      std::adjacent_find(ct_ids.begin(), ct_ids.end()) != ct_ids.end()) {
+    throw std::logic_error(
+        "DslQueue::check_structure: ct and priority lists do not cover the "
+        "same workflow set exactly once each");
+  }
 }
 
 void DslQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {

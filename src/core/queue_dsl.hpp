@@ -28,8 +28,11 @@ class DslQueue final : public SchedulerQueue {
   void on_progress_lost(std::uint32_t id, std::uint64_t count) override;
   [[nodiscard]] std::size_t size() const override { return states_.size(); }
   void top(std::size_t k, std::vector<QueueEntry>& out) const override;
+  void check_structure() const override;
 
  private:
+  /// Auditor failure-path tests corrupt cached keys through this peer.
+  friend struct QueueTestPeer;
   struct WfState {
     std::uint32_t id;
     ProgressTracker tracker;

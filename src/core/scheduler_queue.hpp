@@ -67,6 +67,13 @@ class SchedulerQueue {
   /// trackers — tracing one decision can never influence the next.
   virtual void top(std::size_t k, std::vector<QueueEntry>& out) const = 0;
 
+  /// Validate internal structure (audit support): cached ordering keys in
+  /// sync with the trackers, both index orderings sorted, and the ct and
+  /// priority views covering the same workflow set. Throws std::logic_error
+  /// with a descriptive message on corruption. Read-only; the default (for
+  /// queues without cached structure) checks nothing.
+  virtual void check_structure() const {}
+
   static constexpr std::uint32_t kNone = 0xffffffffu;
 };
 

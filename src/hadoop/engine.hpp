@@ -83,6 +83,12 @@ struct EngineConfig {
   double remote_map_penalty = 1.0;
   /// HDFS replication factor used by the locality model.
   std::uint32_t hdfs_replication = 3;
+
+  /// Attach an audit::InvariantAuditor to the run (metrics::run_experiment
+  /// honours this; the engine itself never depends on the audit library).
+  /// Off means no bus subscription, so publish sites reduce to one branch
+  /// and the run is bit- and wall-clock-identical to an unaudited one.
+  bool audit = false;
 };
 
 /// One task start/finish observation, for slot-allocation timelines
@@ -190,10 +196,16 @@ class Engine {
   /// Run to completion (or to config.horizon).
   void run();
 
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const JobTracker& job_tracker() const { return job_tracker_; }
   [[nodiscard]] const Cluster& cluster() const { return cluster_; }
   [[nodiscard]] const WorkflowScheduler& scheduler() const { return *scheduler_; }
   [[nodiscard]] SimTime now() const { return sim_.now(); }
+
+  /// Mutable cluster access for auditor failure-path tests, which corrupt
+  /// slot accounting mid-run to prove the auditor trips. Production code
+  /// must never call this.
+  [[nodiscard]] Cluster& cluster_for_test() { return cluster_; }
 
   /// Collect results after run().
   [[nodiscard]] RunSummary summarize() const;

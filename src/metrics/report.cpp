@@ -1,7 +1,9 @@
 #include "metrics/report.hpp"
 
 #include <chrono>
+#include <optional>
 
+#include "audit/invariant_auditor.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/woha_scheduler.hpp"
@@ -58,8 +60,14 @@ ExperimentResult run_experiment(const hadoop::EngineConfig& config,
   if (hooks.registry) engine.set_metrics_registry(hooks.registry);
   if (hooks.configure) hooks.configure(engine);
   if (timeline) timeline->subscribe(engine.events());
+  // The auditor subscribes last so exporters see each event before any
+  // audit check can throw on it; subscription order never affects results
+  // (the bus is synchronous and side-effect-free toward the engine).
+  std::optional<audit::InvariantAuditor> auditor;
+  if (config.audit) auditor.emplace(engine);
   for (const auto& spec : workload) engine.submit(spec);
   engine.run();
+  if (auditor) auditor->full_sweep();
   ExperimentResult result{scheduler.label, engine.summarize(), 0.0};
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -32,6 +32,7 @@ constexpr std::uint64_t kFig8Paper80Golden = 0x59e3378f75ea6305ull;
 
 std::uint64_t fig8_digest_at(unsigned jobs) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster = hadoop::ClusterConfig::paper_80_servers();
   const auto results =
       metrics::run_comparison(config, trace::fig8_trace(),
@@ -47,6 +48,7 @@ TEST(ParallelDeterminism, Fig8GridBitIdenticalAtEveryThreadCount) {
 
 TEST(ParallelDeterminism, Fig11GridBitIdenticalAtEveryThreadCount) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster = hadoop::ClusterConfig::paper_32_slaves();
   const auto workload = trace::fig11_scenario();
   for (const unsigned jobs : {1u, 4u, std::thread::hardware_concurrency()}) {
@@ -61,6 +63,7 @@ TEST(ParallelDeterminism, Fig11GridBitIdenticalAtEveryThreadCount) {
 // worker thread must not leak engine state either.
 TEST(ParallelDeterminism, MorePointsThanWorkers) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster = hadoop::ClusterConfig::paper_80_servers();
   const auto workload = trace::fig8_trace();
   std::vector<metrics::GridPoint> points;
@@ -75,6 +78,7 @@ TEST(ParallelDeterminism, MorePointsThanWorkers) {
 
 obs::MetricsRegistry run_fig11_registry(unsigned jobs) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster = hadoop::ClusterConfig::paper_32_slaves();
   obs::MetricsRegistry registry;
   metrics::ObsHooks hooks;
@@ -138,6 +142,7 @@ TEST(ParallelDeterminism, ObsSinksAreConfinedToTheirRun) {
     std::vector<metrics::GridPoint> points;
     for (const auto& w : workloads) {
       hadoop::EngineConfig config;
+      config.audit = true;
       config.cluster = hadoop::ClusterConfig::paper_32_slaves();
       points.push_back(metrics::GridPoint{config, &w, entry});
     }

@@ -39,6 +39,7 @@ void check_digest(const char* label, std::uint64_t got, std::uint64_t want) {
 
 TEST(ScaleDeterminism, Fig11Paper32Snapshot) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster = hadoop::ClusterConfig::paper_32_slaves();
   const auto results = metrics::run_comparison(config, trace::fig11_scenario(),
                                                metrics::paper_schedulers());
@@ -48,6 +49,7 @@ TEST(ScaleDeterminism, Fig11Paper32Snapshot) {
 
 TEST(ScaleDeterminism, Fig8Paper80Snapshot) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster = hadoop::ClusterConfig::paper_80_servers();
   const auto results = metrics::run_comparison(config, trace::fig8_trace(),
                                                metrics::paper_schedulers());
@@ -57,6 +59,7 @@ TEST(ScaleDeterminism, Fig8Paper80Snapshot) {
 
 TEST(ScaleDeterminism, Fig8Slots200Snapshot) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster = hadoop::ClusterConfig::with_totals(200, 200);
   const auto results = metrics::run_comparison(config, trace::fig8_trace(),
                                                metrics::paper_schedulers());
@@ -69,6 +72,7 @@ TEST(ScaleDeterminism, Fig8Slots200Snapshot) {
 // results comparable across future engine changes.
 TEST(ScaleDeterminism, ScaleWorkload160Snapshot) {
   hadoop::EngineConfig config;
+  config.audit = true;
   config.cluster.num_trackers = 160;
   config.cluster.map_slots_per_tracker = 2;
   config.cluster.reduce_slots_per_tracker = 1;

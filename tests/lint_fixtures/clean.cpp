@@ -1,0 +1,28 @@
+// Lint fixture: must trigger NO rule. Exercises the legitimate patterns the
+// scanner has to leave alone: unordered_map *lookup* (not iteration),
+// FP arithmetic without equality, integer-key sorting, and epsilon compares.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Entry {
+  std::uint64_t key;
+  double lag;
+};
+
+double clean_fixture(std::vector<Entry>& entries) {
+  std::unordered_map<std::uint64_t, double> cache;
+  cache[7] = 0.5;
+  auto it = cache.find(7);  // lookup is fine; iteration is not
+  double bonus = it != cache.end() ? it->second : 0.0;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  double total = bonus;
+  for (const auto& e : entries) {
+    if (e.lag > 0.0) {  // ordered compare, not equality
+      total += e.lag;
+    }
+  }
+  return total;
+}

@@ -1,0 +1,12 @@
+// Lint fixture: must trigger [banned-clock].
+// Simulated logic must consume sim::Simulation::now(), never the host clock.
+#include <chrono>
+#include <ctime>
+
+long banned_clock_fixture() {
+  auto t0 = std::chrono::steady_clock::now();    // fires
+  auto t1 = std::chrono::system_clock::now();    // fires
+  std::time_t wall = time(nullptr);              // fires
+  return static_cast<long>(wall) + t0.time_since_epoch().count() +
+         t1.time_since_epoch().count();
+}

@@ -1,0 +1,10 @@
+// Lint fixture: must trigger [banned-random].
+// Raw entropy outside src/common/rng.* breaks run reproducibility.
+#include <cstdlib>
+#include <random>
+
+int banned_random_fixture() {
+  std::random_device rd;           // fires: ambient entropy source
+  std::mt19937 gen(rd());          // fires: unseeded-by-config engine
+  return static_cast<int>(gen()) + rand();  // fires: C library rand()
+}

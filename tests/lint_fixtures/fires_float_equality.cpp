@@ -1,0 +1,8 @@
+// Lint fixture: must trigger [float-equality].
+// FP equality in queue-ordering code makes priority ties platform-dependent.
+bool float_equality_fixture(double lag_a, double lag_b) {
+  if (lag_a == lag_b) {  // fires: exact FP compare deciding an ordering tie
+    return true;
+  }
+  return lag_a != 0.25;  // fires: compare against FP literal
+}

@@ -1,0 +1,21 @@
+// Lint fixture: must trigger [pointer-sort-key].
+// Pointer order is allocation order — it varies run to run, so it can never
+// be a sort key or an ordered-container key.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+struct Tracker {
+  int id;
+};
+
+int pointer_sort_key_fixture(std::vector<Tracker*>& trackers) {
+  std::sort(trackers.begin(), trackers.end(),
+            [](const Tracker* a, const Tracker* b) { return a < b; });  // fires
+  std::map<Tracker*, int> rank;  // fires: ordered container keyed by pointer
+  int sum = 0;
+  for (auto* t : trackers) {
+    sum += rank[t] + t->id;
+  }
+  return sum;
+}

@@ -1,0 +1,15 @@
+// Lint fixture: must trigger [unordered-iteration].
+// Hash-order iteration feeding a decision varies across platforms.
+#include <unordered_map>
+
+int unordered_iteration_fixture() {
+  std::unordered_map<int, int> states;
+  states[1] = 2;
+  int first_key = -1;
+  for (const auto& [key, value] : states) {  // fires: order is hash order
+    first_key = key + value;
+    break;
+  }
+  auto it = states.begin();  // fires: begin() walk, same hazard
+  return first_key + it->second;
+}

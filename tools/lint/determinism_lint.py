@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the WOHA reproduction.
+
+The whole experiment pipeline rests on runs being a pure function of
+(config, seeds): golden FNV digests pin Fig. 8/11/scale metrics bit-for-bit,
+and the parallel grid runner is only trustworthy because nothing inside a run
+reads ambient state. This scanner enforces, statically, the coding rules that
+property depends on:
+
+  banned-random        No rand()/srand()/std::random_device/std::mt19937/...
+                       outside src/common/rng.* — every stochastic draw must
+                       come from an explicitly seeded woha::Rng.
+  banned-clock         No wall-clock reads (steady_clock, system_clock,
+                       time(), gettimeofday, ...) except in allowlisted
+                       wall-clock *measurement* plumbing (latency histograms,
+                       wall_seconds reporting) that never feeds a decision.
+  unordered-iteration  No iteration over std::unordered_map/unordered_set in
+                       decision-path code (src/core, src/sched, src/hadoop,
+                       src/sim, src/estimate): hash-order iteration silently
+                       varies across libstdc++ versions and ASLR, turning
+                       scheduler decisions nondeterministic. Lookups are fine.
+  float-equality       No ==/!= on float/double values in queue-ordering code:
+                       FP equality is representation-sensitive and would make
+                       priority ties platform-dependent.
+  pointer-sort-key     No pointer-valued sort keys or pointer-keyed ordered
+                       containers in decision-path code: pointer order is
+                       allocation order, which varies run to run.
+
+Violations may be suppressed through the allowlist file (one entry per line):
+
+    rule|path|line-substring-or-*|justification
+
+Every entry must carry a justification and must actually match something —
+stale entries fail the lint, so suppressions can never outlive their reason.
+
+Usage:
+    determinism_lint.py --root <repo-root>            lint src/ and bench/
+    determinism_lint.py --root <repo-root> --self-test
+                       prove every rule fires on its tests/lint_fixtures file
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned for the clock/random rules (relative to the repo root).
+SCAN_DIRS = ["src", "bench"]
+# Decision-path prefixes: files here feed scheduler or engine decisions, so
+# the iteration-order / float-compare / pointer-key rules apply.
+DECISION_PREFIXES = ("src/core/", "src/sched/", "src/hadoop/", "src/sim/",
+                     "src/estimate/")
+# Queue-ordering files: the float-equality rule is scoped to code that builds
+# or compares priority keys.
+ORDERING_PREFIXES = ("src/core/",)
+# The one sanctioned home of raw entropy.
+RNG_HOME = ("src/common/rng.hpp", "src/common/rng.cpp")
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".hh"}
+
+BANNED_RANDOM = re.compile(
+    r"\bstd::random_device\b|\bstd::mt19937(?:_64)?\b|"
+    r"\bstd::default_random_engine\b|\bstd::minstd_rand0?\b|"
+    r"\bstd::random_shuffle\b|\bstd::ranlux\w*\b|"
+    r"(?<![\w:.])s?rand\s*\(|\brand_r\s*\(|\bdrand48\s*\(|\blrand48\s*\(")
+
+BANNED_CLOCK = re.compile(
+    r"\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b|"
+    r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|\blocaltime\w*\s*\(|"
+    r"\bgmtime\w*\s*\(|(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&\w+)\s*\)|"
+    r"(?<![\w:.>])clock\s*\(\s*\)")
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s+(\w+)\s*[;{=\[]",
+    re.DOTALL)
+FLOAT_DECL = re.compile(r"\b(?:float|double)\s+(\w+)\s*[;,=)]")
+FLOAT_LITERAL = re.compile(r"\b\d+\.\d*(?:[eE][+-]?\d+)?f?\b|\b\d+f\b")
+COMPARISON = re.compile(r"[^=!<>+\-*/&|^]==[^=]|[^=!<>]!=[^=]")
+
+# std::sort / std::stable_sort with a lambda comparator over pointer
+# parameters; the body is inspected separately — comparing *through* the
+# pointers (a->field < b->field) is fine, comparing the pointers is not.
+POINTER_COMPARATOR = re.compile(
+    r"\bstd::(?:stable_)?sort\s*\([^;]*?\[[^\]]*\]\s*\("
+    r"\s*(?:const\s+)?[\w:]+\s*\*\s*(\w+)\s*,\s*"
+    r"(?:const\s+)?[\w:]+\s*\*\s*(\w+)\s*\)\s*(?:->\s*[\w:]+\s*)?\{([^{}]*)\}",
+    re.DOTALL)
+# it == / != container.end()-style iterator checks: exempt from the FP rule.
+ITER_COMPARE = re.compile(r"[!=]=\s*[\w.>\-]*\bc?(?:end|begin)\s*\(\s*\)|"
+                          r"[!=]=\s*nullptr\b|\bnullptr\s*[!=]=")
+# Ordered container keyed by a pointer type (first template argument for map,
+# sole argument for set).
+POINTER_KEYED = re.compile(
+    r"\bstd::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*[,>]")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line structure
+    and byte offsets (every removed char becomes a space)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line_no: int, line: str, msg: str):
+        self.rule = rule
+        self.path = path
+        self.line_no = line_no
+        self.line = line.strip()
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.msg}\n" \
+               f"    {self.line}"
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def scan_file(rel_path: str, raw: str) -> list[Finding]:
+    text = strip_comments_and_strings(raw)
+    lines = text.splitlines()
+    raw_lines = raw.splitlines()
+    findings: list[Finding] = []
+
+    def add(rule: str, line_no: int, msg: str) -> None:
+        src = raw_lines[line_no - 1] if line_no - 1 < len(raw_lines) else ""
+        findings.append(Finding(rule, rel_path, line_no, src, msg))
+
+    # --- banned-random -----------------------------------------------------
+    if rel_path not in RNG_HOME:
+        for m in BANNED_RANDOM.finditer(text):
+            add("banned-random", line_of(text, m.start()),
+                f"raw entropy source '{m.group(0).strip()}' outside "
+                "src/common/rng.*; draw from a seeded woha::Rng instead")
+
+    # --- banned-clock ------------------------------------------------------
+    for m in BANNED_CLOCK.finditer(text):
+        add("banned-clock", line_of(text, m.start()),
+            f"wall-clock read '{m.group(0).strip()}' — simulated logic must "
+            "use sim::Simulation::now(); wall-clock measurement plumbing "
+            "needs an allowlist justification")
+
+    decision = rel_path.startswith(DECISION_PREFIXES) or "lint_fixtures" in rel_path
+
+    # --- unordered-iteration ----------------------------------------------
+    if decision:
+        unordered_names = set(UNORDERED_DECL.findall(text))
+        for name in unordered_names:
+            pat = re.compile(
+                r"for\s*\([^;()]*?:\s*(?:\w+(?:\.|->))?" + re.escape(name) +
+                r"\s*\)|" + re.escape(name) + r"\s*\.\s*c?begin\s*\(")
+            for m in pat.finditer(text):
+                add("unordered-iteration", line_of(text, m.start()),
+                    f"iteration over unordered container '{name}' in "
+                    "decision-path code; hash order is not deterministic "
+                    "across platforms — use an ordered index or sort first")
+
+    # --- float-equality ----------------------------------------------------
+    if rel_path.startswith(ORDERING_PREFIXES) or "lint_fixtures" in rel_path:
+        float_names = set(FLOAT_DECL.findall(text))
+        for i, line in enumerate(lines, start=1):
+            line = ITER_COMPARE.sub(" ", line)
+            if not COMPARISON.search(" " + line + " "):
+                continue
+            involved = FLOAT_LITERAL.search(line) or any(
+                re.search(r"\b" + re.escape(n) + r"\b", line) for n in float_names)
+            if involved:
+                add("float-equality", i,
+                    "==/!= on floating-point values in queue-ordering code; "
+                    "FP equality makes priority ties platform-dependent — "
+                    "compare integral keys or use an epsilon policy")
+
+    # --- pointer-sort-key --------------------------------------------------
+    if decision:
+        for m in POINTER_COMPARATOR.finditer(text):
+            a, b, body = m.group(1), m.group(2), m.group(3)
+            raw_compare = re.compile(
+                r"\b" + re.escape(a) + r"\s*[<>]=?\s*" + re.escape(b) + r"\b|"
+                r"\b" + re.escape(b) + r"\s*[<>]=?\s*" + re.escape(a) + r"\b")
+            if raw_compare.search(body):
+                add("pointer-sort-key", line_of(text, m.start()),
+                    "sort comparator orders by raw pointer value: pointer "
+                    "order is allocation order and varies run to run")
+        for m in POINTER_KEYED.finditer(text):
+            add("pointer-sort-key", line_of(text, m.start()),
+                "ordered container keyed by a pointer type: iteration order "
+                "would be allocation order, which is nondeterministic")
+
+    return findings
+
+
+class AllowEntry:
+    def __init__(self, rule: str, path: str, fragment: str, justification: str,
+                 source_line: int):
+        self.rule = rule
+        self.path = path
+        self.fragment = fragment
+        self.justification = justification
+        self.source_line = source_line
+        self.used = False
+
+    def matches(self, f: Finding) -> bool:
+        if self.rule != f.rule or self.path != f.path:
+            return False
+        return self.fragment == "*" or self.fragment in f.line
+
+
+def load_allowlist(path: Path) -> list[AllowEntry]:
+    entries: list[AllowEntry] = []
+    if not path.exists():
+        return entries
+    for i, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) != 4 or not all(parts):
+            raise SystemExit(
+                f"{path}:{i}: malformed allowlist entry (need "
+                "'rule|path|line-substring-or-*|justification'): {line!r}")
+        entries.append(AllowEntry(*parts, source_line=i))
+    return entries
+
+
+def collect_files(root: Path) -> list[Path]:
+    files = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        files.extend(p for p in sorted(base.rglob("*"))
+                     if p.suffix in SOURCE_SUFFIXES and "build" not in p.parts)
+    return files
+
+
+def run_lint(root: Path) -> int:
+    allowlist = load_allowlist(root / "tools" / "lint" /
+                               "determinism_allowlist.txt")
+    failures: list[Finding] = []
+    for path in collect_files(root):
+        rel = path.relative_to(root).as_posix()
+        findings = scan_file(rel, path.read_text())
+        for f in findings:
+            matched = False
+            for e in allowlist:
+                if e.matches(f):
+                    e.used = True
+                    matched = True
+                    break
+            if not matched:
+                failures.append(f)
+
+    status = 0
+    for f in failures:
+        print(f, file=sys.stderr)
+        status = 1
+    stale = [e for e in allowlist if not e.used]
+    for e in stale:
+        print(f"determinism_allowlist.txt:{e.source_line}: stale entry "
+              f"({e.rule}|{e.path}|{e.fragment}) matches nothing — remove it",
+              file=sys.stderr)
+        status = 1
+    if status == 0:
+        n = len(collect_files(root))
+        print(f"determinism lint: OK ({n} files, "
+              f"{len(allowlist)} justified suppressions)")
+    return status
+
+
+def run_self_test(root: Path) -> int:
+    """Every lint rule must fire on its fixture, and only there."""
+    fixture_dir = root / "tests" / "lint_fixtures"
+    expected = {
+        "fires_banned_random.cpp": "banned-random",
+        "fires_banned_clock.cpp": "banned-clock",
+        "fires_unordered_iteration.cpp": "unordered-iteration",
+        "fires_float_equality.cpp": "float-equality",
+        "fires_pointer_sort_key.cpp": "pointer-sort-key",
+    }
+    status = 0
+    for name, rule in expected.items():
+        path = fixture_dir / name
+        if not path.exists():
+            print(f"self-test: fixture {name} missing", file=sys.stderr)
+            status = 1
+            continue
+        rules = {f.rule for f in scan_file(f"lint_fixtures/{name}",
+                                           path.read_text())}
+        if rule not in rules:
+            print(f"self-test: rule '{rule}' did NOT fire on {name} "
+                  f"(fired: {sorted(rules) or 'nothing'})", file=sys.stderr)
+            status = 1
+    clean = fixture_dir / "clean.cpp"
+    if clean.exists():
+        findings = scan_file("lint_fixtures/clean.cpp", clean.read_text())
+        if findings:
+            print("self-test: clean.cpp raised findings:", file=sys.stderr)
+            for f in findings:
+                print(f"  {f}", file=sys.stderr)
+            status = 1
+    else:
+        print("self-test: clean.cpp fixture missing", file=sys.stderr)
+        status = 1
+    if status == 0:
+        print(f"determinism lint self-test: OK "
+              f"({len(expected)} rules fire, clean fixture is clean)")
+    return status
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=Path(__file__).parents[2])
+    ap.add_argument("--self-test", action="store_true",
+                    help="check each rule fires on tests/lint_fixtures")
+    args = ap.parse_args()
+    root = args.root.resolve()
+    return run_self_test(root) if args.self_test else run_lint(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
