@@ -1,0 +1,120 @@
+// Ablation — elastic membership: preemption waves, graceful drain, and
+// replacement joins vs scheduler robustness.
+//
+// Spot-market clusters lose trackers in *waves* with a short warning, not
+// one at a time: at the wave instant the victims stop accepting work, run
+// down their warning, and are terminated — running attempts are re-queued
+// immediately (the warning IS the detection; no lease-expiry delay) and
+// their finished map outputs are re-executed, but unlike a crash the nodes
+// never come back. This ablation runs the Fig. 8 workload for all six
+// schedulers under:
+//
+//   * stable          — no membership changes (baseline),
+//   * preempt 25%     — one wave takes the highest-indexed quarter of the
+//                       cluster at t = 20 min with a 2 min warning,
+//   * preempt + join  — the same wave, then the capacity is replaced by
+//                       fresh trackers registering at t = 40 min,
+//   * graceful drain  — the same quarter leaves via decommission instead:
+//                       a 10 min drain lease lets running attempts finish
+//                       before retirement (migrations only on overrun).
+//
+// Flags: --jobs N, --metrics-json <path>.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "metrics/grid.hpp"
+#include "metrics/report.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
+  bench::banner("Ablation",
+                "preemption waves, drain, and joins (Fig. 8 workload)");
+
+  const auto workload = trace::fig8_trace(42);
+  const auto schedulers = metrics::paper_schedulers();
+  const auto cluster = hadoop::ClusterConfig::with_totals(200, 200);
+  const std::uint32_t wave_size = cluster.num_trackers / 4;
+
+  enum class Shape { kStable, kWave, kWaveThenJoin, kDrain };
+  struct Case {
+    const char* label;
+    Shape shape;
+  };
+  const Case cases[] = {
+      {"stable", Shape::kStable},
+      {"preempt 25%", Shape::kWave},
+      {"preempt + join", Shape::kWaveThenJoin},
+      {"graceful drain", Shape::kDrain},
+  };
+
+  std::vector<metrics::GridPoint> grid;
+  std::vector<const char*> row_labels;  // parallel to grid
+  for (const auto& c : cases) {
+    for (const auto& entry : schedulers) {
+      hadoop::EngineConfig config;
+      config.cluster = cluster;
+      config.seed = 23;
+      switch (c.shape) {
+        case Shape::kStable:
+          break;
+        case Shape::kWaveThenJoin:
+          config.elasticity.joins.push_back(
+              hadoop::TrackerJoinEvent{minutes(40), wave_size});
+          [[fallthrough]];
+        case Shape::kWave:
+          config.elasticity.preemption_waves.push_back(
+              hadoop::PreemptionWave{minutes(20), wave_size, seconds(120)});
+          break;
+        case Shape::kDrain:
+          for (std::uint32_t i = 0; i < wave_size; ++i) {
+            config.elasticity.decommissions.push_back(
+                hadoop::TrackerDecommissionEvent{
+                    cluster.num_trackers - 1 - i, minutes(20), minutes(10)});
+          }
+          break;
+      }
+      grid.push_back(metrics::GridPoint{config, &workload, entry});
+      row_labels.push_back(c.label);
+    }
+  }
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+
+  TextTable table({"environment", "scheduler", "misses", "total tardiness",
+                   "preempted", "retired", "joined", "migrated", "util"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& s = results[i].summary;
+    int misses = 0;
+    for (const auto& wf : s.workflows) misses += !wf.met_deadline;
+    char util_buf[16];
+    std::snprintf(util_buf, sizeof util_buf, "%.1f%%",
+                  100.0 * s.overall_utilization);
+    table.add_row(
+        {row_labels[i], results[i].scheduler, std::to_string(misses),
+         format_duration(s.total_tardiness),
+         TextTable::num(static_cast<std::int64_t>(s.tracker_preemptions)),
+         TextTable::num(static_cast<std::int64_t>(s.tracker_decommissions)),
+         TextTable::num(static_cast<std::int64_t>(s.trackers_joined)),
+         TextTable::num(static_cast<std::int64_t>(s.drain_migrated)), util_buf});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::note("losing a quarter of the cluster mid-run costs every scheduler "
+              "tardiness; the spread is in *how*. Preemption re-queues every "
+              "running attempt on the victims and re-executes their finished "
+              "maps, so the deadline damage lands immediately; replacing the "
+              "capacity 20 min later claws some of it back (utilization is "
+              "computed against the offered-capacity integral, so the join "
+              "rows are comparable). The graceful drain mostly migrates "
+              "nothing — the 10 min lease covers typical task lengths — and "
+              "shows what decommission buys over termination: the same final "
+              "cluster, a fraction of the re-execution.");
+  return 0;
+}

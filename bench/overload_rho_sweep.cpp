@@ -1,0 +1,200 @@
+// Overload sweep — open-loop arrivals vs admission policy.
+//
+// The paper's evaluation is closed-loop: all 46 Fig. 8 workflows arrive
+// inside a fixed window, so offered load never exceeds what the window
+// implies. This sweep replaces the window with a seeded Poisson arrival
+// process whose intensity is set by the target-utilization knob rho
+// (trace/arrivals.hpp) and measures what each admission policy does to the
+// pending-workflow set as rho crosses 1:
+//
+//   * admit-all            — the pending peak grows with rho (unbounded in
+//                            the open-loop limit; here capped only by the
+//                            finite trace),
+//   * reject-infeasible    — submissions whose deadline already cannot be
+//                            met under the plan-style lower bounds are
+//                            turned away at the door,
+//   * shed-latest-deadline — everything is admitted, but the pending set is
+//                            kept <= the budget by evicting the workflow
+//                            with the latest deadline (the one the master
+//                            is least committed to).
+//
+// CI greps the table: every admission-on row must show pending peak <= the
+// budget; the admit-all rows at rho > 1 must not (that asymmetry is the
+// whole point). A second table fixes rho = 1.1 and varies the arrival
+// *shape* (Poisson / MMPP bursts / flash crowd) under the shedding policy.
+//
+// Flags: --quick (CI subset), --jobs N, --metrics-json <path>.
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "hadoop/admission.hpp"
+#include "metrics/grid.hpp"
+#include "metrics/report.hpp"
+#include "trace/arrivals.hpp"
+#include "trace/deadlines.hpp"
+#include "trace/paper_workloads.hpp"
+
+using namespace woha;
+
+namespace {
+
+constexpr std::uint32_t kPendingBudget = 12;
+
+struct PolicyCase {
+  const char* label;
+  hadoop::AdmissionPolicy policy;
+  std::uint32_t budget;
+};
+
+bool strip_flag(int& argc, char** argv, const char* flag) {
+  bool found = false;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::string(argv[r]) == flag) {
+      found = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return found;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::MetricsSession metrics_session(argc, argv);
+  const bench::JobsFlag jobs(argc, argv);
+  const bool quick = strip_flag(argc, argv, "--quick");
+  bench::banner("Overload", "rho sweep x admission policy (Fig. 8 trace, WOHA)");
+
+  // Fig. 8's derived deadlines carry enough slack to absorb deep queueing;
+  // re-derive them tighter so overload actually costs deadlines and the
+  // policies have something to protect.
+  auto base_workload = trace::fig8_trace(42);
+  trace::DeadlinePolicy tight;
+  tight.slack_lo = 1.05;
+  tight.slack_hi = 1.4;
+  trace::assign_deadlines(base_workload, 42, tight);
+  const auto cluster = hadoop::ClusterConfig::with_totals(200, 200);
+  // WOHA-MPF — the paper's headline configuration; the preemption ablation
+  // covers the full roster.
+  const auto scheduler = metrics::paper_schedulers().back();
+
+  const std::vector<double> rhos =
+      quick ? std::vector<double>{0.9, 1.5}
+            : std::vector<double>{0.6, 0.9, 1.1, 1.5};
+  const PolicyCase policies[] = {
+      {"admit-all", hadoop::AdmissionPolicy::kAdmitAll, 0},
+      {"reject-infeasible", hadoop::AdmissionPolicy::kRejectInfeasible,
+       kPendingBudget},
+      {"shed-latest-deadline", hadoop::AdmissionPolicy::kShedLatestDeadlineFirst,
+       kPendingBudget},
+  };
+
+  // One arrival-stamped copy of the trace per rho; a deque keeps the
+  // borrowed-by-pointer workloads stable while we append.
+  std::deque<std::vector<wf::WorkflowSpec>> workloads;
+  std::vector<metrics::GridPoint> grid;
+  struct RowMeta {
+    double rho;
+    const char* policy;
+    std::uint32_t budget;
+  };
+  std::vector<RowMeta> rows;
+  for (const double rho : rhos) {
+    trace::ArrivalConfig arrivals;
+    arrivals.shape = trace::ArrivalShape::kPoisson;
+    arrivals.rho = rho;
+    arrivals.cluster_slots = cluster.total_slots();
+    auto& workload = workloads.emplace_back(base_workload);
+    trace::assign_open_loop_arrivals(workload, 7, arrivals);
+    for (const auto& p : policies) {
+      hadoop::EngineConfig config;
+      config.cluster = cluster;
+      config.seed = 23;
+      config.admission.policy = p.policy;
+      config.admission.max_pending_workflows = p.budget;
+      grid.push_back(metrics::GridPoint{config, &workload, scheduler});
+      rows.push_back(RowMeta{rho, p.label, p.budget});
+    }
+  }
+
+  metrics::GridOptions options;
+  options.jobs = jobs.jobs();
+  const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
+
+  TextTable table({"rho", "admission", "submitted", "rejected", "shed",
+                   "pending peak", "budget", "misses", "total tardiness"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& s = results[i].summary;
+    int misses = 0;
+    for (const auto& wf : s.workflows) misses += !wf.met_deadline;
+    char rho_buf[16];
+    std::snprintf(rho_buf, sizeof rho_buf, "%.1f", rows[i].rho);
+    table.add_row({rho_buf, rows[i].policy,
+                   TextTable::num(static_cast<std::int64_t>(s.workflows_submitted)),
+                   TextTable::num(static_cast<std::int64_t>(s.workflows_rejected)),
+                   TextTable::num(static_cast<std::int64_t>(s.workflows_shed)),
+                   TextTable::num(static_cast<std::int64_t>(s.pending_peak)),
+                   rows[i].budget == 0
+                       ? std::string("-")
+                       : TextTable::num(static_cast<std::int64_t>(rows[i].budget)),
+                   std::to_string(misses), format_duration(s.total_tardiness)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (!quick) {
+    bench::banner("Overload", "arrival shape at rho = 1.1 (shed policy)");
+    const trace::ArrivalShape shapes[] = {trace::ArrivalShape::kPoisson,
+                                          trace::ArrivalShape::kMmpp,
+                                          trace::ArrivalShape::kFlashCrowd};
+    std::vector<metrics::GridPoint> shape_grid;
+    for (const auto shape : shapes) {
+      trace::ArrivalConfig arrivals;
+      arrivals.shape = shape;
+      arrivals.rho = 1.1;
+      arrivals.cluster_slots = cluster.total_slots();
+      auto& workload = workloads.emplace_back(base_workload);
+      trace::assign_open_loop_arrivals(workload, 7, arrivals);
+      hadoop::EngineConfig config;
+      config.cluster = cluster;
+      config.seed = 23;
+      config.admission.policy = hadoop::AdmissionPolicy::kShedLatestDeadlineFirst;
+      config.admission.max_pending_workflows = kPendingBudget;
+      shape_grid.push_back(metrics::GridPoint{config, &workload, scheduler});
+    }
+    const auto shape_results =
+        metrics::run_grid(shape_grid, options, metrics_session.hooks());
+    TextTable shape_table({"arrivals", "submitted", "shed", "pending peak",
+                           "misses", "total tardiness"});
+    for (std::size_t i = 0; i < shape_results.size(); ++i) {
+      const auto& s = shape_results[i].summary;
+      int misses = 0;
+      for (const auto& wf : s.workflows) misses += !wf.met_deadline;
+      shape_table.add_row(
+          {trace::to_string(shapes[i]),
+           TextTable::num(static_cast<std::int64_t>(s.workflows_submitted)),
+           TextTable::num(static_cast<std::int64_t>(s.workflows_shed)),
+           TextTable::num(static_cast<std::int64_t>(s.pending_peak)),
+           std::to_string(misses), format_duration(s.total_tardiness)});
+    }
+    std::printf("%s\n", shape_table.to_string().c_str());
+  }
+
+  bench::note("rho < 1 all policies look alike (feasible load is admitted "
+              "everywhere); past saturation admit-all lets the pending set "
+              "climb toward the whole trace while both bounded policies hold "
+              "the peak at or under the budget — rejection spends the excess "
+              "at the door, shedding spends it on workflows it had already "
+              "started. Bursty arrivals (MMPP, flash crowd) hit the budget "
+              "harder than Poisson at the same average rho because the "
+              "backlog arrives in spikes rather than a steady drip.");
+  return 0;
+}

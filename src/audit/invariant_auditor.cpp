@@ -52,6 +52,8 @@ InvariantAuditor::InvariantAuditor(hadoop::Engine& engine, AuditConfig config)
   const std::size_t n = engine_.cluster().tracker_count();
   running_.assign(n, {0, 0});
   pooled_.assign(n, true);
+  draining_.assign(n, false);
+  retired_.assign(n, false);
   subscription_ =
       engine_.events().subscribe([this](const obs::Event& e) { on_event(e); });
 }
@@ -76,6 +78,13 @@ void InvariantAuditor::on_event(const obs::Event& event) {
            static_cast<std::int64_t>(running_.size()) - 1,
            static_cast<std::int64_t>(started->tracker),
            "TaskStarted on a tracker index outside the cluster",
+           started->workflow);
+    }
+    if (draining_[started->tracker] || retired_[started->tracker]) {
+      fail("drain-no-assign", t, 0, 1,
+           "TaskStarted on tracker " + std::to_string(started->tracker) +
+               (retired_[started->tracker] ? " after it retired"
+                                           : " while it is draining out"),
            started->workflow);
     }
     const auto [it, inserted] = attempts_.emplace(
@@ -147,6 +156,69 @@ void InvariantAuditor::on_event(const obs::Event& event) {
       }
     }
     pooled_[restarted->tracker] = true;
+    // A re-registered node is a fresh worker: any drain it was serving when
+    // it crashed is forgotten (mirrors the engine/cluster semantics).
+    draining_[restarted->tracker] = false;
+  } else if (const auto* submitted =
+                 std::get_if<obs::WorkflowSubmitted>(&event.payload)) {
+    (void)submitted;
+    ++admitted_seen_;
+  } else if (const auto* rejected =
+                 std::get_if<obs::WorkflowRejected>(&event.payload)) {
+    (void)rejected;
+    ++rejected_seen_;
+  } else if (const auto* shed = std::get_if<obs::WorkflowShed>(&event.payload)) {
+    (void)shed;
+    ++shed_seen_;
+  } else if (const auto* draining =
+                 std::get_if<obs::TrackerDraining>(&event.payload)) {
+    if (retired_[draining->tracker]) {
+      fail("drain-after-retire", t, 0, 1,
+           "TrackerDraining for tracker " + std::to_string(draining->tracker) +
+               " that already retired");
+    }
+    draining_[draining->tracker] = true;
+  } else if (const auto* warned =
+                 std::get_if<obs::PreemptionWarning>(&event.payload)) {
+    if (retired_[warned->tracker]) {
+      fail("drain-after-retire", t, 0, 1,
+           "PreemptionWarning for tracker " + std::to_string(warned->tracker) +
+               " that already retired");
+    }
+    draining_[warned->tracker] = true;
+  } else if (const auto* decom =
+                 std::get_if<obs::TrackerDecommissioned>(&event.payload)) {
+    // Retirement is published after the stragglers' TaskEnded events, so
+    // the shadow must agree the node is empty, and the cluster must have
+    // marked it dead already.
+    const auto& counts = running_.at(decom->tracker);
+    if (counts[0] != 0 || counts[1] != 0) {
+      fail("drain-retire-empty", t, 0, counts[0] + counts[1],
+           "TrackerDecommissioned published while attempts still run on "
+           "tracker " + std::to_string(decom->tracker));
+    }
+    if (engine_.cluster().tracker(decom->tracker).alive()) {
+      fail("drain-retire-dead", t, 0, 1,
+           "TrackerDecommissioned for a tracker still marked alive");
+    }
+    pooled_[decom->tracker] = false;
+    draining_[decom->tracker] = false;
+    retired_[decom->tracker] = true;
+  } else if (const auto* joined =
+                 std::get_if<obs::TrackerJoined>(&event.payload)) {
+    // Joins are append-only: the new index must extend the shadow by
+    // exactly one tracker.
+    if (joined->tracker != running_.size()) {
+      fail("join-index-dense", t,
+           static_cast<std::int64_t>(running_.size()),
+           static_cast<std::int64_t>(joined->tracker),
+           "TrackerJoined index does not extend the tracker range densely");
+    }
+    running_.push_back({0, 0});
+    pooled_.push_back(true);
+    draining_.push_back(false);
+    retired_.push_back(false);
+    check_tracker_slots(joined->tracker, t);
   } else if (const auto* plan = std::get_if<obs::PlanGenerated>(&event.payload)) {
     check_plan(plan->workflow, t);
   } else if (const auto* reorder =
@@ -185,7 +257,10 @@ void InvariantAuditor::check_cluster(SimTime t) const {
     for (const SlotType s : {SlotType::kMap, SlotType::kReduce}) {
       const auto idx = static_cast<std::size_t>(s);
       if (pooled_[i]) pooled_free[idx] += tracker.free_slots(s);
-      if (tracker.alive() && tracker.free_slots(s) > 0) ++free_anywhere[idx];
+      // Draining trackers keep their free slots pooled but stay off the
+      // freelists (they must not attract new work) — offerable(), not
+      // alive(), is the membership ground truth.
+      if (tracker.offerable() && tracker.free_slots(s) > 0) ++free_anywhere[idx];
     }
   }
   for (const SlotType s : {SlotType::kMap, SlotType::kReduce}) {
@@ -210,10 +285,10 @@ void InvariantAuditor::check_cluster(SimTime t) const {
       visited[i] = true;
       ++walked;
       const auto& tracker = cluster.tracker(i);
-      if (!tracker.alive() || tracker.free_slots(s) == 0) {
+      if (!tracker.offerable() || tracker.free_slots(s) == 0) {
         fail("freelist-membership", t, 1, 0,
              "freelist contains tracker " + std::to_string(i) +
-                 " that is dead or has no free slot of its type");
+                 " that is dead, draining, or has no free slot of its type");
       }
     }
     if (walked != cluster.free_tracker_count(s) ||
@@ -331,6 +406,55 @@ void InvariantAuditor::full_sweep() {
   const SimTime t = engine_.now();
   check_cluster(t);
   check_scheduler(t);
+  check_admission(t);
+}
+
+void InvariantAuditor::check_admission(SimTime t) const {
+  // Conservation against engine ground truth: every submission was either
+  // admitted (WorkflowSubmitted) or rejected (WorkflowRejected), and shed
+  // workflows were admitted first.
+  const auto stats = engine_.admission_stats();
+  if (stats.submitted != admitted_seen_ + rejected_seen_) {
+    fail("admission-conservation", t,
+         static_cast<std::int64_t>(stats.submitted),
+         static_cast<std::int64_t>(admitted_seen_ + rejected_seen_),
+         "submitted != admitted + rejected (event stream vs engine counters)");
+  }
+  if (stats.rejected != rejected_seen_) {
+    fail("admission-rejected-count", t,
+         static_cast<std::int64_t>(stats.rejected),
+         static_cast<std::int64_t>(rejected_seen_),
+         "WorkflowRejected events disagree with the engine's reject counter");
+  }
+  if (stats.shed != shed_seen_) {
+    fail("admission-shed-count", t, static_cast<std::int64_t>(stats.shed),
+         static_cast<std::int64_t>(shed_seen_),
+         "WorkflowShed events disagree with the engine's shed counter");
+  }
+  if (stats.shed > stats.admitted) {
+    fail("admission-shed-bound", t, static_cast<std::int64_t>(stats.admitted),
+         static_cast<std::int64_t>(stats.shed),
+         "more workflows shed than were ever admitted");
+  }
+  // Pending-budget bound: with a budget-enforcing policy, the admitted and
+  // unfinished set (and its recorded peak) can never exceed the budget —
+  // sweeps run on heartbeat boundaries, after any submission-time shedding
+  // settled.
+  const auto& ac = engine_.config().admission;
+  if (ac.enabled() && ac.max_pending_workflows > 0) {
+    const std::int64_t budget = ac.max_pending_workflows;
+    const std::int64_t pending = engine_.job_tracker().active_workflows();
+    if (pending > budget) {
+      fail("pending-budget-bound", t, budget, pending,
+           "admitted-unfinished workflows exceed max_pending_workflows under "
+           "a budget-enforcing admission policy");
+    }
+    if (static_cast<std::int64_t>(stats.pending_peak) > budget) {
+      fail("pending-peak-bound", t, budget,
+           static_cast<std::int64_t>(stats.pending_peak),
+           "recorded pending peak exceeds the enforced budget");
+    }
+  }
 }
 
 }  // namespace woha::audit

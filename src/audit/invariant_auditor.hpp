@@ -121,6 +121,9 @@ class InvariantAuditor {
   /// F_i shape for one workflow's plan (no-op for non-WOHA schedulers or
   /// already-dequeued workflows).
   void check_plan(std::uint32_t workflow, SimTime t) const;
+  /// Admission conservation (submitted == admitted + rejected, shed <=
+  /// admitted) and the pending-budget bound under enforcing policies.
+  void check_admission(SimTime t) const;
 
   [[noreturn]] static void fail(const std::string& invariant, SimTime t,
                                 std::int64_t expected, std::int64_t actual,
@@ -141,6 +144,19 @@ class InvariantAuditor {
   /// Tracker slots still counted in the cluster aggregate: true until a
   /// TrackerLost reconciliation, true again after TrackerRestarted.
   std::vector<bool> pooled_;
+  /// Draining out (TrackerDraining / PreemptionWarning): must never receive
+  /// a TaskStarted and must stay off the freelists. Cleared on retirement
+  /// or on TrackerRestarted (a crash-interrupted drain is forgotten).
+  std::vector<bool> draining_;
+  /// Permanently retired (TrackerDecommissioned): nothing may ever run
+  /// there again.
+  std::vector<bool> retired_;
+
+  // Admission conservation, rebuilt from workflow lifecycle events and
+  // cross-checked against Engine::admission_stats() on every full sweep.
+  std::uint64_t admitted_seen_ = 0;
+  std::uint64_t rejected_seen_ = 0;
+  std::uint64_t shed_seen_ = 0;
 
   std::uint64_t events_seen_ = 0;
   std::uint64_t heartbeats_seen_ = 0;

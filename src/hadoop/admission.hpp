@@ -1,0 +1,114 @@
+// Admission control and deadline-aware load shedding.
+//
+// Under open-loop rho > 1 traffic (trace/arrivals.hpp) the pending-workflow
+// set grows without bound: every admitted workflow holds plan state on the
+// master and dilutes every other workflow's slot share, so *all* deadlines
+// start missing. The controller here decides, at submission time, whether a
+// workflow may enter the JobTracker at all:
+//
+//  * kAdmitAll                — today's behaviour; the controller is inert.
+//  * kRejectInfeasible        — turn away workflows whose deadline cannot be
+//                               met even under an optimistic lower bound,
+//                               and anything above the pending budget.
+//  * kShedLatestDeadlineFirst — admit everything, but when the pending set
+//                               exceeds the budget, kill the admitted
+//                               workflow with the latest deadline (the one
+//                               we are least committed to) until the set
+//                               fits. The engine owns the killing; the
+//                               controller only picks victims.
+//
+// The feasibility test mirrors the WOHA plan's two lower bounds (the same
+// quantities the F-value construction starts from): no schedule can beat
+// the critical path, and no cluster can do backlog + new work faster than
+// total_slots allows. Workflow W with deadline D is feasible at time t iff
+//
+//   max(critical_path(W), (remaining_backlog + total_work(W)) / slots)
+//     <= (D - t) * feasibility_margin
+//
+// where remaining_backlog is the admitted-but-unfinished work still owed —
+// the aggregate progress-lag of the admitted set, recomputed from
+// JobTracker ground truth at each decision (submissions are rare relative
+// to heartbeats, so the scan is off the hot path).
+//
+// Everything is deterministic: decisions are pure functions of JobTracker
+// state, and victim selection breaks ties by workflow id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "workflow/workflow.hpp"
+
+namespace woha::hadoop {
+
+class JobTracker;
+
+enum class AdmissionPolicy : std::uint8_t {
+  kAdmitAll,
+  kRejectInfeasible,
+  kShedLatestDeadlineFirst,
+};
+
+[[nodiscard]] const char* to_string(AdmissionPolicy policy);
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kAdmitAll;
+  /// Pending-workflow budget (admitted and unfinished). 0 = unbounded —
+  /// allowed for kRejectInfeasible (feasibility alone gates admission),
+  /// required > 0 for kShedLatestDeadlineFirst (the budget is its only
+  /// trigger). Ignored under kAdmitAll.
+  std::uint32_t max_pending_workflows = 0;
+  /// Scale on time-to-deadline in the feasibility test; < 1 rejects earlier
+  /// (reserves headroom for activation latency and heartbeat granularity),
+  /// > 1 admits optimistically.
+  double feasibility_margin = 1.0;
+
+  /// True when the controller changes engine behaviour at all.
+  [[nodiscard]] bool enabled() const {
+    return policy != AdmissionPolicy::kAdmitAll;
+  }
+  /// Throws std::invalid_argument on nonsensical settings.
+  void validate() const;
+};
+
+/// Why a submission was turned away (stable strings for obs payloads).
+struct AdmissionDecision {
+  bool admit = true;
+  const char* reason = "";  ///< "infeasible" or "pending-budget" when !admit
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionConfig config, const JobTracker* tracker,
+                      std::uint32_t total_slots);
+
+  /// Decide whether `spec`, submitted at `now`, may enter the JobTracker.
+  /// Does not mutate anything; the engine records the outcome.
+  [[nodiscard]] AdmissionDecision decide(const wf::WorkflowSpec& spec,
+                                         SimTime now) const;
+
+  /// The admitted-unfinished workflow the shedding policy would evict:
+  /// latest deadline first (kTimeInfinity counts as latest), ties broken by
+  /// higher id (most recently admitted goes first). nullopt when nothing is
+  /// pending or the policy does not shed.
+  [[nodiscard]] std::optional<std::uint32_t> pick_shed_victim() const;
+
+  /// Admitted-and-unfinished workflow count (the "pending" the budget caps).
+  [[nodiscard]] std::uint32_t pending() const;
+
+  /// Serial work (ms) still owed by admitted, unfinished workflows:
+  /// unfinished tasks times their spec durations. The aggregate
+  /// progress-lag term of the feasibility bound.
+  [[nodiscard]] double remaining_backlog_ms() const;
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  const JobTracker* tracker_;
+  std::uint32_t total_slots_;
+};
+
+}  // namespace woha::hadoop

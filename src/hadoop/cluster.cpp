@@ -84,6 +84,8 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   }
   total_free_[0] = config.total_map_slots();
   total_free_[1] = config.total_reduce_slots();
+  capacity_total_[0] = total_free_[0];
+  capacity_total_[1] = total_free_[1];
   // Seed the freelists in tracker-index order (tracker 0 at the head).
   const std::uint32_t caps[2] = {config.map_slots_per_tracker,
                                  config.reduce_slots_per_tracker};
@@ -123,9 +125,7 @@ void Cluster::unlink(std::size_t tracker_index, std::size_t s) {
 }
 
 std::uint32_t Cluster::total_busy(SlotType t) const {
-  const std::uint32_t cap = t == SlotType::kMap ? config_.total_map_slots()
-                                                : config_.total_reduce_slots();
-  return cap - total_free(t);
+  return capacity_total_[static_cast<std::size_t>(t)] - total_free(t);
 }
 
 void Cluster::occupy(std::size_t tracker_index, SlotType t) {
@@ -133,7 +133,7 @@ void Cluster::occupy(std::size_t tracker_index, SlotType t) {
   tracker.occupy(t);
   const auto s = static_cast<std::size_t>(t);
   --total_free_[s];
-  if (tracker.alive() && tracker.free_slots(t) == 0) unlink(tracker_index, s);
+  if (tracker.offerable() && tracker.free_slots(t) == 0) unlink(tracker_index, s);
   update_gauges();
 }
 
@@ -143,8 +143,9 @@ void Cluster::release(std::size_t tracker_index, SlotType t) {
   const auto s = static_cast<std::size_t>(t);
   ++total_free_[s];
   // A dead tracker's slots are reconciled (released) during loss detection;
-  // it must not re-enter the freelist until it restarts.
-  if (tracker.alive() && tracker.free_slots(t) == 1) link(tracker_index, s);
+  // it must not re-enter the freelist until it restarts. Likewise a draining
+  // tracker stays off the lists: its freed slots must not attract new work.
+  if (tracker.offerable() && tracker.free_slots(t) == 1) link(tracker_index, s);
   update_gauges();
 }
 
@@ -191,12 +192,46 @@ void Cluster::activate(std::size_t tracker_index) {
     throw std::logic_error("Cluster::activate: tracker already alive");
   }
   tracker.set_alive(true);
+  // A rebooted node re-registers as a fresh worker: any drain that was in
+  // flight when it crashed is forgotten (the operator must re-issue it).
+  tracker.set_draining(false);
   for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
     const auto s = static_cast<std::size_t>(t);
     total_free_[s] += tracker.capacity(t);
     if (tracker.capacity(t) > 0) link(tracker_index, s);
   }
   update_gauges();
+}
+
+void Cluster::set_draining(std::size_t tracker_index) {
+  TrackerState& tracker = trackers_.at(tracker_index);
+  if (!tracker.alive()) {
+    throw std::logic_error("Cluster::set_draining: tracker is dead");
+  }
+  if (tracker.draining()) return;
+  for (const SlotType t : {SlotType::kMap, SlotType::kReduce}) {
+    const auto s = static_cast<std::size_t>(t);
+    if (on_freelist(tracker_index, s)) unlink(tracker_index, s);
+  }
+  tracker.set_draining(true);
+}
+
+std::size_t Cluster::add_tracker() {
+  const std::size_t i = trackers_.size();
+  trackers_.emplace_back(TrackerId(static_cast<std::uint32_t>(i)),
+                         config_.map_slots_per_tracker,
+                         config_.reduce_slots_per_tracker);
+  const std::uint32_t caps[2] = {config_.map_slots_per_tracker,
+                                 config_.reduce_slots_per_tracker};
+  for (std::size_t s = 0; s < 2; ++s) {
+    next_[s].push_back(kNoTracker);
+    prev_[s].push_back(kNoTracker);
+    total_free_[s] += caps[s];
+    capacity_total_[s] += caps[s];
+    if (caps[s] > 0) link(i, s);
+  }
+  update_gauges();
+  return i;
 }
 
 }  // namespace woha::hadoop

@@ -69,6 +69,14 @@ class TrackerState {
   [[nodiscard]] bool alive() const { return alive_; }
   void set_alive(bool alive) { alive_ = alive; }
 
+  /// True while the tracker drains (graceful decommission or preemption
+  /// warning): it keeps heartbeating and finishing its running attempts but
+  /// must never be offered new work, so it stays off both freelists.
+  [[nodiscard]] bool draining() const { return draining_; }
+  void set_draining(bool draining) { draining_ = draining; }
+  /// Alive and not draining: eligible for freelist membership.
+  [[nodiscard]] bool offerable() const { return alive_ && !draining_; }
+
   /// Claim one slot for a starting task. Throws if no slot is free — the
   /// engine must never over-assign.
   void occupy(SlotType t);
@@ -80,6 +88,7 @@ class TrackerState {
   std::uint32_t free_[2];
   std::uint32_t capacity_[2];
   bool alive_ = true;
+  bool draining_ = false;
 };
 
 /// All trackers of a cluster plus aggregate free-slot counters and, per slot
@@ -138,8 +147,20 @@ class Cluster {
   /// JobTracker detects the loss. Requires the tracker marked dead and all
   /// its slots released (the engine re-queues its attempts first).
   void deactivate(std::size_t tracker_index);
-  /// Return a restarted tracker to the pool with every slot free.
+  /// Return a restarted tracker to the pool with every slot free. Clears any
+  /// draining flag: a re-registered node is a fresh worker.
   void activate(std::size_t tracker_index);
+
+  /// Start draining a live tracker (graceful decommission / preemption
+  /// warning): it leaves both freelists and stays off them while its running
+  /// attempts finish. Idempotent; throws if the tracker is dead.
+  void set_draining(std::size_t tracker_index);
+
+  /// Register one fresh tracker with the configured per-tracker slot shape.
+  /// Grows the freelist index arrays, adds the new capacity to the aggregate
+  /// pool, and links the newcomer onto both freelists. Returns its index.
+  /// ClusterConfig::num_trackers keeps the *initial* count.
+  std::size_t add_tracker();
 
   /// Publish the aggregate free-slot counts into two registry gauges
   /// (updated on every occupy/release/activate/deactivate). Either pointer
@@ -159,6 +180,9 @@ class Cluster {
   ClusterConfig config_;
   std::vector<TrackerState> trackers_;
   std::uint32_t total_free_[2];
+  // Aggregate slot capacity over *all* registered trackers (initial +
+  // joined); unlike config_.total_*_slots() this tracks add_tracker.
+  std::uint32_t capacity_total_[2] = {0, 0};
   // Intrusive per-slot-type freelists over tracker indices.
   std::vector<std::size_t> next_[2];
   std::vector<std::size_t> prev_[2];

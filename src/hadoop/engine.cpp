@@ -31,10 +31,25 @@ Engine::Engine(EngineConfig config, std::unique_ptr<WorkflowScheduler> scheduler
     throw std::invalid_argument("Engine: hdfs_replication must be >= 1");
   }
   config_.faults.validate(cluster_.tracker_count());
+  config_.admission.validate();
+  config_.elasticity.validate(cluster_.tracker_count());
   tracker_attempts_.resize(cluster_.tracker_count());
   fault_state_.resize(cluster_.tracker_count());
   map_outputs_.resize(cluster_.tracker_count());
+  elastic_state_.resize(cluster_.tracker_count());
   live_trackers_ = cluster_.tracker_count();
+  elastic_on_ = config_.elasticity.any_enabled();
+  if (config_.admission.enabled()) {
+    admission_ = std::make_unique<AdmissionController>(
+        config_.admission, &job_tracker_, config_.cluster.total_slots());
+  }
+  // fail_workflow (attempt budgets) and shed_workflow both sweep the
+  // per-workflow attempt index; maintain it iff either can run.
+  index_by_workflow_ =
+      config_.faults.max_attempts > 0 ||
+      config_.admission.policy == AdmissionPolicy::kShedLatestDeadlineFirst;
+  current_capacity_[0] = config_.cluster.total_map_slots();
+  current_capacity_[1] = config_.cluster.total_reduce_slots();
   events_.set_time_source([this] { return sim_.now(); });
   job_tracker_.set_event_bus(&events_);
   scheduler_->attach(&job_tracker_);
@@ -66,6 +81,13 @@ void Engine::set_metrics_registry(obs::MetricsRegistry* registry) {
   handles_.tracker_crashes = &registry->counter("engine.tracker_crashes");
   handles_.speculative_launched =
       &registry->counter("engine.speculative_launched");
+  handles_.workflows_rejected = &registry->counter("admission.rejected");
+  handles_.workflows_shed = &registry->counter("shed.workflows");
+  handles_.decommissions = &registry->counter("cluster.decommissions");
+  handles_.preemptions = &registry->counter("cluster.preemptions");
+  handles_.joins = &registry->counter("cluster.joins");
+  handles_.pending_workflows = &registry->gauge("overload.pending");
+  handles_.pending_peak = &registry->gauge("overload.pending_peak");
   cluster_.set_slot_gauges(&registry->gauge("cluster.free_map_slots"),
                            &registry->gauge("cluster.free_reduce_slots"));
   scheduler_->observe(&events_, registry);
@@ -134,14 +156,40 @@ void Engine::run() {
       });
     }
     if (config_.faults.tracker_mtbf > 0.0) {
-      Rng root(config_.faults.seed);
+      fault_rng_root_ = Rng(config_.faults.seed);
       tracker_fault_rngs_.reserve(cluster_.tracker_count());
       for (std::size_t i = 0; i < cluster_.tracker_count(); ++i) {
-        tracker_fault_rngs_.push_back(root.split());
+        tracker_fault_rngs_.push_back(fault_rng_root_.split());
       }
       for (std::size_t i = 0; i < cluster_.tracker_count(); ++i) {
         schedule_next_mtbf_crash(i);
       }
+    }
+  }
+
+  // Elastic-membership schedule: decommissions, preemption waves, joins,
+  // and the autoscaler tick. None of this consumes rng_ draws, so enabling
+  // elasticity never perturbs task-duration or locality sequences.
+  if (elastic_on_) {
+    last_capacity_change_ = first_submit_ == kTimeInfinity ? 0 : first_submit_;
+    for (const TrackerDecommissionEvent& d : config_.elasticity.decommissions) {
+      sim_.schedule_at(d.start_time, [this, d]() {
+        begin_decommission(d.tracker, d.drain_lease);
+      });
+    }
+    for (const PreemptionWave& w : config_.elasticity.preemption_waves) {
+      sim_.schedule_at(w.time, [this, w]() { preemption_wave(w); });
+    }
+    for (const TrackerJoinEvent& j : config_.elasticity.joins) {
+      ++pending_joins_;
+      sim_.schedule_at(j.time, [this, j]() {
+        --pending_joins_;
+        join_trackers(j.count);
+      });
+    }
+    if (config_.elasticity.autoscaler.enabled) {
+      const Duration period = config_.elasticity.autoscaler.check_period;
+      sim_.schedule_every(period, period, [this]() { autoscale_tick(); });
     }
   }
 
@@ -168,11 +216,12 @@ void Engine::run() {
   // We piggyback the check on every event via a small watcher loop.
   while (true) {
     if (!sim_.step(config_.horizon)) break;
-    if (job_tracker_.workflow_count() == expected_workflows &&
+    if (job_tracker_.workflow_count() + workflows_rejected_ == expected_workflows &&
         job_tracker_.active_workflows() == 0) {
-      break;  // all submitted workflows finished (or failed)
+      break;  // all submitted workflows finished (or failed, or were refused)
     }
-    if (live_trackers_ == 0 && pending_restarts_ == 0) {
+    if (live_trackers_ == 0 && pending_restarts_ == 0 && pending_joins_ == 0 &&
+        !config_.elasticity.autoscaler.enabled) {
       // Every tracker is down and none will come back: no event can make
       // progress, so stop instead of heartbeating an empty cluster forever.
       WOHA_LOG(LogLevel::kWarn, "engine")
@@ -183,6 +232,31 @@ void Engine::run() {
 }
 
 void Engine::do_submit(wf::WorkflowSpec spec) {
+  ++workflows_submitted_;
+  if (admission_) {
+    const AdmissionDecision decision = admission_->decide(spec, sim_.now());
+    if (!decision.admit) {
+      ++workflows_rejected_;
+      if (handles_.workflows_rejected) handles_.workflows_rejected->add();
+      WOHA_LOG(LogLevel::kInfo, "engine")
+          << "t=" << sim_.now() << " REJECT workflow '" << spec.name << "' ("
+          << decision.reason << ")";
+      WorkflowResult r;
+      r.name = spec.name;
+      r.submit_time = sim_.now();
+      r.deadline = spec.relative_deadline > 0 ? sim_.now() + spec.relative_deadline
+                                              : kTimeInfinity;
+      r.rejected = true;
+      if (events_.active()) {
+        events_.publish(sim_.now(),
+                        obs::WorkflowRejected{
+                            static_cast<std::uint32_t>(workflows_submitted_ - 1),
+                            spec.name, r.deadline, decision.reason});
+      }
+      rejected_results_.push_back(std::move(r));
+      return;
+    }
+  }
   const WorkflowId id = job_tracker_.add_workflow(std::move(spec), sim_.now());
   WorkflowRuntime& wf_rt = job_tracker_.workflow(id);
   WOHA_LOG(LogLevel::kInfo, "engine")
@@ -197,6 +271,63 @@ void Engine::do_submit(wf::WorkflowSpec spec) {
     sim_.schedule_after(config_.activation_latency,
                         [this, ref]() { activate_job(ref); });
   }
+  if (admission_) enforce_pending_budget();
+  // Pending-set accounting (cheap: two compares), kept even without
+  // admission so the admit-all baseline of the rho sweep reports its
+  // (unbounded) pending_peak.
+  const std::uint32_t pending = job_tracker_.active_workflows();
+  pending_peak_ = std::max(pending_peak_, pending);
+  if (handles_.pending_workflows) {
+    handles_.pending_workflows->set(static_cast<double>(pending));
+    handles_.pending_peak->set(static_cast<double>(pending_peak_));
+  }
+}
+
+void Engine::enforce_pending_budget() {
+  const AdmissionConfig& ac = admission_->config();
+  if (ac.policy != AdmissionPolicy::kShedLatestDeadlineFirst) return;
+  while (job_tracker_.active_workflows() > ac.max_pending_workflows) {
+    const std::optional<std::uint32_t> victim = admission_->pick_shed_victim();
+    if (!victim) break;
+    shed_workflow(*victim, sim_.now());
+  }
+}
+
+void Engine::shed_workflow(std::uint32_t workflow, SimTime now) {
+  WorkflowRuntime& wf_rt = job_tracker_.workflow(WorkflowId(workflow));
+  if (wf_rt.failed() || wf_rt.finished()) return;
+  WOHA_LOG(LogLevel::kWarn, "engine")
+      << "t=" << now << " SHED workflow " << workflow << " (deadline="
+      << wf_rt.deadline() << ", pending budget "
+      << config_.admission.max_pending_workflows << " exceeded)";
+  wf_rt.mark_shed(now);
+  ++workflows_shed_;
+  if (handles_.workflows_shed) handles_.workflows_shed->add();
+
+  // Kill its remaining attempts, exactly like fail_workflow's sweep.
+  std::vector<std::uint64_t> victims;
+  for (auto it = attempts_by_workflow_.lower_bound({workflow, 0, 0});
+       it != attempts_by_workflow_.end() && std::get<0>(*it) == workflow; ++it) {
+    victims.push_back(std::get<2>(*it));
+  }
+  for (const std::uint64_t id : victims) {
+    const std::size_t t = attempts_.at(id).tracker;
+    const TrackerFaultState& fs = fault_state_[t];
+    const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now);
+    if (a.rival != 0) {
+      const auto rit = attempts_.find(a.rival);
+      if (rit != attempts_.end()) {
+        rit->second.rival = 0;
+        spec_candidate_add(a.rival, rit->second);
+      }
+    }
+  }
+  if (events_.active()) {
+    events_.publish(now, obs::WorkflowShed{workflow, wf_rt.deadline(),
+                                           static_cast<std::uint32_t>(victims.size())});
+  }
+  job_tracker_.count_workflow_finished();
+  scheduler_->on_workflow_failed(WorkflowId(workflow), now);
 }
 
 void Engine::activate_job(JobRef ref) {
@@ -216,6 +347,10 @@ void Engine::activate_job(JobRef ref) {
 void Engine::heartbeat(std::size_t tracker_index) {
   TrackerState& tracker = cluster_.tracker(tracker_index);
   if (!tracker.alive()) return;  // dead nodes do not heartbeat
+  // Draining nodes keep running what they have but take no new work, so
+  // their heartbeats schedule nothing (they are off the freelists anyway;
+  // skipping here also keeps speculation off the leaving node).
+  if (elastic_on_ && elastic_state_[tracker_index].draining) return;
 
   // Wall-clock service time is only measured with a registry attached; the
   // clock reads themselves are part of the cost we promise to avoid.
@@ -354,14 +489,14 @@ void Engine::start_task(JobRef ref, SlotType type, std::size_t tracker_index) {
 }
 
 void Engine::index_attempt_add(std::uint64_t id, const Attempt& a) {
-  if (config_.faults.max_attempts > 0) {
+  if (index_by_workflow_) {
     attempts_by_workflow_.emplace(a.ref.workflow, a.tracker, id);
   }
   spec_candidate_add(id, a);
 }
 
 void Engine::index_attempt_remove(std::uint64_t id, const Attempt& a) {
-  if (config_.faults.max_attempts > 0) {
+  if (index_by_workflow_) {
     attempts_by_workflow_.erase({a.ref.workflow, a.tracker, id});
   }
   spec_candidate_remove(id, a);
@@ -392,6 +527,7 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
   index_attempt_remove(attempt_id, a);
   std::erase(tracker_attempts_[a.tracker], attempt_id);
   cluster_.release(a.tracker, a.type);
+  maybe_complete_drain(a.tracker);
   JobInProgress& job = job_tracker_.job(a.ref);
 
   const auto publish_ended = [&](bool failed) {
@@ -496,6 +632,7 @@ Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time
   index_attempt_remove(attempt_id, a);
   std::erase(tracker_attempts_[a.tracker], attempt_id);
   cluster_.release(a.tracker, a.type);
+  maybe_complete_drain(a.tracker);
   // Busy time was charged for the full scheduled duration at start; refund
   // the part that never executed.
   const Duration executed = std::max<Duration>(0, stop_time - a.start_time);
@@ -515,6 +652,10 @@ Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time
 void Engine::crash_tracker(std::size_t tracker_index, SimTime restart_time) {
   TrackerFaultState& fs = fault_state_[tracker_index];
   if (fs.dead) return;  // overlapping schedules collapse into one outage
+  // A retired (decommissioned/preempted) node no longer exists to crash. A
+  // *draining* node can still crash: the crash machinery then owns it, and
+  // the pending drain-expiry event sees fs.dead and stands down.
+  if (elastic_state_[tracker_index].retired) return;
   fs.dead = true;
   fs.detected = false;
   fs.crash_time = sim_.now();
@@ -564,8 +705,18 @@ void Engine::restart_tracker(std::size_t tracker_index) {
   detect_tracker_loss(tracker_index);
   fs.dead = false;
   cluster_.activate(tracker_index);
+  // Re-registration makes the node a fresh worker: a drain that was in
+  // flight when it crashed is forgotten (mirrors Cluster::activate), and
+  // any stale drain-expiry event dies on the epoch bump.
+  TrackerElasticState& es = elastic_state_[tracker_index];
+  es.draining = false;
+  es.preempting = false;
+  ++es.epoch;
   ++live_trackers_;
   --pending_restarts_;
+  const TrackerState& ts = cluster_.tracker(tracker_index);
+  account_capacity_change(static_cast<std::int64_t>(ts.capacity(SlotType::kMap)),
+                          static_cast<std::int64_t>(ts.capacity(SlotType::kReduce)));
   if (events_.active()) {
     events_.publish(sim_.now(), obs::TrackerRestarted{tracker_index});
   }
@@ -619,6 +770,12 @@ void Engine::detect_tracker_loss(std::size_t tracker_index) {
   }
   map_outputs_[tracker_index].clear();
   cluster_.deactivate(tracker_index);
+  {
+    const TrackerState& ts = cluster_.tracker(tracker_index);
+    account_capacity_change(
+        -static_cast<std::int64_t>(ts.capacity(SlotType::kMap)),
+        -static_cast<std::int64_t>(ts.capacity(SlotType::kReduce)));
+  }
   if (events_.active()) {
     events_.publish(sim_.now(),
                     obs::TrackerLost{tracker_index, fs.crash_time, killed_here,
@@ -759,11 +916,285 @@ void Engine::schedule_next_mtbf_crash(std::size_t tracker_index) {
       tracker_fault_rngs_[tracker_index].exponential(1.0 / config_.faults.tracker_mtbf);
   const Duration delay = std::max<Duration>(1, static_cast<Duration>(std::llround(wait)));
   sim_.schedule_after(delay, [this, tracker_index]() {
-    if (!fault_state_[tracker_index].dead) {
+    if (!fault_state_[tracker_index].dead &&
+        !elastic_state_[tracker_index].retired) {
       crash_tracker(tracker_index,
                     sim_.now() + config_.faults.tracker_restart_delay);
     }
   });
+}
+
+// ---- elastic membership -----------------------------------------------------
+
+void Engine::begin_decommission(std::size_t tracker_index, Duration lease) {
+  TrackerFaultState& fs = fault_state_[tracker_index];
+  TrackerElasticState& es = elastic_state_[tracker_index];
+  // Already leaving or down: a decommission of a dead/draining/retired node
+  // is a no-op (the operator's intent is already being honoured).
+  if (es.retired || es.draining || fs.dead) return;
+  cluster_.set_draining(tracker_index);
+  es.draining = true;
+  es.preempting = false;
+  ++es.epoch;
+  es.lease_deadline = sim_.now() + lease;
+  WOHA_LOG(LogLevel::kInfo, "engine")
+      << "t=" << sim_.now() << " tracker " << tracker_index
+      << " draining (decommission, lease until " << es.lease_deadline << ")";
+  if (events_.active()) {
+    events_.publish(sim_.now(),
+                    obs::TrackerDraining{tracker_index, es.lease_deadline});
+  }
+  if (tracker_attempts_[tracker_index].empty()) {
+    retire_tracker(tracker_index, 0, false);
+    return;
+  }
+  const std::uint64_t epoch = es.epoch;
+  sim_.schedule_at(es.lease_deadline, [this, tracker_index, epoch]() {
+    drain_lease_expired(tracker_index, epoch);
+  });
+}
+
+void Engine::drain_lease_expired(std::size_t tracker_index, std::uint64_t epoch) {
+  const TrackerElasticState& es = elastic_state_[tracker_index];
+  if (es.epoch != epoch || !es.draining || es.retired) return;
+  // Crash won the race mid-drain: lease-expiry loss detection owns the node
+  // now (the KILLED + re-queue semantics are the crash path's).
+  if (fault_state_[tracker_index].dead) return;
+  retire_tracker(tracker_index, migrate_off(tracker_index), false);
+}
+
+void Engine::preempt_terminate(std::size_t tracker_index, std::uint64_t epoch) {
+  const TrackerElasticState& es = elastic_state_[tracker_index];
+  if (es.epoch != epoch || !es.draining || es.retired) return;
+  if (fault_state_[tracker_index].dead) return;  // crashed before the axe fell
+  retire_tracker(tracker_index, migrate_off(tracker_index), true);
+}
+
+std::uint32_t Engine::migrate_off(std::size_t tracker_index) {
+  // Master-initiated eviction of everything still running on the node:
+  // unlike crash loss there is no detection delay, and like crash loss the
+  // kills are KILLED (never charged to attempt budgets).
+  const std::vector<std::uint64_t> ids = tracker_attempts_[tracker_index];
+  const auto migrated = static_cast<std::uint32_t>(ids.size());
+  for (const std::uint64_t id : ids) {
+    const Attempt a = kill_attempt(id, sim_.now());
+    if (a.rival != 0) {
+      // The task lives on in its speculation twin — nothing to re-queue.
+      const auto rit = attempts_.find(a.rival);
+      if (rit != attempts_.end()) {
+        rit->second.rival = 0;
+        spec_candidate_add(a.rival, rit->second);
+      }
+      continue;
+    }
+    JobInProgress& job = job_tracker_.job(a.ref);
+    job.requeue_running(a.type, a.retry_level);
+    scheduler_->on_task_finished(a.ref, a.type, sim_.now());
+    scheduler_->on_tasks_lost(a.ref, a.type, 1, sim_.now());
+  }
+  drain_migrated_ += migrated;
+  return migrated;
+}
+
+void Engine::retire_tracker(std::size_t tracker_index, std::uint32_t migrated,
+                            bool preempted) {
+  // Map outputs stranded on the node's local disk leave with it, exactly as
+  // in Hadoop's decommission: completed maps of in-flight jobs re-execute.
+  for (const auto& [ref, count] : map_outputs_[tracker_index]) {
+    WorkflowRuntime& w = job_tracker_.workflow(WorkflowId(ref.workflow));
+    if (w.finished() || w.failed()) continue;
+    JobInProgress& job = job_tracker_.job(ref);
+    if (job.complete() || job.state() == JobState::kFailed) continue;
+    job.invalidate_finished_maps(count);
+    map_outputs_lost_ += count;
+    scheduler_->on_tasks_lost(ref, SlotType::kMap, count, sim_.now());
+  }
+  map_outputs_[tracker_index].clear();
+
+  TrackerElasticState& es = elastic_state_[tracker_index];
+  es.retired = true;
+  es.draining = false;
+  es.preempting = false;
+  ++es.epoch;  // pending drain-expiry / maybe-complete events go stale
+  cluster_.mark_dead(tracker_index);
+  cluster_.deactivate(tracker_index);
+  --live_trackers_;
+  const TrackerState& ts = cluster_.tracker(tracker_index);
+  account_capacity_change(-static_cast<std::int64_t>(ts.capacity(SlotType::kMap)),
+                          -static_cast<std::int64_t>(ts.capacity(SlotType::kReduce)));
+  if (preempted) {
+    ++preemptions_;
+    if (handles_.preemptions) handles_.preemptions->add();
+  } else {
+    ++decommissions_;
+    if (handles_.decommissions) handles_.decommissions->add();
+  }
+  WOHA_LOG(LogLevel::kInfo, "engine")
+      << "t=" << sim_.now() << " tracker " << tracker_index
+      << (preempted ? " preempted" : " decommissioned") << " (migrated "
+      << migrated << " attempts)";
+  if (events_.active()) {
+    events_.publish(sim_.now(),
+                    obs::TrackerDecommissioned{tracker_index, migrated});
+  }
+}
+
+void Engine::maybe_complete_drain(std::size_t tracker_index) {
+  if (!elastic_on_) return;
+  const TrackerElasticState& es = elastic_state_[tracker_index];
+  // Preempted nodes terminate at the warned instant no matter what; only a
+  // graceful decommission retires early when the node goes idle.
+  if (!es.draining || es.retired || es.preempting) return;
+  if (fault_state_[tracker_index].dead) return;
+  if (!tracker_attempts_[tracker_index].empty()) return;
+  const std::uint64_t epoch = es.epoch;
+  // Same-tick deferral: let the in-flight attempt bookkeeping (TaskEnded
+  // events, scheduler notifications) settle before the node retires, so
+  // observers never see a retirement precede its last attempt's end.
+  sim_.schedule_at(sim_.now(), [this, tracker_index, epoch]() {
+    const TrackerElasticState& s = elastic_state_[tracker_index];
+    if (s.epoch != epoch || !s.draining || s.retired || s.preempting) return;
+    if (fault_state_[tracker_index].dead) return;
+    if (!tracker_attempts_[tracker_index].empty()) return;
+    retire_tracker(tracker_index, 0, false);
+  });
+}
+
+void Engine::preemption_wave(const PreemptionWave& wave) {
+  // Victims: the highest-indexed trackers that are up and not already
+  // leaving — spot markets reclaim the most recently granted capacity
+  // first. Warned in ascending index order for a deterministic stream.
+  std::vector<std::size_t> victims;
+  for (std::size_t i = cluster_.tracker_count();
+       i-- > 0 && victims.size() < wave.count;) {
+    const TrackerElasticState& es = elastic_state_[i];
+    if (fault_state_[i].dead || es.draining || es.retired) continue;
+    victims.push_back(i);
+  }
+  std::reverse(victims.begin(), victims.end());
+  for (const std::size_t i : victims) {
+    TrackerElasticState& es = elastic_state_[i];
+    cluster_.set_draining(i);
+    es.draining = true;
+    es.preempting = true;
+    ++es.epoch;
+    es.lease_deadline = sim_.now() + wave.warning;
+    WOHA_LOG(LogLevel::kInfo, "engine")
+        << "t=" << sim_.now() << " tracker " << i
+        << " preemption warning (terminates at " << es.lease_deadline << ")";
+    if (events_.active()) {
+      events_.publish(sim_.now(), obs::PreemptionWarning{i, es.lease_deadline});
+    }
+    const std::uint64_t epoch = es.epoch;
+    sim_.schedule_at(es.lease_deadline, [this, i, epoch]() {
+      preempt_terminate(i, epoch);
+    });
+  }
+}
+
+void Engine::join_trackers(std::uint32_t count) {
+  const Duration hb = config_.cluster.heartbeat_period;
+  for (std::uint32_t n = 0; n < count; ++n) {
+    const std::size_t i = cluster_.add_tracker();
+    tracker_attempts_.emplace_back();
+    fault_state_.emplace_back();
+    map_outputs_.emplace_back();
+    elastic_state_.emplace_back();
+    if (config_.faults.tracker_mtbf > 0.0) {
+      // Fresh split off the fault root: churn on joined nodes is as
+      // deterministic as on initial ones (split order == join order).
+      tracker_fault_rngs_.push_back(fault_rng_root_.split());
+    }
+    ++live_trackers_;
+    ++trackers_joined_;
+    if (handles_.joins) handles_.joins->add();
+    const TrackerState& ts = cluster_.tracker(i);
+    account_capacity_change(static_cast<std::int64_t>(ts.capacity(SlotType::kMap)),
+                            static_cast<std::int64_t>(ts.capacity(SlotType::kReduce)));
+    WOHA_LOG(LogLevel::kInfo, "engine")
+        << "t=" << sim_.now() << " tracker " << i << " joined";
+    if (events_.active()) {
+      events_.publish(sim_.now(), obs::TrackerJoined{i});
+    }
+    sim_.schedule_every(sim_.now() + hb, hb, [this, i]() {
+      if (job_tracker_.active_workflows() == 0 &&
+          job_tracker_.workflow_count() > 0) {
+        return;
+      }
+      heartbeat(i);
+    });
+    if (config_.faults.tracker_mtbf > 0.0) schedule_next_mtbf_crash(i);
+  }
+}
+
+std::size_t Engine::pick_drain_victim() const {
+  for (std::size_t i = cluster_.tracker_count(); i-- > 0;) {
+    const TrackerElasticState& es = elastic_state_[i];
+    if (fault_state_[i].dead || es.draining || es.retired) continue;
+    return i;
+  }
+  return Cluster::kNoTracker;
+}
+
+void Engine::autoscale_tick() {
+  const AutoscalerConfig& as = config_.elasticity.autoscaler;
+  std::size_t draining = 0;
+  for (const TrackerElasticState& es : elastic_state_) {
+    draining += (es.draining && !es.retired) ? 1u : 0u;
+  }
+  AutoscaleSignal sig;
+  sig.now = sim_.now();
+  sig.live_trackers = live_trackers_;
+  sig.draining_trackers = draining;
+  sig.pending_workflows = job_tracker_.active_workflows();
+  sig.free_map_slots = cluster_.total_free(SlotType::kMap);
+  sig.free_reduce_slots = cluster_.total_free(SlotType::kReduce);
+
+  std::int32_t delta = 0;
+  if (config_.autoscale_policy) {
+    delta = config_.autoscale_policy(sig);
+  } else if (sig.pending_workflows > as.scale_out_pending) {
+    delta = static_cast<std::int32_t>(as.step);
+  } else if (sig.pending_workflows < as.scale_in_pending) {
+    delta = -static_cast<std::int32_t>(as.step);
+  }
+
+  if (delta > 0) {
+    const std::size_t max_trackers =
+        as.max_trackers != 0
+            ? as.max_trackers
+            : 4 * static_cast<std::size_t>(config_.cluster.num_trackers);
+    const std::size_t room =
+        max_trackers > live_trackers_ ? max_trackers - live_trackers_ : 0;
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(delta), room));
+    if (n > 0) join_trackers(n);
+  } else if (delta < 0) {
+    // Draining trackers are still "live" until retired; count them out so
+    // repeated ticks cannot drain the cluster past min_trackers.
+    std::size_t effective = live_trackers_ - std::min(draining, live_trackers_);
+    for (std::int32_t k = 0; k < -delta; ++k) {
+      if (effective <= as.min_trackers) break;
+      const std::size_t victim = pick_drain_victim();
+      if (victim == Cluster::kNoTracker) break;
+      begin_decommission(victim, as.drain_lease);
+      --effective;
+    }
+  }
+}
+
+void Engine::account_capacity_change(std::int64_t map_delta,
+                                     std::int64_t reduce_delta) {
+  if (!elastic_on_) return;  // static denominator; nothing to integrate
+  const SimTime now = sim_.now();
+  if (now > last_capacity_change_) {
+    const auto window = static_cast<double>(now - last_capacity_change_);
+    offered_slot_ms_[0] += static_cast<double>(current_capacity_[0]) * window;
+    offered_slot_ms_[1] += static_cast<double>(current_capacity_[1]) * window;
+    last_capacity_change_ = now;
+  }
+  current_capacity_[0] += map_delta;
+  current_capacity_[1] += reduce_delta;
 }
 
 RunSummary Engine::summarize() const {
@@ -778,7 +1209,10 @@ RunSummary Engine::summarize() const {
     r.submit_time = w.submit_time();
     r.deadline = w.deadline();
     r.finish_time = w.finish_time();
-    r.failed = w.failed();
+    // Shed workflows read as failed() internally (same teardown guards) but
+    // report as shed, not as fault casualties.
+    r.shed = w.shed();
+    r.failed = w.failed() && !w.shed();
     if (w.finished()) {
       r.workspan = w.finish_time() - w.submit_time();
       r.tardiness = w.deadline() == kTimeInfinity
@@ -802,18 +1236,44 @@ RunSummary Engine::summarize() const {
     out.total_tardiness += r.tardiness;
     out.workflows.push_back(std::move(r));
   }
+  // Rejected submissions never entered the JobTracker; they still count as
+  // misses when they carried a deadline (turning work away is not free).
+  for (const WorkflowResult& r : rejected_results_) {
+    if (r.deadline != kTimeInfinity) {
+      ++with_deadline;
+      ++missed;
+    }
+    out.workflows.push_back(r);
+  }
   out.deadline_miss_ratio =
       with_deadline ? static_cast<double>(missed) / with_deadline : 0.0;
 
   const SimTime start = first_submit_ == kTimeInfinity ? 0 : first_submit_;
   const double span = static_cast<double>(std::max<SimTime>(1, out.makespan - start));
   const auto& cc = config_.cluster;
-  out.map_slot_utilization =
-      busy_ms_[0] / (span * static_cast<double>(cc.total_map_slots()));
-  out.reduce_slot_utilization =
-      busy_ms_[1] / (span * static_cast<double>(cc.total_reduce_slots()));
-  out.overall_utilization = (busy_ms_[0] + busy_ms_[1]) /
-                            (span * static_cast<double>(cc.total_slots()));
+  if (elastic_on_) {
+    // Offered capacity varied over the run: use the slot-ms integral from
+    // first submission to the later of makespan / last capacity change.
+    const SimTime end = std::max(out.makespan, last_capacity_change_);
+    double offered[2];
+    for (std::size_t s = 0; s < 2; ++s) {
+      const auto tail = static_cast<double>(
+          std::max<SimTime>(0, end - last_capacity_change_));
+      offered[s] = offered_slot_ms_[s] +
+                   static_cast<double>(current_capacity_[s]) * tail;
+      offered[s] = std::max(offered[s], 1.0);
+    }
+    out.map_slot_utilization = busy_ms_[0] / offered[0];
+    out.reduce_slot_utilization = busy_ms_[1] / offered[1];
+    out.overall_utilization = (busy_ms_[0] + busy_ms_[1]) / (offered[0] + offered[1]);
+  } else {
+    out.map_slot_utilization =
+        busy_ms_[0] / (span * static_cast<double>(cc.total_map_slots()));
+    out.reduce_slot_utilization =
+        busy_ms_[1] / (span * static_cast<double>(cc.total_reduce_slots()));
+    out.overall_utilization = (busy_ms_[0] + busy_ms_[1]) /
+                              (span * static_cast<double>(cc.total_slots()));
+  }
   out.tasks_executed = tasks_executed_;
   out.tasks_failed = tasks_failed_;
   out.events_fired = sim_.events_fired();
@@ -830,6 +1290,14 @@ RunSummary Engine::summarize() const {
   out.speculative_launched = speculative_launched_;
   out.speculative_won = speculative_won_;
   out.speculative_wasted_ms = speculative_wasted_ms_;
+  out.workflows_submitted = workflows_submitted_;
+  out.workflows_rejected = workflows_rejected_;
+  out.workflows_shed = workflows_shed_;
+  out.pending_peak = pending_peak_;
+  out.tracker_decommissions = decommissions_;
+  out.tracker_preemptions = preemptions_;
+  out.trackers_joined = trackers_joined_;
+  out.drain_migrated = drain_migrated_;
   return out;
 }
 

@@ -35,6 +35,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "hadoop/admission.hpp"
 #include "hadoop/cluster.hpp"
 #include "hadoop/fault.hpp"
 #include "hadoop/job_tracker.hpp"
@@ -44,6 +45,20 @@
 #include "sim/simulation.hpp"
 
 namespace woha::hadoop {
+
+/// Snapshot handed to EngineConfig::autoscale_policy on every autoscaler
+/// tick. All fields are ground truth at the tick instant.
+struct AutoscaleSignal {
+  SimTime now = 0;
+  /// Trackers that are up (not crashed, not retired) — includes draining.
+  std::size_t live_trackers = 0;
+  /// Of those, how many are currently draining out.
+  std::size_t draining_trackers = 0;
+  /// Admitted-and-unfinished workflows (the backlog-pressure signal).
+  std::uint32_t pending_workflows = 0;
+  std::uint32_t free_map_slots = 0;
+  std::uint32_t free_reduce_slots = 0;
+};
 
 struct EngineConfig {
   ClusterConfig cluster;
@@ -75,6 +90,19 @@ struct EngineConfig {
   /// budgets, blacklisting, speculative execution. Defaults disable
   /// everything, leaving the engine bit-identical to the fault-free build.
   FaultConfig faults;
+
+  // --- overload & elasticity ---------------------------------------------
+  /// Admission control and deadline-aware load shedding at submission time
+  /// (admission.hpp). Default kAdmitAll keeps today's behaviour exactly.
+  AdmissionConfig admission;
+  /// Elastic membership: graceful decommissions, preemption waves, dynamic
+  /// joins, autoscaler (fault.hpp). Defaults disable everything.
+  ElasticityConfig elasticity;
+  /// Custom autoscaler rule; returns the desired tracker delta (> 0 joins
+  /// that many, < 0 drains that many, 0 holds). Null uses the threshold
+  /// rule in ElasticityConfig::autoscaler. Only consulted while
+  /// elasticity.autoscaler.enabled; min/max/step caps apply either way.
+  std::function<std::int32_t(const AutoscaleSignal&)> autoscale_policy;
 
   // --- data locality model ------------------------------------------------
   /// Factor applied to a map task's duration when it runs on a tracker that
@@ -122,8 +150,16 @@ struct WorkflowResult {
   Duration tardiness = 0;         ///< max(0, finish - deadline)
   bool met_deadline = false;
   /// A task exhausted its attempt budget: the workflow terminated without
-  /// finishing (finish_time stays -1).
+  /// finishing (finish_time stays -1). Shed workflows are reported via
+  /// `shed`, not here.
   bool failed = false;
+  /// Turned away at submission by the admission controller; the workflow
+  /// never entered the JobTracker (id stays default). Counts as a miss when
+  /// it carried a deadline.
+  bool rejected = false;
+  /// Admitted but later evicted by the shedding policy to keep the pending
+  /// budget. Counts as a miss when it carried a deadline.
+  bool shed = false;
 };
 
 struct RunSummary {
@@ -158,6 +194,20 @@ struct RunSummary {
   /// Slot-time burned by speculation losers (the cost side of the backup
   /// bet; the benefit shows up as lower tardiness under churn).
   double speculative_wasted_ms = 0.0;
+
+  // --- overload & elasticity (all zero when both subsystems are off) -----
+  std::uint64_t workflows_submitted = 0;  ///< offered to the master
+  std::uint64_t workflows_rejected = 0;   ///< turned away at admission
+  std::uint64_t workflows_shed = 0;       ///< evicted to keep the budget
+  /// Peak admitted-and-unfinished workflow count over the run — the bounded
+  /// vs unbounded queue signal of the rho sweep.
+  std::uint32_t pending_peak = 0;
+  std::uint64_t tracker_decommissions = 0;  ///< graceful retirements
+  std::uint64_t tracker_preemptions = 0;    ///< spot terminations
+  std::uint64_t trackers_joined = 0;        ///< dynamic registrations
+  /// Attempts killed and re-queued because their node's drain lease (or
+  /// preemption warning) ran out before they finished.
+  std::uint64_t drain_migrated = 0;
 };
 
 class Engine {
@@ -210,6 +260,22 @@ class Engine {
   /// Collect results after run().
   [[nodiscard]] RunSummary summarize() const;
 
+  /// Ground-truth admission accounting for the invariant auditor:
+  /// submitted == admitted + rejected must hold at all times, and shed
+  /// never exceeds admitted.
+  struct AdmissionStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint32_t pending_peak = 0;
+  };
+  [[nodiscard]] AdmissionStats admission_stats() const {
+    return {workflows_submitted_,
+            workflows_submitted_ - workflows_rejected_,
+            workflows_rejected_, workflows_shed_, pending_peak_};
+  }
+
  private:
   /// One running attempt (Hadoop TaskAttempt): the unit that occupies a
   /// slot, can finish, fail, or be KILLED by a node fault / lost race.
@@ -232,6 +298,19 @@ class Engine {
     bool detected = false;  ///< loss processed (expiry or re-registration)
     SimTime crash_time = 0;
     std::uint64_t epoch = 0;  ///< guards stale detection/restart events
+  };
+
+  /// Elastic-membership state of one tracker (decommission / preemption /
+  /// join lifecycle), alongside but independent of TrackerFaultState: a
+  /// draining node can still crash, and the crash machinery then owns it.
+  struct TrackerElasticState {
+    bool draining = false;  ///< drain in progress (decommission or warning)
+    bool retired = false;   ///< permanently gone (decommissioned/preempted)
+    /// True while the drain is a preemption warning: the node terminates at
+    /// the lease instant no matter what (no early retirement when idle).
+    bool preempting = false;
+    SimTime lease_deadline = 0;
+    std::uint64_t epoch = 0;  ///< guards stale drain-expiry events
   };
 
   void do_submit(wf::WorkflowSpec spec);
@@ -286,6 +365,41 @@ class Engine {
     return blacklist_.find({ref, tracker_index}) != blacklist_.end();
   }
 
+  // --- overload & elasticity machinery ------------------------------------
+  /// Shed an admitted workflow (deadline-aware load shedding): tear it
+  /// down like fail_workflow but tagged shed, kill its running attempts.
+  void shed_workflow(std::uint32_t workflow, SimTime now);
+  /// Enforce the shed policy's pending budget after a submission, then
+  /// record the pending peak.
+  void enforce_pending_budget();
+  /// Start a graceful decommission: drain now, retire when the node goes
+  /// idle or the lease expires, whichever comes first.
+  void begin_decommission(std::size_t tracker_index, Duration lease);
+  /// Drain lease ran out: kill + re-queue the stragglers, retire the node.
+  void drain_lease_expired(std::size_t tracker_index, std::uint64_t epoch);
+  /// Preemption warning fired earlier; the node terminates now.
+  void preempt_terminate(std::size_t tracker_index, std::uint64_t epoch);
+  /// Kill + re-queue everything still running on a draining tracker
+  /// (master-initiated, so no lease-expiry delay and no attempt-budget
+  /// charge), invalidate its stranded map outputs, and retire it. Returns
+  /// the number of attempts migrated.
+  std::uint32_t migrate_off(std::size_t tracker_index);
+  /// Retire a fully drained tracker out of the cluster for good.
+  void retire_tracker(std::size_t tracker_index, std::uint32_t migrated,
+                      bool preempted);
+  /// A draining (non-preempting) tracker may have just gone idle; if so,
+  /// complete its decommission at the current instant (scheduled as a
+  /// same-tick event so in-flight bookkeeping settles first).
+  void maybe_complete_drain(std::size_t tracker_index);
+  void preemption_wave(const PreemptionWave& wave);
+  /// Register `count` fresh trackers with the master right now.
+  void join_trackers(std::uint32_t count);
+  void autoscale_tick();
+  /// Integrate offered slot-capacity over time (elastic runs only), then
+  /// apply a capacity delta. Call at the instant capacity changes.
+  void account_capacity_change(std::int64_t map_delta, std::int64_t reduce_delta);
+  [[nodiscard]] std::size_t pick_drain_victim() const;
+
   EngineConfig config_;
   sim::Simulation sim_;
   Cluster cluster_;
@@ -311,6 +425,13 @@ class Engine {
     obs::Counter* attempts_killed = nullptr;
     obs::Counter* tracker_crashes = nullptr;
     obs::Counter* speculative_launched = nullptr;
+    obs::Counter* workflows_rejected = nullptr;
+    obs::Counter* workflows_shed = nullptr;
+    obs::Counter* decommissions = nullptr;
+    obs::Counter* preemptions = nullptr;
+    obs::Counter* joins = nullptr;
+    obs::Gauge* pending_workflows = nullptr;
+    obs::Gauge* pending_peak = nullptr;
   };
   MetricHandles handles_;
   obs::EventBus::SubscriptionId task_observer_subscription_ = 0;
@@ -332,10 +453,12 @@ class Engine {
   // maintained when faults.speculative_execution is on.
   std::set<std::pair<std::size_t, std::uint64_t>> spec_candidates_[2];
   // attempts_by_workflow_: every running attempt keyed (workflow, tracker,
-  // attempt id), so fail_workflow's kill sweep touches only the failed
-  // workflow's attempts. Only maintained when faults.max_attempts > 0 (the
-  // sole trigger for fail_workflow).
+  // attempt id), so the kill sweeps of fail_workflow and shed_workflow touch
+  // only the dying workflow's attempts. Only maintained when one of the two
+  // can run (index_by_workflow_: faults.max_attempts > 0 or the shedding
+  // admission policy is active).
   std::set<std::tuple<std::uint32_t, std::size_t, std::uint64_t>> attempts_by_workflow_;
+  bool index_by_workflow_ = false;
 
   // Fault state. map_outputs_[t][job] counts completed maps of `job` whose
   // output sits on tracker t's local disk (only tracked for jobs with
@@ -346,8 +469,32 @@ class Engine {
   std::set<std::pair<JobRef, std::size_t>> blacklist_;
   std::map<std::pair<JobRef, std::size_t>, std::uint32_t> job_tracker_failures_;
   std::vector<Rng> tracker_fault_rngs_;
+  /// Root of the fault RNG streams; joined trackers draw fresh splits from
+  /// it, so churn stays deterministic under dynamic membership.
+  Rng fault_rng_root_{0};
   std::size_t live_trackers_ = 0;
   std::size_t pending_restarts_ = 0;
+
+  // Overload & elasticity state.
+  std::unique_ptr<AdmissionController> admission_;
+  std::vector<TrackerElasticState> elastic_state_;
+  bool elastic_on_ = false;  ///< config_.elasticity.any_enabled(), cached
+  std::vector<WorkflowResult> rejected_results_;
+  std::size_t pending_joins_ = 0;  ///< scheduled-but-unfired join events
+  std::uint64_t workflows_submitted_ = 0;
+  std::uint64_t workflows_rejected_ = 0;
+  std::uint64_t workflows_shed_ = 0;
+  std::uint32_t pending_peak_ = 0;
+  std::uint64_t decommissions_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t trackers_joined_ = 0;
+  std::uint64_t drain_migrated_ = 0;
+  // Offered-capacity integral (slot-ms per slot type) for utilization
+  // denominators under elastic membership; maintained only when
+  // elastic_on_ (static capacity formula otherwise).
+  double offered_slot_ms_[2] = {0.0, 0.0};
+  std::int64_t current_capacity_[2] = {0, 0};
+  SimTime last_capacity_change_ = 0;
 
   // Accounting for utilization: integral of busy slots over time.
   std::uint64_t tasks_executed_ = 0;

@@ -36,6 +36,8 @@ void FaultConfig::validate(std::size_t tracker_count) const {
       throw std::invalid_argument("FaultConfig: negative crash_time");
     }
     if (e.restart_time <= e.crash_time) {
+      // Includes restart_time == crash_time: a zero-length outage would be
+      // invisible to the master and can only be a schedule bug.
       throw std::invalid_argument("FaultConfig: restart_time must be after crash_time");
     }
     per_tracker[e.tracker].push_back(&e);
@@ -50,6 +52,63 @@ void FaultConfig::validate(std::size_t tracker_count) const {
         throw std::invalid_argument(
             "FaultConfig: overlapping outages for tracker " + std::to_string(tracker));
       }
+    }
+  }
+}
+
+void ElasticityConfig::validate(std::size_t tracker_count) const {
+  for (const TrackerDecommissionEvent& d : decommissions) {
+    if (d.tracker >= tracker_count) {
+      throw std::invalid_argument("ElasticityConfig: decommission tracker index " +
+                                  std::to_string(d.tracker) + " out of range");
+    }
+    if (d.start_time < 0) {
+      throw std::invalid_argument("ElasticityConfig: negative decommission start");
+    }
+    if (d.drain_lease <= 0) {
+      throw std::invalid_argument(
+          "ElasticityConfig: drain_lease must be positive");
+    }
+  }
+  for (const PreemptionWave& w : preemption_waves) {
+    if (w.time < 0) {
+      throw std::invalid_argument("ElasticityConfig: negative preemption time");
+    }
+    if (w.count == 0) {
+      throw std::invalid_argument(
+          "ElasticityConfig: preemption wave count must be >= 1");
+    }
+    if (w.warning < 0) {
+      throw std::invalid_argument("ElasticityConfig: negative preemption warning");
+    }
+  }
+  for (const TrackerJoinEvent& j : joins) {
+    if (j.time < 0) {
+      throw std::invalid_argument("ElasticityConfig: negative join time");
+    }
+    if (j.count == 0) {
+      throw std::invalid_argument("ElasticityConfig: join count must be >= 1");
+    }
+  }
+  if (autoscaler.enabled) {
+    if (autoscaler.check_period <= 0) {
+      throw std::invalid_argument(
+          "ElasticityConfig: autoscaler check_period must be positive");
+    }
+    if (autoscaler.step == 0) {
+      throw std::invalid_argument("ElasticityConfig: autoscaler step must be >= 1");
+    }
+    if (autoscaler.min_trackers == 0) {
+      throw std::invalid_argument(
+          "ElasticityConfig: autoscaler min_trackers must be >= 1");
+    }
+    if (autoscaler.scale_in_pending > autoscaler.scale_out_pending) {
+      throw std::invalid_argument(
+          "ElasticityConfig: scale_in_pending > scale_out_pending would flap");
+    }
+    if (autoscaler.drain_lease <= 0) {
+      throw std::invalid_argument(
+          "ElasticityConfig: autoscaler drain_lease must be positive");
     }
   }
 }

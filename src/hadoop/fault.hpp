@@ -80,7 +80,85 @@ struct FaultConfig {
   }
 
   /// Throws std::invalid_argument on nonsensical settings; `tracker_count`
-  /// bounds event tracker indices.
+  /// bounds event tracker indices. Zero-length outages (restart_time ==
+  /// crash_time) are rejected along with inverted ones: an outage the
+  /// master could never observe is a schedule bug, not a no-op.
+  void validate(std::size_t tracker_count) const;
+};
+
+// ---- elastic membership -----------------------------------------------------
+//
+// Capacity changes beyond crash/restart churn: operators drain nodes out
+// gracefully, spot markets preempt them with a short warning, and fresh
+// nodes join a running cluster. All three are first-class, deterministic
+// schedule entries; the autoscaler turns backlog pressure into the same
+// drain/join primitives at runtime.
+
+/// Graceful decommission: at start_time the tracker stops accepting work
+/// (it leaves the freelists but keeps heartbeating its running attempts).
+/// Attempts that finish within `drain_lease` migrate nothing; when the
+/// lease expires, the stragglers are killed and re-queued and the node
+/// retires. Unlike a crash, the master participates from the first instant.
+struct TrackerDecommissionEvent {
+  std::uint32_t tracker = 0;
+  SimTime start_time = 0;
+  Duration drain_lease = minutes(2);
+};
+
+/// Spot-style preemption wave: at `time`, the `count` highest-indexed live
+/// trackers receive a termination warning. They stop accepting work
+/// immediately and are killed `warning` later — running attempts are
+/// re-queued at termination without any lease-expiry delay (the warning IS
+/// the detection), which is what distinguishes preemption from crash loss.
+/// Preempted trackers never come back.
+struct PreemptionWave {
+  SimTime time = 0;
+  std::uint32_t count = 0;
+  Duration warning = seconds(120);
+};
+
+/// `count` fresh trackers (the cluster's per-tracker slot shape) register
+/// with the master at `time` and are immediately eligible for work.
+struct TrackerJoinEvent {
+  SimTime time = 0;
+  std::uint32_t count = 1;
+};
+
+/// Pending-backlog autoscaler: every `check_period` the engine samples the
+/// admitted-unfinished workflow count (the same progress-lag signal the
+/// admission controller budgets) and scales out by `step` joins above
+/// `scale_out_pending`, or drains `step` trackers below `scale_in_pending`.
+/// EngineConfig::autoscale_policy can replace the threshold rule wholesale.
+struct AutoscalerConfig {
+  bool enabled = false;
+  Duration check_period = seconds(30);
+  /// Join `step` trackers when pending workflows exceed this.
+  std::uint32_t scale_out_pending = 8;
+  /// Drain one tracker when pending workflows drop below this.
+  std::uint32_t scale_in_pending = 1;
+  std::uint32_t step = 1;
+  /// Never scale past this many trackers (0 = 4x the initial count).
+  std::uint32_t max_trackers = 0;
+  /// Never drain below this many live trackers.
+  std::uint32_t min_trackers = 1;
+  /// Drain lease used for autoscaler-initiated decommissions.
+  Duration drain_lease = minutes(2);
+};
+
+struct ElasticityConfig {
+  std::vector<TrackerDecommissionEvent> decommissions;
+  std::vector<PreemptionWave> preemption_waves;
+  std::vector<TrackerJoinEvent> joins;
+  AutoscalerConfig autoscaler;
+
+  /// True when any part changes engine behaviour.
+  [[nodiscard]] bool any_enabled() const {
+    return !decommissions.empty() || !preemption_waves.empty() ||
+           !joins.empty() || autoscaler.enabled;
+  }
+
+  /// Throws std::invalid_argument on nonsensical settings; `tracker_count`
+  /// bounds decommission tracker indices.
   void validate(std::size_t tracker_count) const;
 };
 

@@ -204,4 +204,10 @@ void WorkflowRuntime::mark_failed(SimTime now) {
   }
 }
 
+void WorkflowRuntime::mark_shed(SimTime now) {
+  if (failed_) return;  // already torn down; keep the original cause
+  shed_ = true;
+  mark_failed(now);
+}
+
 }  // namespace woha::hadoop

@@ -169,6 +169,10 @@ class WorkflowRuntime {
   /// True when a job failed permanently (task exhausted its attempt budget).
   [[nodiscard]] bool failed() const { return failed_; }
   [[nodiscard]] SimTime fail_time() const { return fail_time_; }
+  /// True when the admission controller shed this workflow to keep the
+  /// pending budget. A shed workflow also reads as failed() so every
+  /// "skip dead workflows" guard applies; summaries report it separately.
+  [[nodiscard]] bool shed() const { return shed_; }
 
   [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
   [[nodiscard]] JobInProgress& job(std::uint32_t j) { return jobs_[j]; }
@@ -205,6 +209,10 @@ class WorkflowRuntime {
   /// Task -> job -> workflow failure propagation: every non-complete job is
   /// marked kFailed so nothing of this workflow is ever scheduled again.
   void mark_failed(SimTime now);
+  /// Deadline-aware load shedding: same teardown as mark_failed, but the
+  /// workflow is additionally tagged shed() so it is not counted as a fault
+  /// casualty.
+  void mark_shed(SimTime now);
 
   [[nodiscard]] std::uint32_t unfinished_jobs() const { return unfinished_jobs_; }
 
@@ -218,6 +226,7 @@ class WorkflowRuntime {
   SimTime deadline_;
   SimTime finish_time_ = -1;
   bool failed_ = false;
+  bool shed_ = false;
   SimTime fail_time_ = -1;
   std::vector<JobInProgress> jobs_;
   std::vector<std::uint32_t> remaining_prereqs_;

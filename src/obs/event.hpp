@@ -40,6 +40,24 @@ struct WorkflowFailed {
   std::uint32_t workflow = 0;
 };
 
+/// Admission control turned a submission away before it reached the
+/// JobTracker (the workflow never got a WorkflowId). `submission` is the
+/// dense submission index, shared with admitted workflows.
+struct WorkflowRejected {
+  std::uint32_t submission = 0;
+  std::string name;
+  SimTime deadline = kTimeInfinity;  ///< absolute; kTimeInfinity = none
+  std::string reason;                ///< "infeasible" or "pending-budget"
+};
+
+/// Deadline-aware load shedding killed an admitted workflow to keep the
+/// pending set within budget (shed_latest_deadline_first).
+struct WorkflowShed {
+  std::uint32_t workflow = 0;
+  SimTime deadline = kTimeInfinity;
+  std::uint32_t attempts_killed = 0;
+};
+
 // ---- job lifecycle ---------------------------------------------------------
 
 /// The wjob's submitter task finished loading it; it is now schedulable.
@@ -124,6 +142,36 @@ struct TrackerRestarted {
   std::size_t tracker = 0;
 };
 
+/// A tracker entered its drain lease (graceful decommission or autoscaler
+/// scale-in): no new work is scheduled there; running attempts may finish
+/// until `lease_deadline`, after which the rest migrate.
+struct TrackerDraining {
+  std::size_t tracker = 0;
+  SimTime lease_deadline = 0;
+};
+
+/// A draining tracker retired from the pool: either its attempts all
+/// finished within the lease, or the lease expired and `migrated` attempts
+/// were killed and re-queued elsewhere.
+struct TrackerDecommissioned {
+  std::size_t tracker = 0;
+  std::uint32_t migrated = 0;
+};
+
+/// A fresh tracker registered with the master mid-run (elastic join or
+/// autoscaler scale-out) and is immediately eligible for work.
+struct TrackerJoined {
+  std::size_t tracker = 0;
+};
+
+/// A spot-preemption wave warned this tracker: it stops accepting work now
+/// and terminates at `termination_time`. Unlike a crash, the master knows
+/// immediately — no lease-expiry detection delay.
+struct PreemptionWarning {
+  std::size_t tracker = 0;
+  SimTime termination_time = 0;
+};
+
 // ---- scheduler internals ---------------------------------------------------
 
 /// WOHA generated a scheduling plan for a freshly submitted workflow
@@ -194,10 +242,11 @@ struct LogEmitted {
 
 using Payload =
     std::variant<WorkflowSubmitted, WorkflowCompleted, WorkflowFailed,
-                 JobActivated, JobCompleted, TaskStarted, TaskEnded,
-                 SpeculativeLaunched, HeartbeatServed, TrackerCrashed,
-                 TrackerLost, TrackerRestarted, PlanGenerated, QueueReordered,
-                 SchedulerDecision, LogEmitted>;
+                 WorkflowRejected, WorkflowShed, JobActivated, JobCompleted,
+                 TaskStarted, TaskEnded, SpeculativeLaunched, HeartbeatServed,
+                 TrackerCrashed, TrackerLost, TrackerRestarted, TrackerDraining,
+                 TrackerDecommissioned, TrackerJoined, PreemptionWarning,
+                 PlanGenerated, QueueReordered, SchedulerDecision, LogEmitted>;
 
 struct Event {
   SimTime time = 0;  ///< simulated milliseconds

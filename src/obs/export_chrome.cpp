@@ -196,6 +196,25 @@ void ChromeTraceExporter::on_event(const Event& event) {
       ex.instant(t, kMasterPid, kWorkflowTid,
                  "FAILED w" + std::to_string(p.workflow), "");
     }
+    void operator()(const WorkflowRejected& p) {
+      ex.ensure_thread(kMasterPid, kWorkflowTid, "workflows");
+      JsonWriter a;
+      a.begin_object();
+      a.member("reason", p.reason);
+      if (p.deadline != kTimeInfinity) a.member("deadline_ms", p.deadline);
+      a.end_object();
+      ex.instant(t, kMasterPid, kWorkflowTid, "REJECTED " + p.name, a.take());
+    }
+    void operator()(const WorkflowShed& p) {
+      ex.ensure_thread(kMasterPid, kWorkflowTid, "workflows");
+      JsonWriter a;
+      a.begin_object();
+      a.member("attempts_killed", p.attempts_killed);
+      if (p.deadline != kTimeInfinity) a.member("deadline_ms", p.deadline);
+      a.end_object();
+      ex.instant(t, kMasterPid, kWorkflowTid,
+                 "SHED w" + std::to_string(p.workflow), a.take());
+    }
     void operator()(const JobActivated&) {}
     void operator()(const JobCompleted&) {}
     void operator()(const TaskStarted& p) { ex.handle(t, p); }
@@ -252,6 +271,38 @@ void ChromeTraceExporter::on_event(const Event& event) {
       const std::uint64_t pid = kTrackerPidBase + p.tracker;
       ex.ensure_process(pid, "TaskTracker " + std::to_string(p.tracker));
       ex.instant(t, pid, 0, "re-registered", "");
+    }
+    void operator()(const TrackerDraining& p) {
+      const std::uint64_t pid = kTrackerPidBase + p.tracker;
+      ex.ensure_process(pid, "TaskTracker " + std::to_string(p.tracker));
+      JsonWriter a;
+      a.begin_object();
+      a.member("lease_deadline_ms", p.lease_deadline);
+      a.end_object();
+      ex.instant(t, pid, 0, "draining", a.take());
+    }
+    void operator()(const TrackerDecommissioned& p) {
+      const std::uint64_t pid = kTrackerPidBase + p.tracker;
+      ex.ensure_process(pid, "TaskTracker " + std::to_string(p.tracker));
+      JsonWriter a;
+      a.begin_object();
+      a.member("migrated", p.migrated);
+      a.end_object();
+      ex.instant(t, pid, 0, "decommissioned", a.take());
+    }
+    void operator()(const TrackerJoined& p) {
+      const std::uint64_t pid = kTrackerPidBase + p.tracker;
+      ex.ensure_process(pid, "TaskTracker " + std::to_string(p.tracker));
+      ex.instant(t, pid, 0, "joined", "");
+    }
+    void operator()(const PreemptionWarning& p) {
+      const std::uint64_t pid = kTrackerPidBase + p.tracker;
+      ex.ensure_process(pid, "TaskTracker " + std::to_string(p.tracker));
+      JsonWriter a;
+      a.begin_object();
+      a.member("termination_time_ms", p.termination_time);
+      a.end_object();
+      ex.instant(t, pid, 0, "PREEMPTION WARNING", a.take());
     }
     void operator()(const PlanGenerated& p) {
       ex.ensure_thread(kMasterPid, kWorkflowTid, "workflows");

@@ -34,6 +34,19 @@ void write_payload(JsonWriter& w, const WorkflowFailed& p) {
   w.member("workflow", p.workflow);
 }
 
+void write_payload(JsonWriter& w, const WorkflowRejected& p) {
+  w.member("submission", p.submission);
+  w.member("name", p.name);
+  if (p.deadline != kTimeInfinity) w.member("deadline", p.deadline);
+  w.member("reason", p.reason);
+}
+
+void write_payload(JsonWriter& w, const WorkflowShed& p) {
+  w.member("workflow", p.workflow);
+  if (p.deadline != kTimeInfinity) w.member("deadline", p.deadline);
+  w.member("attempts_killed", p.attempts_killed);
+}
+
 void write_payload(JsonWriter& w, const JobActivated& p) {
   w.member("workflow", p.workflow);
   w.member("job", p.job);
@@ -99,6 +112,25 @@ void write_payload(JsonWriter& w, const TrackerRestarted& p) {
   w.member("tracker", static_cast<std::uint64_t>(p.tracker));
 }
 
+void write_payload(JsonWriter& w, const TrackerDraining& p) {
+  w.member("tracker", static_cast<std::uint64_t>(p.tracker));
+  w.member("lease_deadline", p.lease_deadline);
+}
+
+void write_payload(JsonWriter& w, const TrackerDecommissioned& p) {
+  w.member("tracker", static_cast<std::uint64_t>(p.tracker));
+  w.member("migrated", p.migrated);
+}
+
+void write_payload(JsonWriter& w, const TrackerJoined& p) {
+  w.member("tracker", static_cast<std::uint64_t>(p.tracker));
+}
+
+void write_payload(JsonWriter& w, const PreemptionWarning& p) {
+  w.member("tracker", static_cast<std::uint64_t>(p.tracker));
+  w.member("termination_time", p.termination_time);
+}
+
 void write_payload(JsonWriter& w, const PlanGenerated& p) {
   w.member("workflow", p.workflow);
   w.member("resource_cap", p.resource_cap);
@@ -148,6 +180,8 @@ const char* kind_name(const Payload& payload) {
     const char* operator()(const WorkflowSubmitted&) { return "workflow-submitted"; }
     const char* operator()(const WorkflowCompleted&) { return "workflow-completed"; }
     const char* operator()(const WorkflowFailed&) { return "workflow-failed"; }
+    const char* operator()(const WorkflowRejected&) { return "workflow-rejected"; }
+    const char* operator()(const WorkflowShed&) { return "workflow-shed"; }
     const char* operator()(const JobActivated&) { return "job-activated"; }
     const char* operator()(const JobCompleted&) { return "job-completed"; }
     const char* operator()(const TaskStarted&) { return "task-started"; }
@@ -159,6 +193,12 @@ const char* kind_name(const Payload& payload) {
     const char* operator()(const TrackerCrashed&) { return "tracker-crashed"; }
     const char* operator()(const TrackerLost&) { return "tracker-lost"; }
     const char* operator()(const TrackerRestarted&) { return "tracker-restarted"; }
+    const char* operator()(const TrackerDraining&) { return "tracker-draining"; }
+    const char* operator()(const TrackerDecommissioned&) {
+      return "tracker-decommissioned";
+    }
+    const char* operator()(const TrackerJoined&) { return "tracker-joined"; }
+    const char* operator()(const PreemptionWarning&) { return "preemption-warning"; }
     const char* operator()(const PlanGenerated&) { return "plan-generated"; }
     const char* operator()(const QueueReordered&) { return "queue-reordered"; }
     const char* operator()(const SchedulerDecision&) { return "scheduler-decision"; }

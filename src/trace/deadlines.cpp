@@ -1,14 +1,31 @@
 #include "trace/deadlines.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/job_priority.hpp"
 #include "core/plan.hpp"
 
 namespace woha::trace {
 
+void DeadlinePolicy::validate() const {
+  if (reference_cap == 0) {
+    throw std::invalid_argument("DeadlinePolicy: reference_cap must be >= 1");
+  }
+  if (slack_lo <= 0.0) {
+    throw std::invalid_argument("DeadlinePolicy: slack_lo must be positive");
+  }
+  if (slack_lo > slack_hi) {
+    throw std::invalid_argument("DeadlinePolicy: slack_lo > slack_hi");
+  }
+  if (arrival_window < 0) {
+    throw std::invalid_argument("DeadlinePolicy: negative arrival_window");
+  }
+}
+
 void assign_deadlines(std::vector<wf::WorkflowSpec>& workflows, std::uint64_t seed,
                       const DeadlinePolicy& policy) {
+  policy.validate();
   Rng rng(seed);
   for (auto& spec : workflows) {
     const auto rank = core::job_priority_ranks(spec, core::JobPriorityPolicy::kLpf);

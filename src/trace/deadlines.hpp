@@ -25,6 +25,11 @@ struct DeadlinePolicy {
   double slack_hi = 2.2;
   /// Workflow submit times are drawn uniformly in [0, arrival_window].
   Duration arrival_window = minutes(35);
+
+  /// Throws std::invalid_argument on nonsensical settings. Degenerate but
+  /// well-defined shapes are allowed: slack_lo == slack_hi pins the slack
+  /// factor, arrival_window == 0 submits everything at t=0.
+  void validate() const;
 };
 
 /// Assign submit_time and relative_deadline in place, deterministically

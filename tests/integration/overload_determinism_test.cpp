@@ -1,0 +1,147 @@
+// Determinism under the full overload + elasticity surface at once: open-loop
+// arrivals past saturation (rho = 1.3), deadline-aware shedding, MTBF node
+// churn, speculation, and duration jitter — for all six paper schedulers,
+// with the invariant auditor attached. Two guarantees are pinned:
+//
+//  * a golden FNV digest over every deterministic summary field including
+//    the new admission/elasticity counters (any decision drift anywhere in
+//    the overload machinery flips it), and
+//  * bit-identical results between the serial grid runner and a parallel
+//    one (--jobs N must never change a scheduling decision).
+//
+// Refresh goldens only after an intentional semantic change:
+//   WOHA_PRINT_GOLDENS=1 ./build/tests/integration_tests \
+//       --gtest_filter='OverloadDeterminism.*'
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hadoop/admission.hpp"
+#include "metrics_digest.hpp"
+#include "metrics/grid.hpp"
+#include "trace/arrivals.hpp"
+#include "trace/deadlines.hpp"
+#include "workflow/topology.hpp"
+
+namespace woha {
+namespace {
+
+bool print_goldens() { return std::getenv("WOHA_PRINT_GOLDENS") != nullptr; }
+
+void check_digest(const char* label, std::uint64_t got, std::uint64_t want) {
+  if (print_goldens()) {
+    std::printf("golden %-24s 0x%016llxull\n", label,
+                static_cast<unsigned long long>(got));
+    return;
+  }
+  EXPECT_EQ(got, want) << label
+                       << ": a deterministic overload/elasticity metric "
+                          "changed. See the file comment before refreshing.";
+}
+
+/// digest_comparison plus the overload & elasticity fields it predates.
+std::uint64_t digest_overload(
+    const std::vector<metrics::ExperimentResult>& results) {
+  testing::Fnv1a h;
+  h.mix(testing::digest_comparison(results));
+  for (const metrics::ExperimentResult& r : results) {
+    const hadoop::RunSummary& s = r.summary;
+    h.mix(s.workflows_submitted);
+    h.mix(s.workflows_rejected);
+    h.mix(s.workflows_shed);
+    h.mix(static_cast<std::uint64_t>(s.pending_peak));
+    h.mix(s.tracker_decommissions);
+    h.mix(s.tracker_preemptions);
+    h.mix(s.trackers_joined);
+    h.mix(s.drain_migrated);
+    for (const hadoop::WorkflowResult& w : s.workflows) {
+      h.mix(w.rejected);
+      h.mix(w.shed);
+    }
+  }
+  return h.value();
+}
+
+std::vector<wf::WorkflowSpec> overload_workload() {
+  std::vector<wf::WorkflowSpec> workflows;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    auto spec = wf::diamond(3);
+    spec.name = "wf" + std::to_string(i);
+    workflows.push_back(std::move(spec));
+  }
+  trace::DeadlinePolicy deadlines;
+  deadlines.reference_cap = 12;
+  trace::assign_deadlines(workflows, 5, deadlines);
+  trace::ArrivalConfig arrivals;
+  arrivals.shape = trace::ArrivalShape::kPoisson;
+  arrivals.rho = 1.3;  // past saturation: the shed policy must engage
+  arrivals.cluster_slots = 24;
+  trace::assign_open_loop_arrivals(workflows, 7, arrivals);
+  return workflows;
+}
+
+std::vector<metrics::GridPoint> overload_grid(
+    const std::vector<wf::WorkflowSpec>& workload) {
+  hadoop::EngineConfig config;
+  config.audit = true;
+  config.cluster.num_trackers = 8;
+  config.cluster.map_slots_per_tracker = 2;
+  config.cluster.reduce_slots_per_tracker = 1;
+  config.seed = 42;
+  config.duration_jitter_sigma = 0.3;
+  config.admission.policy = hadoop::AdmissionPolicy::kShedLatestDeadlineFirst;
+  config.admission.max_pending_workflows = 4;
+  config.faults.tracker_mtbf = 600.0 * 1000.0;  // 600 s per tracker
+  config.faults.tracker_restart_delay = seconds(30);
+  config.faults.expiry_interval = seconds(60);
+  config.faults.speculative_execution = true;
+  std::vector<metrics::GridPoint> grid;
+  for (const auto& entry : metrics::paper_schedulers()) {
+    grid.push_back(metrics::GridPoint{config, &workload, entry});
+  }
+  return grid;
+}
+
+TEST(OverloadDeterminism, ChaosOverloadSnapshotSerialEqualsParallel) {
+  const auto workload = overload_workload();
+  const auto grid = overload_grid(workload);
+
+  metrics::GridOptions serial;
+  serial.jobs = 1;
+  const auto serial_results = metrics::run_grid(grid, serial);
+
+  // The config must actually exercise every overload path, otherwise this
+  // degrades into the plain chaos test.
+  std::uint64_t shed = 0, crashes = 0, spec_launched = 0;
+  std::uint32_t pending_peak = 0;
+  for (const auto& r : serial_results) {
+    shed += r.summary.workflows_shed;
+    crashes += r.summary.tracker_crashes;
+    spec_launched += r.summary.speculative_launched;
+    pending_peak = std::max(pending_peak, r.summary.pending_peak);
+    EXPECT_EQ(r.summary.workflows_submitted, 12u);
+    // The budget held for every scheduler (the auditor also asserts this on
+    // every sweep, against engine ground truth).
+    EXPECT_LE(r.summary.pending_peak, 4u) << r.scheduler;
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(spec_launched, 0u);
+  EXPECT_EQ(pending_peak, 4u);  // the budget was actually reached
+
+  metrics::GridOptions parallel;
+  parallel.jobs = 4;
+  const auto parallel_results = metrics::run_grid(grid, parallel);
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  EXPECT_EQ(digest_overload(serial_results), digest_overload(parallel_results))
+      << "--jobs N changed a scheduling decision under overload";
+
+  check_digest("overload_chaos", digest_overload(serial_results),
+               0xf1d7f80f4db586c2ull);
+}
+
+}  // namespace
+}  // namespace woha
