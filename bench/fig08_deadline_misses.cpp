@@ -5,17 +5,48 @@
 // clusters under all six schedulers. Expected shape: FIFO and Fair miss far
 // more deadlines; WOHA variants beat or match EDF, with the gap widest at
 // the middle ("less than adequate but more than scarce") cluster size.
+//
+// --explain-misses appends a forensics pass over the middle ("less than
+// adequate") 240m-240r cluster: per scheduler, where the missed-deadline
+// workflows' time went, as conserved attribution buckets.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "fig8_sweep.hpp"
+#include "forensics/attribution.hpp"
+#include "forensics/explain.hpp"
+#include "forensics/span_recorder.hpp"
+#include "metrics/grid.hpp"
 
 using namespace woha;
+
+namespace {
+
+bool strip_flag(int& argc, char** argv, const char* flag) {
+  bool found = false;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::string(argv[r]) == flag) {
+      found = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return found;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
   const bench::JobsFlag jobs(argc, argv);
+  const bool explain = strip_flag(argc, argv, "--explain-misses");
   bench::banner("Fig. 8", "deadline violation ratio vs cluster size");
   const auto cells = bench::fig8_sweep(42, metrics_session.hooks(), jobs.jobs());
 
@@ -25,6 +56,45 @@ int main(int argc, char** argv) {
                    TextTable::percent(c.deadline_miss_ratio)});
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  if (explain) {
+    // The sweep above only keeps aggregates, so the forensic pass re-runs
+    // the interesting cluster size with a recorder per point (same seeds —
+    // the runs it narrates are the runs the table scored).
+    bench::banner("Fig. 8", "deadline-miss forensics at 240m-240r");
+    const auto workload = trace::fig8_trace(42);
+    const auto schedulers = metrics::paper_schedulers();
+    hadoop::EngineConfig config;
+    config.cluster = hadoop::ClusterConfig::with_totals(240, 240);
+    std::vector<metrics::GridPoint> grid;
+    for (const auto& entry : schedulers) {
+      grid.push_back(metrics::GridPoint{config, &workload, entry});
+    }
+    metrics::GridOptions options;
+    options.jobs = jobs.jobs();
+    std::vector<std::unique_ptr<forensics::SpanRecorder>> recorders(grid.size());
+    options.configure_point = [&recorders](hadoop::Engine& engine,
+                                           std::size_t index) {
+      recorders[index] = std::make_unique<forensics::SpanRecorder>(
+          engine.events(), &engine.job_tracker());
+    };
+    (void)metrics::run_grid(grid, options);
+
+    std::vector<forensics::MissRow> miss_rows;
+    for (std::size_t i = 0; i < recorders.size(); ++i) {
+      const auto records = forensics::attribute_all(recorders[i]->workflows());
+      const std::string err = forensics::check_conservation(records);
+      if (!err.empty()) {
+        std::fprintf(stderr, "attribution conservation violated: %s\n",
+                     err.c_str());
+        return 1;
+      }
+      miss_rows.push_back(forensics::MissRow{
+          schedulers[i].label, forensics::summarize_misses(records)});
+    }
+    std::printf("%s\n", forensics::format_miss_table(miss_rows).c_str());
+  }
+
   bench::note("paper Fig. 8: FIFO/Fair 'behave terribly'; WOHA-HLF/LPF beat EDF "
               "when resources are less than adequate.");
   return 0;

@@ -23,15 +23,23 @@
 // whole point). A second table fixes rho = 1.1 and varies the arrival
 // *shape* (Poisson / MMPP bursts / flash crowd) under the shedding policy.
 //
-// Flags: --quick (CI subset), --jobs N, --metrics-json <path>.
+// Flags: --quick (CI subset), --jobs N, --metrics-json <path>,
+// --explain-misses (append the forensics root-cause table: per grid point,
+// where the missed-deadline workflows' time went — conserved buckets,
+// identical at any --jobs value).
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "forensics/attribution.hpp"
+#include "forensics/explain.hpp"
+#include "forensics/span_recorder.hpp"
 #include "hadoop/admission.hpp"
 #include "metrics/grid.hpp"
 #include "metrics/report.hpp"
@@ -72,6 +80,7 @@ int main(int argc, char** argv) {
   bench::MetricsSession metrics_session(argc, argv);
   const bench::JobsFlag jobs(argc, argv);
   const bool quick = strip_flag(argc, argv, "--quick");
+  const bool explain = strip_flag(argc, argv, "--explain-misses");
   bench::banner("Overload", "rho sweep x admission policy (Fig. 8 trace, WOHA)");
 
   // Fig. 8's derived deadlines carry enough slack to absorb deep queueing;
@@ -128,6 +137,16 @@ int main(int argc, char** argv) {
 
   metrics::GridOptions options;
   options.jobs = jobs.jobs();
+  // Forensics rides per-point: each recorder is owned by its submission
+  // index, so the parallel grid stays race-free and bit-identical.
+  std::vector<std::unique_ptr<forensics::SpanRecorder>> recorders(grid.size());
+  if (explain) {
+    options.configure_point = [&recorders](hadoop::Engine& engine,
+                                           std::size_t index) {
+      recorders[index] = std::make_unique<forensics::SpanRecorder>(
+          engine.events(), &engine.job_tracker());
+    };
+  }
   const auto results = metrics::run_grid(grid, options, metrics_session.hooks());
 
   TextTable table({"rho", "admission", "submitted", "rejected", "shed",
@@ -186,6 +205,41 @@ int main(int argc, char** argv) {
            std::to_string(misses), format_duration(s.total_tardiness)});
     }
     std::printf("%s\n", shape_table.to_string().c_str());
+  }
+
+  if (explain) {
+    bench::banner("Overload", "deadline-miss forensics (conserved loss buckets)");
+    std::vector<forensics::MissRow> miss_rows;
+    // Keeps the worst miss of the whole sweep alive for the narrative below
+    // (per-point records die with their loop iteration).
+    forensics::WorkflowAttribution worst;
+    bool have_worst = false;
+    for (std::size_t i = 0; i < recorders.size(); ++i) {
+      const auto records = forensics::attribute_all(recorders[i]->workflows());
+      const std::string err = forensics::check_conservation(records);
+      if (!err.empty()) {
+        std::fprintf(stderr, "attribution conservation violated: %s\n",
+                     err.c_str());
+        return 1;
+      }
+      char label[48];
+      std::snprintf(label, sizeof label, "rho=%.1f %s", rows[i].rho,
+                    rows[i].policy);
+      miss_rows.push_back(
+          forensics::MissRow{label, forensics::summarize_misses(records)});
+      for (const auto& r : records) {
+        if (r.status == "completed" && r.tardiness > 0 &&
+            (!have_worst || r.tardiness > worst.tardiness)) {
+          worst = r;
+          have_worst = true;
+        }
+      }
+    }
+    std::printf("%s\n", forensics::format_miss_table(miss_rows).c_str());
+    if (have_worst) {
+      std::printf("worst miss of the sweep:\n%s\n",
+                  forensics::format_workflow_detail(worst).c_str());
+    }
   }
 
   bench::note("rho < 1 all policies look alike (feasible load is admitted "

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace woha::core {
 
@@ -19,6 +20,10 @@ void WohaScheduler::observe(obs::EventBus* bus, obs::MetricsRegistry* registry) 
                               "woha.queue_assign_ns",
                               obs::exponential_buckets(100.0, 4.0, 12))
                         : nullptr;
+  plan_ns_ = registry ? &registry->histogram(
+                            "woha.plan_generation_ns",
+                            obs::exponential_buckets(1000.0, 4.0, 14))
+                      : nullptr;
   plan_cache_.bind_counters(
       registry ? &registry->counter("woha.plan_cache_hits") : nullptr,
       registry ? &registry->counter("woha.plan_cache_misses") : nullptr);
@@ -49,14 +54,17 @@ void WohaScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
   // Recurrent instances fingerprint equal (the estimator's output is part
   // of the fingerprint, so a learning estimator naturally splits the key).
   std::shared_ptr<const SchedulingPlan> plan;
-  if (config_.plan_cache) {
-    plan = plan_cache_.get_or_compute(
-        plan_fingerprint(planning_spec, total_slots, config_.job_priority,
-                         config_.cap_policy, config_.fixed_cap,
-                         config_.plan_deadline_factor),
-        compute);
-  } else {
-    plan = std::make_shared<const SchedulingPlan>(compute());
+  {
+    const obs::ScopedTimer plan_timer(plan_ns_);
+    if (config_.plan_cache) {
+      plan = plan_cache_.get_or_compute(
+          plan_fingerprint(planning_spec, total_slots, config_.job_priority,
+                           config_.cap_policy, config_.fixed_cap,
+                           config_.plan_deadline_factor),
+          compute);
+    } else {
+      plan = std::make_shared<const SchedulingPlan>(compute());
+    }
   }
   WOHA_LOG(LogLevel::kInfo, "woha")
       << "plan for workflow " << wf.value() << ": cap=" << plan->resource_cap

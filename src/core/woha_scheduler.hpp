@@ -110,6 +110,9 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   PlanCache plan_cache_;
   /// Resolved by observe(); null with no registry attached.
   obs::Histogram* assign_ns_ = nullptr;
+  /// Client-side plan-generation latency (cache hits included); null with
+  /// no registry attached.
+  obs::Histogram* plan_ns_ = nullptr;
   /// Scratch buffer for decision-trace snapshots (reused across calls).
   std::vector<SchedulerQueue::QueueEntry> top_scratch_;
 };

@@ -1,0 +1,213 @@
+#include "forensics/attribution.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "workflow/analysis.hpp"
+
+namespace woha::forensics {
+
+namespace {
+
+/// The realized critical chain: start at the last-finishing job (ties:
+/// smallest id, so the walk is deterministic), hop to the latest-finishing
+/// prerequisite until a source job, then reverse to chronological order.
+std::vector<std::uint32_t> realized_chain(const WorkflowSpan& w) {
+  std::uint32_t cur = 0;
+  SimTime best = -1;
+  for (std::uint32_t j = 0; j < w.jobs.size(); ++j) {
+    if (w.jobs[j].completed > best) {
+      best = w.jobs[j].completed;
+      cur = j;
+    }
+  }
+  std::vector<std::uint32_t> chain;
+  chain.push_back(cur);
+  // Without a spec copy there is no prerequisite relation — the chain is
+  // just the last job, and its window covers the whole workspan.
+  while (cur < w.spec.jobs.size()) {
+    const auto& prereqs = w.spec.jobs[cur].prerequisites;
+    if (prereqs.empty()) break;
+    std::uint32_t next = prereqs.front();
+    for (const std::uint32_t p : prereqs) {
+      if (p < w.jobs.size() && w.jobs[p].completed > w.jobs[next].completed) {
+        next = p;
+      }
+    }
+    chain.push_back(next);
+    cur = next;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+/// Estimated per-attempt duration: the spec's (un-jittered) map/reduce time
+/// for the attempt's slot type. Zero when the recorder had no spec access.
+Duration estimate_for(const WorkflowSpan& w, const AttemptSpan& a) {
+  if (a.job >= w.spec.jobs.size()) return 0;
+  const wf::JobSpec& js = w.spec.jobs[a.job];
+  return a.slot == SlotType::kMap ? js.map_duration : js.reduce_duration;
+}
+
+/// Charge the job's execution window [from, to] to buckets via an
+/// elementary-segment sweep over the job's attempt intervals.
+void sweep_window(const WorkflowSpan& w, const JobSpan& job, SimTime from,
+                  SimTime to, AttributionBuckets& b) {
+  if (to <= from) return;
+
+  struct Clipped {
+    SimTime start;
+    SimTime end;
+    SimTime est_boundary;  ///< start + estimate (the straggler threshold)
+    const AttemptSpan* a;
+  };
+  std::vector<Clipped> clips;
+  std::vector<SimTime> cuts{from, to};
+  for (const std::size_t idx : job.attempts) {
+    const AttemptSpan& a = w.attempts[idx];
+    // Open attempts (end == -1) extend to the window end: for a node-loss
+    // kill the recorded end is already the master's detection instant, so
+    // the zombie window charges where the master *believed* work was
+    // happening — which is what the re-execution bucket must absorb.
+    const SimTime s = std::max(a.start, from);
+    const SimTime e = std::min(a.end < 0 ? to : a.end, to);
+    if (e <= s) continue;
+    clips.push_back(Clipped{s, e, a.start + estimate_for(w, a), &a});
+    cuts.push_back(s);
+    cuts.push_back(e);
+    if (clips.back().est_boundary > from && clips.back().est_boundary < to) {
+      cuts.push_back(clips.back().est_boundary);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const SimTime s = cuts[i];
+    const SimTime e = cuts[i + 1];
+    const Duration len = e - s;
+
+    // Active attempts fully cover elementary segments by construction.
+    const Clipped* winner = nullptr;   ///< eventually-successful, min id
+    const Clipped* straggler = nullptr;  ///< original killed by a backup
+    bool lost = false;   ///< failure / node loss / shed / workflow-failed
+    bool churn = false;  ///< drain migration / preemption
+    bool any = false;
+    for (const Clipped& c : clips) {
+      if (c.start > s || c.end < e) continue;
+      any = true;
+      const AttemptSpan& a = *c.a;
+      if (!a.killed && !a.failed) {
+        if (winner == nullptr || a.id < winner->a->id) winner = &c;
+      } else if (a.killed && a.cause == obs::KillCause::kSpeculationRace &&
+                 !a.speculative) {
+        if (straggler == nullptr || a.id < straggler->a->id) straggler = &c;
+      } else if (a.failed || a.cause == obs::KillCause::kNodeLoss ||
+                 a.cause == obs::KillCause::kWorkflowFailed ||
+                 a.cause == obs::KillCause::kShed) {
+        lost = true;
+      } else if (a.cause == obs::KillCause::kDrainMigration ||
+                 a.cause == obs::KillCause::kPreemption) {
+        churn = true;
+      } else {
+        lost = true;  // unknown kill kinds read as re-execution
+      }
+    }
+
+    if (!any) {
+      b.slot_wait += len;
+    } else if (winner != nullptr || straggler != nullptr) {
+      // Anchor on the attempt that carried real progress: the eventual
+      // winner if one overlaps, else the straggling original a backup had
+      // to race (its time was still forward progress until the race ended).
+      const Clipped& anchor = winner != nullptr ? *winner : *straggler;
+      if (e <= anchor.est_boundary) {
+        b.exec_est += len;
+      } else {
+        b.straggler_excess += len;
+      }
+    } else if (lost) {
+      b.reexecution += len;
+    } else if (churn) {
+      b.churn_stall += len;
+    } else {
+      b.reexecution += len;
+    }
+  }
+}
+
+}  // namespace
+
+WorkflowAttribution attribute(const WorkflowSpan& w) {
+  WorkflowAttribution r;
+  r.workflow = w.workflow;
+  r.name = w.name;
+  r.status = w.status();
+  r.submitted = w.submitted;
+  r.deadline = w.deadline;
+  r.finished = w.finished;
+  r.met_deadline = w.met_deadline;
+  r.plan_cap = w.plan_cap;
+  r.plan_makespan = w.plan_makespan;
+  r.expected_critical_path =
+      w.spec.jobs.empty() ? 0 : wf::critical_path_length(w.spec);
+
+  r.attempts = static_cast<std::uint32_t>(w.attempts.size());
+  for (const AttemptSpan& a : w.attempts) {
+    if (a.failed) ++r.failed_attempts;
+    if (a.killed) ++r.killed_attempts;
+    if (a.speculative) ++r.speculative_attempts;
+    if (a.killed && a.cause == obs::KillCause::kSpeculationRace) {
+      r.speculative_waste_ms += a.ran_for;
+    }
+  }
+
+  if (!w.completed || w.finished < 0 || w.submitted < 0) return r;
+
+  r.workspan = w.finished - w.submitted;
+  if (w.deadline != kTimeInfinity) {
+    r.deadline_budget = w.deadline - w.submitted;
+    r.tardiness = std::max<Duration>(0, w.finished - w.deadline);
+    r.residual_slack = std::max<Duration>(0, w.deadline - w.finished);
+  }
+
+  r.critical_path = realized_chain(w);
+  SimTime ready = w.submitted;
+  for (const std::uint32_t j : r.critical_path) {
+    const JobSpan& job = w.jobs[j];
+    // Window [ready, completed]: activation delay first, then the sweep
+    // over [activated, completed]. Chain construction guarantees
+    // ready <= activated <= completed, so the windows tile exactly.
+    r.buckets.input_queue += job.activated - ready;
+    sweep_window(w, job, job.activated, job.completed, r.buckets);
+    ready = job.completed;
+  }
+  return r;
+}
+
+std::vector<WorkflowAttribution> attribute_all(
+    const std::vector<WorkflowSpan>& spans) {
+  std::vector<WorkflowAttribution> out;
+  out.reserve(spans.size());
+  for (const WorkflowSpan& s : spans) out.push_back(attribute(s));
+  return out;
+}
+
+std::string check_conservation(const std::vector<WorkflowAttribution>& records) {
+  for (const WorkflowAttribution& r : records) {
+    if (r.status != "completed") continue;
+    if (r.buckets.sum() != r.workspan) {
+      return "workflow " + std::to_string(r.workflow) + ": bucket sum " +
+             std::to_string(r.buckets.sum()) + " != workspan " +
+             std::to_string(r.workspan);
+    }
+    if (r.deadline_budget >= 0 &&
+        r.workspan + r.residual_slack != r.deadline_budget + r.tardiness) {
+      return "workflow " + std::to_string(r.workflow) +
+             ": workspan + residual_slack != deadline_budget + tardiness";
+    }
+  }
+  return {};
+}
+
+}  // namespace woha::forensics

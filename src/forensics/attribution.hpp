@@ -1,0 +1,121 @@
+// Slack-loss attribution: decompose where each workflow's time went.
+//
+// For a completed workflow the pass walks the *realized* critical chain —
+// from the last-finishing job backwards through its latest-finishing
+// prerequisite to a source job — and tiles the workflow's whole span
+// [submit, finish] with per-job windows [ready_j, completed_j] (ready of
+// the first chain job is the submit time; ready of each later one is the
+// previous chain job's completion). Each window is then cut into elementary
+// segments at attempt boundaries and charged to exactly one bucket, so the
+// buckets are *conserved*:
+//
+//     input_queue + slot_wait + exec_est + straggler_excess
+//       + reexecution + churn_stall  ==  finish - submit        (workspan)
+//
+// and for deadline-carrying workflows, with budget = deadline - submit:
+//
+//     workspan + residual_slack == budget + tardiness
+//
+// both as exact integer-millisecond identities (asserted by the
+// conservation property test, never merely approximately).
+//
+// Bucket meanings:
+//   input_queue      — job ready (prereqs done) but its submitter latency
+//                      still pending: activation delay.
+//   slot_wait        — job activated with no attempt of it running: the
+//                      cluster had no slot for the critical job.
+//   exec_est         — execution within the spec's estimated duration:
+//                      irreducible work, not loss.
+//   straggler_excess — execution beyond the estimate (jittered slow
+//                      attempts past their anchor's start + estimate).
+//   reexecution      — time covered only by attempts that were later lost
+//                      (injected failure, node loss, shed/failed kills) and
+//                      had to run again.
+//   churn_stall      — time covered only by attempts killed for cluster
+//                      churn (drain-lease migration, spot preemption).
+//
+// Speculative waste (slot-time burned by losing race attempts) cannot be a
+// latency bucket — it overlaps the winner's execution — so it is reported
+// as a side channel, matching the engine's speculative_wasted_ms counter
+// restricted to this workflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "forensics/span.hpp"
+
+namespace woha::forensics {
+
+struct AttributionBuckets {
+  Duration input_queue = 0;
+  Duration slot_wait = 0;
+  Duration exec_est = 0;
+  Duration straggler_excess = 0;
+  Duration reexecution = 0;
+  Duration churn_stall = 0;
+
+  [[nodiscard]] Duration sum() const {
+    return input_queue + slot_wait + exec_est + straggler_excess + reexecution +
+           churn_stall;
+  }
+  AttributionBuckets& operator+=(const AttributionBuckets& o) {
+    input_queue += o.input_queue;
+    slot_wait += o.slot_wait;
+    exec_est += o.exec_est;
+    straggler_excess += o.straggler_excess;
+    reexecution += o.reexecution;
+    churn_stall += o.churn_stall;
+    return *this;
+  }
+};
+
+/// The deterministic per-workflow forensics record (one JSONL line each).
+struct WorkflowAttribution {
+  std::uint32_t workflow = 0;
+  std::string name;
+  std::string status;  ///< completed / failed / shed / unfinished
+  SimTime submitted = -1;
+  SimTime deadline = kTimeInfinity;
+  SimTime finished = -1;
+  Duration workspan = 0;         ///< finish - submit (completed only)
+  Duration deadline_budget = -1; ///< deadline - submit; -1 = no deadline
+  Duration tardiness = 0;        ///< max(0, finish - deadline)
+  Duration residual_slack = 0;   ///< max(0, deadline - finish)
+  bool met_deadline = false;
+
+  std::uint32_t plan_cap = 0;        ///< WOHA plan (0 = no plan published)
+  Duration plan_makespan = -1;
+  Duration expected_critical_path = 0;  ///< static lower bound from the spec
+
+  /// Realized critical chain, chronological job ids. Empty unless completed.
+  std::vector<std::uint32_t> critical_path;
+  AttributionBuckets buckets;  ///< all zero unless completed
+  Duration speculative_waste_ms = 0;
+
+  std::uint32_t attempts = 0;
+  std::uint32_t failed_attempts = 0;
+  std::uint32_t killed_attempts = 0;
+  std::uint32_t speculative_attempts = 0;
+};
+
+/// Attribute one recorded workflow. Non-completed workflows (shed, failed,
+/// unfinished) get a status-only record with zero buckets — there is no
+/// finish time to conserve against.
+[[nodiscard]] WorkflowAttribution attribute(const WorkflowSpan& span);
+
+/// Attribute every recorded workflow, in workflow-id order.
+[[nodiscard]] std::vector<WorkflowAttribution> attribute_all(
+    const std::vector<WorkflowSpan>& spans);
+
+/// Exact-integer conservation audit: every completed record must satisfy
+/// sum(buckets) == workspan, and every deadline-carrying one additionally
+/// workspan + residual_slack == deadline_budget + tardiness. Returns ""
+/// when all hold, else a description of the first violation — benches and
+/// the conservation property test both fail hard on a non-empty result.
+[[nodiscard]] std::string check_conservation(
+    const std::vector<WorkflowAttribution>& records);
+
+}  // namespace woha::forensics

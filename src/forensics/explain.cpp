@@ -1,0 +1,109 @@
+#include "forensics/explain.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace woha::forensics {
+
+namespace {
+
+double share(Duration part, Duration whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole) : 0.0;
+}
+
+std::string fmt_sec(Duration ms_value) {
+  return TextTable::num(static_cast<double>(ms_value) / 1000.0, 1) + "s";
+}
+
+}  // namespace
+
+MissSummary summarize_misses(const std::vector<WorkflowAttribution>& records) {
+  MissSummary s;
+  for (const WorkflowAttribution& r : records) {
+    if (r.status != "completed") {
+      ++s.not_completed;
+      continue;
+    }
+    if (r.deadline_budget < 0) continue;  // no deadline: cannot miss
+    ++s.workflows;
+    if (r.tardiness > 0) {
+      ++s.misses;
+      s.total_tardiness += r.tardiness;
+      s.lost += r.buckets;
+    }
+  }
+  return s;
+}
+
+std::string format_miss_table(const std::vector<MissRow>& rows) {
+  TextTable t({"scenario", "wf", "miss", "not-done", "tardiness", "input-q",
+               "slot-wait", "exec-est", "straggler", "re-exec", "churn"});
+  for (const MissRow& row : rows) {
+    const MissSummary& s = row.summary;
+    const Duration total = s.lost.sum();
+    t.add_row({row.label, TextTable::num(static_cast<std::int64_t>(s.workflows)),
+               TextTable::num(static_cast<std::int64_t>(s.misses)),
+               TextTable::num(static_cast<std::int64_t>(s.not_completed)),
+               fmt_sec(s.total_tardiness),
+               TextTable::percent(share(s.lost.input_queue, total)),
+               TextTable::percent(share(s.lost.slot_wait, total)),
+               TextTable::percent(share(s.lost.exec_est, total)),
+               TextTable::percent(share(s.lost.straggler_excess, total)),
+               TextTable::percent(share(s.lost.reexecution, total)),
+               TextTable::percent(share(s.lost.churn_stall, total))});
+  }
+  return t.to_string();
+}
+
+std::string format_workflow_detail(const WorkflowAttribution& r) {
+  std::ostringstream out;
+  out << "workflow " << r.workflow << " (" << r.name << "): " << r.status;
+  if (r.status != "completed") {
+    out << "\n";
+    return out.str();
+  }
+  out << (r.met_deadline ? ", met deadline" : ", MISSED deadline") << "\n";
+  out << "  submitted " << fmt_sec(r.submitted) << ", finished "
+      << fmt_sec(r.finished) << " (workspan " << fmt_sec(r.workspan) << ")";
+  if (r.deadline_budget >= 0) {
+    out << ", budget " << fmt_sec(r.deadline_budget);
+    if (r.tardiness > 0) {
+      out << ", tardiness " << fmt_sec(r.tardiness);
+    } else {
+      out << ", residual slack " << fmt_sec(r.residual_slack);
+    }
+  }
+  out << "\n";
+  if (r.plan_cap > 0) {
+    out << "  plan: cap " << r.plan_cap << " slots, simulated makespan "
+        << fmt_sec(r.plan_makespan) << " (static critical path "
+        << fmt_sec(r.expected_critical_path) << ")\n";
+  }
+  out << "  critical path:";
+  for (const std::uint32_t j : r.critical_path) out << " J" << j;
+  out << "\n";
+  const Duration total = r.buckets.sum();
+  const auto line = [&](const char* label, Duration v) {
+    if (v == 0) return;
+    out << "    " << label << " " << fmt_sec(v) << " ("
+        << TextTable::percent(share(v, total)) << ")\n";
+  };
+  out << "  where the time went (sums to workspan exactly):\n";
+  line("input-queueing ", r.buckets.input_queue);
+  line("slot-wait      ", r.buckets.slot_wait);
+  line("exec (estimate)", r.buckets.exec_est);
+  line("straggler-extra", r.buckets.straggler_excess);
+  line("re-execution   ", r.buckets.reexecution);
+  line("churn-stall    ", r.buckets.churn_stall);
+  if (r.speculative_waste_ms > 0) {
+    out << "  speculative waste (slot-time side channel): "
+        << fmt_sec(r.speculative_waste_ms) << "\n";
+  }
+  out << "  attempts: " << r.attempts << " total, " << r.failed_attempts
+      << " failed, " << r.killed_attempts << " killed, "
+      << r.speculative_attempts << " speculative\n";
+  return out.str();
+}
+
+}  // namespace woha::forensics

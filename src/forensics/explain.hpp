@@ -1,0 +1,43 @@
+// Root-cause summarization: turn per-workflow attribution records into the
+// human-readable tables behind `--explain-misses` and `tools/explain`.
+//
+// Aggregation is exact-integer (bucket sums over missed workflows);
+// percentages are derived from those integers at format time, so the tables
+// are bit-identical for identical runs — serial vs parallel included.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "forensics/attribution.hpp"
+
+namespace woha::forensics {
+
+/// Aggregate loss profile over the workflows that missed their deadline.
+struct MissSummary {
+  std::uint32_t workflows = 0;        ///< completed, deadline-carrying
+  std::uint32_t misses = 0;           ///< finished past the deadline
+  std::uint32_t not_completed = 0;    ///< shed / failed / unfinished
+  Duration total_tardiness = 0;       ///< summed over misses
+  AttributionBuckets lost;            ///< bucket sums over misses
+};
+
+[[nodiscard]] MissSummary summarize_misses(
+    const std::vector<WorkflowAttribution>& records);
+
+/// One labelled row of a multi-scenario table ("rho=1.30" etc.).
+struct MissRow {
+  std::string label;
+  MissSummary summary;
+};
+
+/// Render the root-cause table: one row per scenario, bucket shares as
+/// percentages of the total missed-workflow workspan.
+[[nodiscard]] std::string format_miss_table(const std::vector<MissRow>& rows);
+
+/// Render the end-to-end story of one workflow: identity, deadline
+/// arithmetic, realized critical path, and the conserved bucket breakdown.
+[[nodiscard]] std::string format_workflow_detail(const WorkflowAttribution& r);
+
+}  // namespace woha::forensics

@@ -1,0 +1,140 @@
+#include "forensics/export.hpp"
+
+#include "obs/json.hpp"
+
+namespace woha::forensics {
+
+namespace {
+
+void time_or_null(obs::JsonWriter& w, const std::string& k, SimTime t) {
+  w.key(k);
+  if (t < 0 || t == kTimeInfinity) {
+    w.raw_value("null");
+  } else {
+    w.value(t);
+  }
+}
+
+}  // namespace
+
+void export_spans_jsonl(const std::vector<WorkflowSpan>& spans,
+                        const std::vector<RejectedSpan>& rejected,
+                        std::ostream& out) {
+  for (const WorkflowSpan& s : spans) {
+    {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.member("kind", "workflow");
+      w.member("workflow", s.workflow);
+      w.member("name", s.name);
+      w.member("status", s.status());
+      time_or_null(w, "submitted", s.submitted);
+      time_or_null(w, "deadline", s.deadline);
+      time_or_null(w, "finished", s.finished);
+      time_or_null(w, "terminated", s.terminated);
+      w.member("met_deadline", s.met_deadline);
+      w.member("plan_cap", s.plan_cap);
+      time_or_null(w, "plan_makespan", s.plan_makespan);
+      w.member("jobs", static_cast<std::uint64_t>(s.jobs.size()));
+      w.member("attempts", static_cast<std::uint64_t>(s.attempts.size()));
+      w.end_object();
+      out << w.str() << '\n';
+    }
+    for (std::size_t j = 0; j < s.jobs.size(); ++j) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.member("kind", "job");
+      w.member("workflow", s.workflow);
+      w.member("job", static_cast<std::uint64_t>(j));
+      time_or_null(w, "activated", s.jobs[j].activated);
+      time_or_null(w, "completed", s.jobs[j].completed);
+      w.member("attempts", static_cast<std::uint64_t>(s.jobs[j].attempts.size()));
+      w.end_object();
+      out << w.str() << '\n';
+    }
+    for (const AttemptSpan& a : s.attempts) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.member("kind", "attempt");
+      w.member("workflow", s.workflow);
+      w.member("job", a.job);
+      w.member("attempt", a.id);
+      w.member("slot", to_string(a.slot));
+      w.member("tracker", static_cast<std::uint64_t>(a.tracker));
+      time_or_null(w, "start", a.start);
+      time_or_null(w, "end", a.end);
+      w.member("scheduled_duration", a.scheduled_duration);
+      w.member("ran_for", a.ran_for);
+      if (a.speculative) w.member("speculative", true);
+      if (a.failed) w.member("failed", true);
+      if (a.killed) w.member("killed", true);
+      if (a.killed && a.cause != obs::KillCause::kNone) {
+        w.member("cause", obs::to_string(a.cause));
+      }
+      if (a.backs_up != 0) w.member("backs_up", a.backs_up);
+      w.end_object();
+      out << w.str() << '\n';
+    }
+  }
+  for (const RejectedSpan& r : rejected) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.member("kind", "rejected");
+    w.member("submission", r.submission);
+    w.member("name", r.name);
+    time_or_null(w, "deadline", r.deadline);
+    time_or_null(w, "rejected_at", r.rejected_at);
+    w.member("reason", r.reason);
+    w.end_object();
+    out << w.str() << '\n';
+  }
+}
+
+std::string attribution_line(const WorkflowAttribution& r) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.member("kind", "attribution");
+  w.member("workflow", r.workflow);
+  w.member("name", r.name);
+  w.member("status", r.status);
+  time_or_null(w, "submitted", r.submitted);
+  time_or_null(w, "deadline", r.deadline);
+  time_or_null(w, "finished", r.finished);
+  w.member("workspan", r.workspan);
+  time_or_null(w, "deadline_budget", r.deadline_budget);
+  w.member("tardiness", r.tardiness);
+  w.member("residual_slack", r.residual_slack);
+  w.member("met_deadline", r.met_deadline);
+  w.member("plan_cap", r.plan_cap);
+  time_or_null(w, "plan_makespan", r.plan_makespan);
+  w.member("expected_critical_path", r.expected_critical_path);
+  w.key("critical_path");
+  w.begin_array();
+  for (const std::uint32_t j : r.critical_path) w.value(j);
+  w.end_array();
+  w.key("buckets");
+  w.begin_object();
+  w.member("input_queue", r.buckets.input_queue);
+  w.member("slot_wait", r.buckets.slot_wait);
+  w.member("exec_est", r.buckets.exec_est);
+  w.member("straggler_excess", r.buckets.straggler_excess);
+  w.member("reexecution", r.buckets.reexecution);
+  w.member("churn_stall", r.buckets.churn_stall);
+  w.end_object();
+  w.member("speculative_waste_ms", r.speculative_waste_ms);
+  w.member("attempts", r.attempts);
+  w.member("failed_attempts", r.failed_attempts);
+  w.member("killed_attempts", r.killed_attempts);
+  w.member("speculative_attempts", r.speculative_attempts);
+  w.end_object();
+  return w.take();
+}
+
+void export_attribution_jsonl(const std::vector<WorkflowAttribution>& records,
+                              std::ostream& out) {
+  for (const WorkflowAttribution& r : records) {
+    out << attribution_line(r) << '\n';
+  }
+}
+
+}  // namespace woha::forensics

@@ -1,0 +1,38 @@
+// JSONL serialization for forensics records.
+//
+// Two deterministic line-oriented formats, both schema-complete even for a
+// run with zero workflows (the writers emit nothing but never malform):
+//
+//  * spans:       one line per workflow / job / attempt, tagged by "kind";
+//  * attribution: one line per workflow with the conserved buckets.
+//
+// Field order is fixed, numbers are integers (simulated ms), so byte
+// equality of two exports means behavioural equality of two runs — the
+// serial-vs-parallel determinism check diffs these bytes directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "forensics/attribution.hpp"
+#include "forensics/span.hpp"
+
+namespace woha::forensics {
+
+/// Write the span tree of every workflow (plus rejected submissions) as
+/// JSONL: workflow lines first (id order), then that workflow's job lines,
+/// then its attempt lines, then "rejected" lines.
+void export_spans_jsonl(const std::vector<WorkflowSpan>& spans,
+                        const std::vector<RejectedSpan>& rejected,
+                        std::ostream& out);
+
+/// One attribution line per workflow, in workflow-id order.
+void export_attribution_jsonl(const std::vector<WorkflowAttribution>& records,
+                              std::ostream& out);
+
+/// Single attribution line (no trailing newline) — reused by the JSONL
+/// writer and by tests asserting exact bytes.
+[[nodiscard]] std::string attribution_line(const WorkflowAttribution& r);
+
+}  // namespace woha::forensics

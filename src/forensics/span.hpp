@@ -1,0 +1,93 @@
+// Span model for deadline-miss forensics.
+//
+// A WorkflowSpan is the reconstructed causal record of one workflow:
+// workflow -> job -> task-attempt, rebuilt purely from the event-bus stream
+// (the recorder copies the WorkflowSpec at submission so spans stay valid
+// after the engine is gone). Open endpoints are -1: an attempt with end ==
+// -1 was still running when recording stopped, a job with completed == -1
+// never finished. All times are simulated milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/event.hpp"
+#include "workflow/workflow.hpp"
+
+namespace woha::forensics {
+
+/// One task attempt: the unit that occupied a slot. Crash-retry,
+/// speculation, preemption, and drain all show up here via `cause`.
+struct AttemptSpan {
+  std::uint64_t id = 0;
+  std::uint32_t job = 0;
+  SlotType slot = SlotType::kMap;
+  std::size_t tracker = 0;
+  SimTime start = -1;
+  /// TaskEnded time. For node-loss kills this is the *detection* instant
+  /// (lease expiry / re-registration), not the crash: the master believed
+  /// the attempt was running until then, which is exactly the window the
+  /// attribution pass must explain.
+  SimTime end = -1;
+  Duration scheduled_duration = 0;  ///< what the engine drew at start
+  Duration ran_for = 0;             ///< actual execution until the end event
+  bool speculative = false;
+  bool failed = false;  ///< injected failure (burned an attempt)
+  bool killed = false;
+  obs::KillCause cause = obs::KillCause::kNone;
+  std::uint64_t backs_up = 0;  ///< original attempt id (speculative only)
+};
+
+/// One wjob of the workflow: activation (submitter-task done) to completion,
+/// plus the attempts that ran under it (indices into WorkflowSpan::attempts,
+/// in launch order).
+struct JobSpan {
+  SimTime activated = -1;
+  SimTime completed = -1;
+  std::vector<std::size_t> attempts;
+};
+
+struct WorkflowSpan {
+  std::uint32_t workflow = 0;
+  std::string name;
+  SimTime submitted = -1;
+  SimTime deadline = kTimeInfinity;  ///< absolute; kTimeInfinity = none
+  SimTime finished = -1;             ///< -1 unless completed
+  SimTime terminated = -1;           ///< failure/shed instant when not completed
+  bool completed = false;
+  bool failed = false;  ///< attempt budget exhausted
+  bool shed = false;    ///< evicted by admission load shedding
+  bool met_deadline = false;
+
+  /// Copied at submission: the DAG (prerequisites) and the per-job duration
+  /// estimates the attribution pass measures stragglers against.
+  wf::WorkflowSpec spec;
+
+  /// WOHA plan summary (zeros / -1 for schedulers that publish no plan).
+  std::uint32_t plan_cap = 0;
+  Duration plan_makespan = -1;
+
+  std::vector<JobSpan> jobs;         ///< indexed by job id
+  std::vector<AttemptSpan> attempts; ///< all attempts, in launch order
+
+  [[nodiscard]] std::string status() const {
+    if (completed) return "completed";
+    if (shed) return "shed";
+    if (failed) return "failed";
+    return "unfinished";
+  }
+};
+
+/// A submission the admission controller turned away (it never received a
+/// WorkflowId, so it gets no span tree — just the verdict).
+struct RejectedSpan {
+  std::uint32_t submission = 0;
+  std::string name;
+  SimTime deadline = kTimeInfinity;
+  SimTime rejected_at = -1;
+  std::string reason;
+};
+
+}  // namespace woha::forensics

@@ -1,0 +1,109 @@
+#include "forensics/span_recorder.hpp"
+
+#include <utility>
+
+#include "hadoop/job_tracker.hpp"
+
+namespace woha::forensics {
+
+SpanRecorder::SpanRecorder(obs::EventBus& bus, const hadoop::JobTracker* tracker)
+    : data_(std::make_shared<Data>()) {
+  data_->tracker = tracker;
+  // The lambda co-owns the data: if the bus outlives the recorder the
+  // handler stays valid, and if the recorder outlives the bus nothing here
+  // ever touches the (dead) bus again.
+  bus.subscribe([data = data_](const obs::Event& e) { data->on_event(e); });
+}
+
+WorkflowSpan& SpanRecorder::Data::span(std::uint32_t workflow) {
+  // Workflow ids are dense submission-order indices; grow to fit so a
+  // recorder attached mid-run still indexes correctly.
+  if (workflows.size() <= workflow) workflows.resize(workflow + 1);
+  return workflows[workflow];
+}
+
+void SpanRecorder::Data::on_event(const obs::Event& e) {
+  const SimTime now = e.time;
+  std::visit(
+      [&](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, obs::WorkflowSubmitted>) {
+          WorkflowSpan& w = span(p.workflow);
+          w.workflow = p.workflow;
+          w.name = p.name;
+          w.submitted = now;
+          w.deadline = p.deadline;
+          w.jobs.assign(p.jobs, JobSpan{});
+          // The JobTracker registers the runtime before publishing, so the
+          // spec is readable here — and only here; after this the recorder
+          // never dereferences the tracker for this workflow again.
+          if (tracker != nullptr) {
+            w.spec = tracker->workflow(WorkflowId(p.workflow)).spec();
+          }
+        } else if constexpr (std::is_same_v<T, obs::WorkflowCompleted>) {
+          WorkflowSpan& w = span(p.workflow);
+          w.completed = true;
+          w.finished = now;
+          w.met_deadline = p.met_deadline;
+        } else if constexpr (std::is_same_v<T, obs::WorkflowFailed>) {
+          WorkflowSpan& w = span(p.workflow);
+          w.failed = true;
+          w.terminated = now;
+        } else if constexpr (std::is_same_v<T, obs::WorkflowShed>) {
+          WorkflowSpan& w = span(p.workflow);
+          w.shed = true;
+          w.terminated = now;
+        } else if constexpr (std::is_same_v<T, obs::WorkflowRejected>) {
+          rejected.push_back(
+              RejectedSpan{p.submission, p.name, p.deadline, now, p.reason});
+        } else if constexpr (std::is_same_v<T, obs::JobActivated>) {
+          WorkflowSpan& w = span(p.workflow);
+          if (w.jobs.size() <= p.job) w.jobs.resize(p.job + 1);
+          w.jobs[p.job].activated = now;
+        } else if constexpr (std::is_same_v<T, obs::JobCompleted>) {
+          WorkflowSpan& w = span(p.workflow);
+          if (w.jobs.size() <= p.job) w.jobs.resize(p.job + 1);
+          w.jobs[p.job].completed = now;
+        } else if constexpr (std::is_same_v<T, obs::TaskStarted>) {
+          WorkflowSpan& w = span(p.workflow);
+          AttemptSpan a;
+          a.id = p.attempt;
+          a.job = p.job;
+          a.slot = p.slot;
+          a.tracker = p.tracker;
+          a.start = now;
+          a.scheduled_duration = p.scheduled_duration;
+          a.speculative = p.speculative;
+          if (const auto it = pending_backups.find(p.attempt);
+              it != pending_backups.end()) {
+            a.backs_up = it->second;
+            pending_backups.erase(it);
+          }
+          const std::size_t idx = w.attempts.size();
+          w.attempts.push_back(std::move(a));
+          if (w.jobs.size() <= p.job) w.jobs.resize(p.job + 1);
+          w.jobs[p.job].attempts.push_back(idx);
+          attempt_index.emplace(p.attempt, std::pair{p.workflow, idx});
+        } else if constexpr (std::is_same_v<T, obs::TaskEnded>) {
+          const auto it = attempt_index.find(p.attempt);
+          if (it == attempt_index.end()) return;  // started before attach
+          AttemptSpan& a = span(it->second.first).attempts[it->second.second];
+          a.end = now;
+          a.ran_for = p.ran_for;
+          a.failed = p.failed;
+          a.killed = p.killed;
+          a.cause = p.cause;
+          attempt_index.erase(it);
+        } else if constexpr (std::is_same_v<T, obs::SpeculativeLaunched>) {
+          // Arrives just before the backup's own TaskStarted.
+          pending_backups.emplace(p.attempt, p.original_attempt);
+        } else if constexpr (std::is_same_v<T, obs::PlanGenerated>) {
+          WorkflowSpan& w = span(p.workflow);
+          w.plan_cap = p.resource_cap;
+          w.plan_makespan = p.simulated_makespan;
+        }
+      },
+      e.payload);
+}
+
+}  // namespace woha::forensics

@@ -1,0 +1,70 @@
+// SpanRecorder — rebuilds per-workflow span trees from the event bus.
+//
+// A pure bus subscriber: it never reads simulator state on the hot path
+// except one spec copy at WorkflowSubmitted (through an optional JobTracker
+// pointer, valid only while the engine lives). Attaching a recorder follows
+// the PR 2 observability contract: zero simulator branches when absent,
+// bit-identical run behaviour when present — the recorder only *listens*.
+//
+// Lifetime: the handler lambda and the recorder share ownership of the
+// span data (shared_ptr). The recorder never unsubscribes and keeps no bus
+// reference, so it may safely outlive the engine (and its bus) — the
+// pattern the parallel grid runner forces, where each point's engine dies
+// on the worker thread while the recorder is read afterwards on the
+// submitting thread (run_grid joining the pool provides the happens-before).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "forensics/span.hpp"
+#include "obs/event_bus.hpp"
+
+namespace woha::hadoop {
+class JobTracker;
+}  // namespace woha::hadoop
+
+namespace woha::forensics {
+
+class SpanRecorder {
+ public:
+  /// Subscribes to `bus`. `tracker` (may be null) is consulted exactly once
+  /// per workflow, inside the WorkflowSubmitted handler, to copy the
+  /// WorkflowSpec into the span; without it spans carry an empty spec and
+  /// attribution falls back to zero estimates.
+  explicit SpanRecorder(obs::EventBus& bus,
+                        const hadoop::JobTracker* tracker = nullptr);
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Recorded workflows in submission order (workflow id order).
+  [[nodiscard]] const std::vector<WorkflowSpan>& workflows() const {
+    return data_->workflows;
+  }
+  /// Admission-rejected submissions in arrival order.
+  [[nodiscard]] const std::vector<RejectedSpan>& rejected() const {
+    return data_->rejected;
+  }
+
+ private:
+  struct Data {
+    const hadoop::JobTracker* tracker = nullptr;
+    std::vector<WorkflowSpan> workflows;       ///< indexed by workflow id
+    std::vector<RejectedSpan> rejected;
+    /// attempt id -> (workflow, index into that span's attempts).
+    std::map<std::uint64_t, std::pair<std::uint32_t, std::size_t>> attempt_index;
+    /// Backup attempt id -> original attempt id, pending until the backup's
+    /// TaskStarted arrives (SpeculativeLaunched precedes it).
+    std::map<std::uint64_t, std::uint64_t> pending_backups;
+
+    void on_event(const obs::Event& e);
+    WorkflowSpan& span(std::uint32_t workflow);
+  };
+
+  std::shared_ptr<Data> data_;
+};
+
+}  // namespace woha::forensics

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace woha::hadoop {
 
@@ -313,7 +314,8 @@ void Engine::shed_workflow(std::uint32_t workflow, SimTime now) {
   for (const std::uint64_t id : victims) {
     const std::size_t t = attempts_.at(id).tracker;
     const TrackerFaultState& fs = fault_state_[t];
-    const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now);
+    const Attempt a =
+        kill_attempt(id, fs.dead ? fs.crash_time : now, obs::KillCause::kShed);
     if (a.rival != 0) {
       const auto rit = attempts_.find(a.rival);
       if (rit != attempts_.end()) {
@@ -353,9 +355,9 @@ void Engine::heartbeat(std::size_t tracker_index) {
   if (elastic_on_ && elastic_state_[tracker_index].draining) return;
 
   // Wall-clock service time is only measured with a registry attached; the
-  // clock reads themselves are part of the cost we promise to avoid.
-  std::chrono::steady_clock::time_point hb_start;
-  if (handles_.heartbeat_ns) hb_start = std::chrono::steady_clock::now();
+  // clock reads themselves are part of the cost we promise to avoid (the
+  // timer never touches the clock when the histogram handle is null).
+  const obs::ScopedTimer hb_timer(handles_.heartbeat_ns);
 
   // Per-job blacklisting: the offered slot carries an eligibility filter so
   // a blacklisted job can still run elsewhere but never again on this node.
@@ -396,11 +398,6 @@ void Engine::heartbeat(std::size_t tracker_index) {
   }
 
   if (handles_.heartbeats) handles_.heartbeats->add();
-  if (handles_.heartbeat_ns) {
-    handles_.heartbeat_ns->observe(std::chrono::duration<double, std::nano>(
-                                       std::chrono::steady_clock::now() - hb_start)
-                                       .count());
-  }
   if (events_.active()) {
     events_.publish(sim_.now(),
                     obs::HeartbeatServed{tracker_index, assigned[0], assigned[1],
@@ -573,7 +570,8 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
     const Attempt& loser_ref = attempts_.at(a.rival);
     const TrackerFaultState& loser_fs = fault_state_[loser_ref.tracker];
     const SimTime stop = loser_fs.dead ? loser_fs.crash_time : sim_.now();
-    const Attempt loser = kill_attempt(a.rival, stop);
+    const Attempt loser =
+        kill_attempt(a.rival, stop, obs::KillCause::kSpeculationRace);
     speculative_wasted_ms_ +=
         static_cast<double>(std::max<Duration>(0, stop - loser.start_time));
     if (a.speculative) ++speculative_won_;
@@ -625,7 +623,8 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
   }
 }
 
-Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time) {
+Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time,
+                                     obs::KillCause cause) {
   Attempt a = attempts_.at(attempt_id);
   a.finish_event.cancel();
   attempts_.erase(attempt_id);
@@ -644,7 +643,7 @@ Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time
     events_.publish(sim_.now(),
                     obs::TaskEnded{attempt_id, a.ref.workflow, a.ref.job, a.type,
                                    a.tracker, false, true, a.speculative,
-                                   executed});
+                                   executed, cause});
   }
   return a;
 }
@@ -739,7 +738,7 @@ void Engine::detect_tracker_loss(std::size_t tracker_index) {
   const auto killed_here = static_cast<std::uint32_t>(ids.size());
   std::uint32_t outputs_lost_here = 0;
   for (const std::uint64_t id : ids) {
-    const Attempt a = kill_attempt(id, fs.crash_time);
+    const Attempt a = kill_attempt(id, fs.crash_time, obs::KillCause::kNodeLoss);
     if (a.rival != 0) {
       // The task lives on in its speculation twin — nothing to re-queue.
       const auto rit = attempts_.find(a.rival);
@@ -809,7 +808,8 @@ void Engine::fail_workflow(std::uint32_t workflow, SimTime now) {
   for (const std::uint64_t id : victims) {
     const std::size_t t = attempts_.at(id).tracker;
     const TrackerFaultState& fs = fault_state_[t];
-    const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now);
+    const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now,
+                                   obs::KillCause::kWorkflowFailed);
     if (a.rival != 0) {
       const auto rit = attempts_.find(a.rival);
       if (rit != attempts_.end()) {
@@ -960,24 +960,28 @@ void Engine::drain_lease_expired(std::size_t tracker_index, std::uint64_t epoch)
   // Crash won the race mid-drain: lease-expiry loss detection owns the node
   // now (the KILLED + re-queue semantics are the crash path's).
   if (fault_state_[tracker_index].dead) return;
-  retire_tracker(tracker_index, migrate_off(tracker_index), false);
+  retire_tracker(tracker_index,
+                 migrate_off(tracker_index, obs::KillCause::kDrainMigration),
+                 false);
 }
 
 void Engine::preempt_terminate(std::size_t tracker_index, std::uint64_t epoch) {
   const TrackerElasticState& es = elastic_state_[tracker_index];
   if (es.epoch != epoch || !es.draining || es.retired) return;
   if (fault_state_[tracker_index].dead) return;  // crashed before the axe fell
-  retire_tracker(tracker_index, migrate_off(tracker_index), true);
+  retire_tracker(tracker_index,
+                 migrate_off(tracker_index, obs::KillCause::kPreemption), true);
 }
 
-std::uint32_t Engine::migrate_off(std::size_t tracker_index) {
+std::uint32_t Engine::migrate_off(std::size_t tracker_index,
+                                  obs::KillCause cause) {
   // Master-initiated eviction of everything still running on the node:
   // unlike crash loss there is no detection delay, and like crash loss the
   // kills are KILLED (never charged to attempt budgets).
   const std::vector<std::uint64_t> ids = tracker_attempts_[tracker_index];
   const auto migrated = static_cast<std::uint32_t>(ids.size());
   for (const std::uint64_t id : ids) {
-    const Attempt a = kill_attempt(id, sim_.now());
+    const Attempt a = kill_attempt(id, sim_.now(), cause);
     if (a.rival != 0) {
       // The task lives on in its speculation twin — nothing to re-queue.
       const auto rit = attempts_.find(a.rival);

@@ -339,8 +339,10 @@ class Engine {
   /// Remove one attempt without letting it finish: cancel, release the
   /// slot, refund un-executed busy time, emit the KILLED event. `stop_time`
   /// is when the attempt actually stopped executing (crash instant for node
-  /// loss, now for lost races). Returns the removed record.
-  Attempt kill_attempt(std::uint64_t attempt_id, SimTime stop_time);
+  /// loss, now for lost races). `cause` names the kill site on the emitted
+  /// TaskEnded so forensics can classify it. Returns the removed record.
+  Attempt kill_attempt(std::uint64_t attempt_id, SimTime stop_time,
+                       obs::KillCause cause);
   /// Task exhausted its attempt budget: fail the whole workflow, kill its
   /// other running attempts, notify the scheduler.
   void fail_workflow(std::uint32_t workflow, SimTime now);
@@ -381,9 +383,10 @@ class Engine {
   void preempt_terminate(std::size_t tracker_index, std::uint64_t epoch);
   /// Kill + re-queue everything still running on a draining tracker
   /// (master-initiated, so no lease-expiry delay and no attempt-budget
-  /// charge), invalidate its stranded map outputs, and retire it. Returns
-  /// the number of attempts migrated.
-  std::uint32_t migrate_off(std::size_t tracker_index);
+  /// charge), invalidate its stranded map outputs, and retire it. `cause`
+  /// distinguishes drain-lease expiry from preemption. Returns the number
+  /// of attempts migrated.
+  std::uint32_t migrate_off(std::size_t tracker_index, obs::KillCause cause);
   /// Retire a fully drained tracker out of the cluster for good.
   void retire_tracker(std::size_t tracker_index, std::uint32_t migrated,
                       bool preempted);

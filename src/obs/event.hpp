@@ -86,6 +86,20 @@ struct TaskStarted {
   bool speculative = false;
 };
 
+/// Why an attempt was killed. Forensics classifies each kill into an
+/// attribution bucket by this cause, so every kill site must name one.
+enum class KillCause : std::uint8_t {
+  kNone = 0,          ///< not killed (finished or injected failure)
+  kNodeLoss,          ///< tracker crashed; kill recorded at detection time
+  kSpeculationRace,   ///< lost the original-vs-backup race
+  kWorkflowFailed,    ///< sibling task exhausted the attempt budget
+  kShed,              ///< workflow evicted by admission load shedding
+  kDrainMigration,    ///< drain lease expired; attempt migrated elsewhere
+  kPreemption,        ///< spot-preemption wave terminated the tracker
+};
+
+[[nodiscard]] const char* to_string(KillCause cause);
+
 /// A task attempt left its slot: success, injected failure, or a KILL
 /// (node loss, lost speculation race, workflow failure).
 struct TaskEnded {
@@ -98,6 +112,7 @@ struct TaskEnded {
   bool killed = false;  ///< killed, not finished (never feeds estimators)
   bool speculative = false;
   Duration ran_for = 0;  ///< actual execution time until the end event
+  KillCause cause = KillCause::kNone;  ///< set iff killed
 };
 
 /// A speculative backup attempt was launched for a straggling original.

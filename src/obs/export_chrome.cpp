@@ -22,13 +22,16 @@ ChromeTraceExporter::ChromeTraceExporter(EventBus& bus, std::ostream& out,
   subscription_ = bus_.subscribe([this](const Event& e) { on_event(e); });
 }
 
-ChromeTraceExporter::~ChromeTraceExporter() { finish(); }
+ChromeTraceExporter::~ChromeTraceExporter() {
+  finish();
+  bus_.unsubscribe(subscription_);
+}
 
 void ChromeTraceExporter::finish() {
   if (finished_) return;
   finished_ = true;
-  bus_.unsubscribe(subscription_);
   out_ << "]}\n";
+  out_.flush();
 }
 
 void ChromeTraceExporter::emit(const std::string& json_object) {
@@ -152,14 +155,75 @@ void ChromeTraceExporter::handle(SimTime t, const TaskEnded& p) {
   w.key("args");
   w.begin_object();
   w.member("outcome", p.killed ? "killed" : (p.failed ? "failed" : "success"));
+  if (p.killed && p.cause != KillCause::kNone) {
+    w.member("kill_cause", to_string(p.cause));
+  }
   w.member("ran_for", p.ran_for);
   w.end_object();
   w.end_object();
   emit(w.take());
 }
 
+void ChromeTraceExporter::handle_job_activated(SimTime t, const JobActivated& p) {
+  if (!options_.prerequisites) return;
+  job_activated_[{p.workflow, p.job}] = t;
+  // Flow arrows: each prerequisite's completion feeds this activation. The
+  // "s" end binds to the prerequisite's job span (emitted at its own
+  // completion); trace viewers sort by ts, so emission order is free.
+  const std::uint64_t tid = kJobTidBase + p.workflow;
+  for (const std::uint32_t prereq : options_.prerequisites(p.workflow, p.job)) {
+    const auto done = job_completed_.find({p.workflow, prereq});
+    if (done == job_completed_.end()) continue;
+    const std::uint64_t flow_id = (static_cast<std::uint64_t>(p.workflow) << 32) |
+                                  (static_cast<std::uint64_t>(prereq) << 16) |
+                                  p.job;
+    for (const char* ph : {"s", "f"}) {
+      JsonWriter w;
+      w.begin_object();
+      w.member("ph", ph);
+      w.member("name", "dag");
+      w.member("cat", "dag");
+      w.member("id", flow_id);
+      w.member("ts", us(ph[0] == 's' ? done->second : t));
+      w.member("pid", kMasterPid);
+      w.member("tid", tid);
+      if (ph[0] == 'f') w.member("bp", "e");
+      w.end_object();
+      emit(w.take());
+    }
+  }
+}
+
+void ChromeTraceExporter::handle_job_completed(SimTime t, const JobCompleted& p) {
+  if (!options_.prerequisites) return;
+  job_completed_[{p.workflow, p.job}] = t;
+  const auto started = job_activated_.find({p.workflow, p.job});
+  if (started == job_activated_.end()) return;  // attached mid-run
+  const std::uint64_t tid = kJobTidBase + p.workflow;
+  ensure_thread(kMasterPid, tid, "w" + std::to_string(p.workflow) + " jobs");
+  JsonWriter w;
+  w.begin_object();
+  w.member("ph", "X");
+  w.member("name", task_name(p.workflow, p.job));
+  w.member("cat", "job");
+  w.member("ts", us(started->second));
+  w.member("dur", us(t - started->second));
+  w.member("pid", kMasterPid);
+  w.member("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.member("workflow", p.workflow);
+  w.member("job", p.job);
+  w.end_object();
+  w.end_object();
+  emit(w.take());
+}
+
 void ChromeTraceExporter::on_event(const Event& event) {
-  if (finished_) return;
+  if (finished_) {
+    ++dropped_;
+    return;
+  }
   const SimTime t = event.time;
   ensure_process(kMasterPid, "JobTracker (master)");
 
@@ -215,8 +279,8 @@ void ChromeTraceExporter::on_event(const Event& event) {
       ex.instant(t, kMasterPid, kWorkflowTid,
                  "SHED w" + std::to_string(p.workflow), a.take());
     }
-    void operator()(const JobActivated&) {}
-    void operator()(const JobCompleted&) {}
+    void operator()(const JobActivated& p) { ex.handle_job_activated(t, p); }
+    void operator()(const JobCompleted& p) { ex.handle_job_completed(t, p); }
     void operator()(const TaskStarted& p) { ex.handle(t, p); }
     void operator()(const TaskEnded& p) { ex.handle(t, p); }
     void operator()(const SpeculativeLaunched& p) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -31,6 +32,16 @@ struct ChromeTraceOptions {
   bool include_decisions = true;   ///< SchedulerDecision instants (verbose)
   bool include_logs = true;        ///< bridged WOHA_LOG lines
   bool include_heartbeats = false; ///< per-heartbeat counter samples
+
+  /// DAG provider for span + flow emission: given (workflow, job), return
+  /// the job's prerequisite indices. When set, each job gets a complete
+  /// ("X") span on a per-workflow master lane covering activation ->
+  /// completion, and flow arrows connect every prerequisite's completion to
+  /// its dependents' activation. When null (the default), the output is
+  /// byte-identical to the pre-forensics exporter.
+  std::function<std::vector<std::uint32_t>(std::uint32_t workflow,
+                                           std::uint32_t job)>
+      prerequisites;
 };
 
 class ChromeTraceExporter {
@@ -42,9 +53,15 @@ class ChromeTraceExporter {
   ChromeTraceExporter& operator=(const ChromeTraceExporter&) = delete;
 
   /// Close the JSON document. Idempotent; called by the destructor too.
+  /// The subscription stays alive until destruction so events published
+  /// after the document is closed are counted in events_dropped() instead
+  /// of corrupting the closed JSON or vanishing silently.
   void finish();
 
+  [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] std::uint64_t events_written() const { return events_; }
+  /// Events published after finish(); 0 while the document is open.
+  [[nodiscard]] std::uint64_t events_dropped() const { return dropped_; }
 
  private:
   static constexpr std::uint64_t kMasterPid = 1;
@@ -52,11 +69,14 @@ class ChromeTraceExporter {
   static constexpr std::uint64_t kWorkflowTid = 1;
   static constexpr std::uint64_t kDecisionTid = 2;
   static constexpr std::uint64_t kLogTid = 3;
+  static constexpr std::uint64_t kJobTidBase = 10;  ///< + workflow id
   static constexpr std::uint64_t kReduceTidBase = 1000;
 
   void on_event(const Event& event);
   void handle(SimTime t, const TaskStarted& p);
   void handle(SimTime t, const TaskEnded& p);
+  void handle_job_activated(SimTime t, const JobActivated& p);
+  void handle_job_completed(SimTime t, const JobCompleted& p);
   void emit(const std::string& json_object);
   void ensure_process(std::uint64_t pid, const std::string& name);
   void ensure_thread(std::uint64_t pid, std::uint64_t tid, const std::string& name);
@@ -73,6 +93,13 @@ class ChromeTraceExporter {
   bool first_ = true;
   bool finished_ = false;
   std::uint64_t events_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  /// (workflow, job) -> activation time; feeds the job spans and flow
+  /// arrows emitted when options_.prerequisites is set.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SimTime> job_activated_;
+  /// (workflow, job) -> completion time (flow sources for dependents).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SimTime> job_completed_;
 
   /// lanes_[{tracker, slot}][lane] = attempt occupying it (0 = free).
   std::map<std::pair<std::size_t, SlotType>, std::vector<std::uint64_t>> lanes_;

@@ -75,6 +75,9 @@ void write_payload(JsonWriter& w, const TaskEnded& p) {
   w.member("tracker", static_cast<std::uint64_t>(p.tracker));
   if (p.failed) w.member("failed", true);
   if (p.killed) w.member("killed", true);
+  if (p.killed && p.cause != KillCause::kNone) {
+    w.member("cause", to_string(p.cause));
+  }
   if (p.speculative) w.member("speculative", true);
   w.member("ran_for", p.ran_for);
 }
@@ -175,6 +178,19 @@ void write_payload(JsonWriter& w, const LogEmitted& p) {
 
 }  // namespace
 
+const char* to_string(KillCause cause) {
+  switch (cause) {
+    case KillCause::kNone: return "none";
+    case KillCause::kNodeLoss: return "node-loss";
+    case KillCause::kSpeculationRace: return "speculation-race";
+    case KillCause::kWorkflowFailed: return "workflow-failed";
+    case KillCause::kShed: return "shed";
+    case KillCause::kDrainMigration: return "drain-migration";
+    case KillCause::kPreemption: return "preemption";
+  }
+  return "?";
+}
+
 const char* kind_name(const Payload& payload) {
   struct Namer {
     const char* operator()(const WorkflowSubmitted&) { return "workflow-submitted"; }
@@ -220,9 +236,19 @@ std::string event_to_json(const Event& event) {
 JsonlExporter::JsonlExporter(EventBus& bus, std::ostream& out)
     : bus_(bus), out_(out) {
   subscription_ = bus_.subscribe([this](const Event& e) {
+    if (closed_) {
+      ++dropped_;
+      return;
+    }
     out_ << event_to_json(e) << '\n';
     ++lines_;
   });
+}
+
+void JsonlExporter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.flush();
 }
 
 JsonlExporter::~JsonlExporter() { bus_.unsubscribe(subscription_); }

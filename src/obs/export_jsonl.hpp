@@ -26,13 +26,23 @@ class JsonlExporter {
   JsonlExporter(const JsonlExporter&) = delete;
   JsonlExporter& operator=(const JsonlExporter&) = delete;
 
+  /// Stop writing and flush the stream. The subscription stays alive so
+  /// late publishes are counted in dropped_after_close() rather than lost
+  /// silently (or crashing into a dead stream). Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const { return closed_; }
   [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+  /// Events published after close(); 0 while open.
+  [[nodiscard]] std::uint64_t dropped_after_close() const { return dropped_; }
 
  private:
   EventBus& bus_;
   std::ostream& out_;
   EventBus::SubscriptionId subscription_;
   std::uint64_t lines_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace woha::obs

@@ -44,6 +44,28 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  if (rank <= 0.0) return min_;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = cumulative;
+    cumulative += static_cast<double>(counts_[i]);
+    if (cumulative < rank) continue;
+    // Interpolate within bucket i. The outermost edges are pinned to the
+    // observed extrema so sparse tails don't inflate the estimate.
+    const double lower = i == 0 ? (bounds_.empty() ? min_ : std::min(min_, bounds_[0]))
+                                : bounds_[i - 1];
+    const double upper = i < bounds_.size() ? bounds_[i] : max_;
+    const double fraction = (rank - before) / static_cast<double>(counts_[i]);
+    return std::clamp(lower + fraction * (upper - lower), min_, max_);
+  }
+  return max_;
+}
+
 std::vector<double> exponential_buckets(double start, double factor,
                                         std::size_t count) {
   if (start <= 0.0 || factor <= 1.0) {
@@ -153,6 +175,9 @@ std::string MetricsRegistry::to_json() const {
     w.member("min", h.min());
     w.member("max", h.max());
     w.member("mean", h.mean());
+    w.member("p50", h.p50());
+    w.member("p95", h.p95());
+    w.member("p99", h.p99());
     w.key("bounds");
     w.begin_array();
     for (const double b : h.bounds()) w.value(b);

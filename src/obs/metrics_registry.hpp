@@ -54,6 +54,15 @@ class Histogram {
   /// mismatch. Used when per-run registries are merged after a grid.
   void merge(const Histogram& other);
 
+  /// Estimated q-quantile (q in [0, 1]), linearly interpolated within the
+  /// bucket holding rank q * count. The first bucket's lower edge is
+  /// min(min(), bounds()[0]) and the overflow bucket's upper edge is max(),
+  /// so estimates never leave the observed [min, max] range. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// counts().size() == bounds().size() + 1 (last = overflow).
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }

@@ -1,0 +1,69 @@
+// Forensics obeys the observability contract on the nastiest scenario we
+// pin: attaching a SpanRecorder to every run of the chaos-overload fixture
+// must not move a single scheduling decision (the PR 6 golden digest stays
+// bit-identical), and the attribution JSONL a parallel grid produces must
+// equal the serial one byte for byte.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "forensics/attribution.hpp"
+#include "forensics/export.hpp"
+#include "forensics/span_recorder.hpp"
+#include "metrics/grid.hpp"
+#include "overload_scenario.hpp"
+
+namespace woha {
+namespace {
+
+/// Run the fixture grid with a per-point recorder and return (digest,
+/// per-point attribution JSONL).
+std::pair<std::uint64_t, std::vector<std::string>> run_with_forensics(
+    unsigned jobs) {
+  const auto workload = testing::overload_workload();
+  const auto grid = testing::overload_grid(workload);
+
+  std::vector<std::unique_ptr<forensics::SpanRecorder>> recorders(grid.size());
+  metrics::GridOptions options;
+  options.jobs = jobs;
+  options.configure_point = [&recorders](hadoop::Engine& engine,
+                                         std::size_t index) {
+    recorders[index] = std::make_unique<forensics::SpanRecorder>(
+        engine.events(), &engine.job_tracker());
+  };
+  const auto results = metrics::run_grid(grid, options);
+
+  std::vector<std::string> jsonl;
+  for (const auto& recorder : recorders) {
+    const auto records = forensics::attribute_all(recorder->workflows());
+    std::ostringstream out;
+    forensics::export_attribution_jsonl(records, out);
+    jsonl.push_back(out.str());
+  }
+  return {testing::digest_overload(results), std::move(jsonl)};
+}
+
+TEST(ForensicsDeterminism, RecorderPreservesGoldenAndParallelMatchesSerial) {
+  const auto [serial_digest, serial_jsonl] = run_with_forensics(1);
+
+  // Forensics-on must reproduce the exact digest pinned by
+  // overload_determinism_test with no recorder attached: the recorder is a
+  // pure listener.
+  EXPECT_EQ(serial_digest, testing::kOverloadChaosGolden)
+      << "attaching a SpanRecorder changed a scheduling decision";
+
+  const auto [parallel_digest, parallel_jsonl] = run_with_forensics(4);
+  EXPECT_EQ(parallel_digest, serial_digest);
+  ASSERT_EQ(parallel_jsonl.size(), serial_jsonl.size());
+  for (std::size_t i = 0; i < serial_jsonl.size(); ++i) {
+    EXPECT_EQ(serial_jsonl[i], parallel_jsonl[i])
+        << "attribution JSONL diverged at grid point " << i;
+  }
+  // The fixture actually produced forensics-worthy material.
+  EXPECT_NE(serial_jsonl[0].find("\"kind\":\"attribution\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace woha

@@ -19,15 +19,15 @@
 
 #include <gtest/gtest.h>
 
-#include "hadoop/admission.hpp"
-#include "metrics_digest.hpp"
 #include "metrics/grid.hpp"
-#include "trace/arrivals.hpp"
-#include "trace/deadlines.hpp"
-#include "workflow/topology.hpp"
+#include "overload_scenario.hpp"
 
 namespace woha {
 namespace {
+
+using testing::digest_overload;
+using testing::overload_grid;
+using testing::overload_workload;
 
 bool print_goldens() { return std::getenv("WOHA_PRINT_GOLDENS") != nullptr; }
 
@@ -40,69 +40,6 @@ void check_digest(const char* label, std::uint64_t got, std::uint64_t want) {
   EXPECT_EQ(got, want) << label
                        << ": a deterministic overload/elasticity metric "
                           "changed. See the file comment before refreshing.";
-}
-
-/// digest_comparison plus the overload & elasticity fields it predates.
-std::uint64_t digest_overload(
-    const std::vector<metrics::ExperimentResult>& results) {
-  testing::Fnv1a h;
-  h.mix(testing::digest_comparison(results));
-  for (const metrics::ExperimentResult& r : results) {
-    const hadoop::RunSummary& s = r.summary;
-    h.mix(s.workflows_submitted);
-    h.mix(s.workflows_rejected);
-    h.mix(s.workflows_shed);
-    h.mix(static_cast<std::uint64_t>(s.pending_peak));
-    h.mix(s.tracker_decommissions);
-    h.mix(s.tracker_preemptions);
-    h.mix(s.trackers_joined);
-    h.mix(s.drain_migrated);
-    for (const hadoop::WorkflowResult& w : s.workflows) {
-      h.mix(w.rejected);
-      h.mix(w.shed);
-    }
-  }
-  return h.value();
-}
-
-std::vector<wf::WorkflowSpec> overload_workload() {
-  std::vector<wf::WorkflowSpec> workflows;
-  for (std::uint32_t i = 0; i < 12; ++i) {
-    auto spec = wf::diamond(3);
-    spec.name = "wf" + std::to_string(i);
-    workflows.push_back(std::move(spec));
-  }
-  trace::DeadlinePolicy deadlines;
-  deadlines.reference_cap = 12;
-  trace::assign_deadlines(workflows, 5, deadlines);
-  trace::ArrivalConfig arrivals;
-  arrivals.shape = trace::ArrivalShape::kPoisson;
-  arrivals.rho = 1.3;  // past saturation: the shed policy must engage
-  arrivals.cluster_slots = 24;
-  trace::assign_open_loop_arrivals(workflows, 7, arrivals);
-  return workflows;
-}
-
-std::vector<metrics::GridPoint> overload_grid(
-    const std::vector<wf::WorkflowSpec>& workload) {
-  hadoop::EngineConfig config;
-  config.audit = true;
-  config.cluster.num_trackers = 8;
-  config.cluster.map_slots_per_tracker = 2;
-  config.cluster.reduce_slots_per_tracker = 1;
-  config.seed = 42;
-  config.duration_jitter_sigma = 0.3;
-  config.admission.policy = hadoop::AdmissionPolicy::kShedLatestDeadlineFirst;
-  config.admission.max_pending_workflows = 4;
-  config.faults.tracker_mtbf = 600.0 * 1000.0;  // 600 s per tracker
-  config.faults.tracker_restart_delay = seconds(30);
-  config.faults.expiry_interval = seconds(60);
-  config.faults.speculative_execution = true;
-  std::vector<metrics::GridPoint> grid;
-  for (const auto& entry : metrics::paper_schedulers()) {
-    grid.push_back(metrics::GridPoint{config, &workload, entry});
-  }
-  return grid;
 }
 
 TEST(OverloadDeterminism, ChaosOverloadSnapshotSerialEqualsParallel) {
@@ -140,7 +77,7 @@ TEST(OverloadDeterminism, ChaosOverloadSnapshotSerialEqualsParallel) {
       << "--jobs N changed a scheduling decision under overload";
 
   check_digest("overload_chaos", digest_overload(serial_results),
-               0xf1d7f80f4db586c2ull);
+               testing::kOverloadChaosGolden);
 }
 
 }  // namespace

@@ -121,6 +121,102 @@ TEST(ChromeExport, SlicesBalanceOnRealRun) {
   EXPECT_EQ(crashes, 1u);
 }
 
+TEST(JsonlExport, KillCauseSerializedOnlyWhenKilled) {
+  Event e;
+  e.time = 9;
+  e.payload = TaskEnded{.attempt = 3,
+                        .workflow = 1,
+                        .job = 0,
+                        .slot = SlotType::kMap,
+                        .tracker = 2,
+                        .failed = false,
+                        .killed = true,
+                        .speculative = false,
+                        .ran_for = 1200,
+                        .cause = KillCause::kNodeLoss};
+  EXPECT_NE(event_to_json(e).find(R"("cause":"node-loss")"), std::string::npos);
+
+  // A clean finish never carries a cause, even if the field were set.
+  std::get<TaskEnded>(e.payload).killed = false;
+  std::get<TaskEnded>(e.payload).cause = KillCause::kNone;
+  EXPECT_EQ(event_to_json(e).find("cause"), std::string::npos);
+}
+
+// Empty run: both exporters must still produce schema-complete output —
+// zero JSONL lines and a well-formed Chrome document with an empty array.
+TEST(JsonlExport, EmptyRunAndPostCloseFlushesAreAccounted) {
+  EventBus bus;
+  std::ostringstream out;
+  JsonlExporter exporter(bus, out);
+  exporter.close();
+  EXPECT_TRUE(exporter.closed());
+  EXPECT_EQ(out.str(), "");  // zero events -> zero lines, valid JSONL
+
+  // Events published after close() must not corrupt the (already final)
+  // output, and must not vanish silently: the drop counter owns them.
+  bus.publish(SimTime{5}, WorkflowFailed{1});
+  bus.publish(SimTime{6}, TrackerRestarted{0});
+  EXPECT_EQ(exporter.lines_written(), 0u);
+  EXPECT_EQ(exporter.dropped_after_close(), 2u);
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(ChromeExport, EmptyRunAndPostFinishFlushesAreAccounted) {
+  EventBus bus;
+  std::ostringstream out;
+  ChromeTraceExporter exporter(bus, out);
+  exporter.finish();
+  EXPECT_TRUE(exporter.finished());
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+
+  bus.publish(SimTime{7}, TrackerRestarted{2});
+  EXPECT_EQ(exporter.events_dropped(), 1u);
+  // The document is still exactly the finished one — no trailing garbage.
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+// With a prerequisites callback the exporter adds job X-slices plus DAG
+// flow arrows; every flow start ("ph":"s") has a matching finish ("ph":"f").
+TEST(ChromeExport, JobSpansAndDagFlowEvents) {
+  hadoop::EngineConfig config;
+  config.cluster.num_trackers = 4;
+  config.cluster.map_slots_per_tracker = 2;
+  config.cluster.reduce_slots_per_tracker = 1;
+  hadoop::Engine engine(config, std::make_unique<core::WohaScheduler>());
+
+  auto spec = wf::diamond(3);
+  spec.name = "flows";
+  spec.relative_deadline = minutes(45);
+
+  std::ostringstream trace;
+  ChromeTraceOptions options;
+  options.prerequisites = [&spec](std::uint32_t, std::uint32_t job) {
+    return spec.jobs[job].prerequisites;
+  };
+  ChromeTraceExporter exporter(engine.events(), trace, options);
+
+  engine.submit(spec);
+  engine.run();
+  exporter.finish();
+
+  const std::string doc = trace.str();
+  std::size_t starts = 0, finishes = 0, complete = 0;
+  for (std::size_t pos = 0; (pos = doc.find("\"ph\":\"s\"", pos)) != std::string::npos;
+       ++pos)
+    ++starts;
+  for (std::size_t pos = 0; (pos = doc.find("\"ph\":\"f\"", pos)) != std::string::npos;
+       ++pos)
+    ++finishes;
+  for (std::size_t pos = 0; (pos = doc.find("\"ph\":\"X\"", pos)) != std::string::npos;
+       ++pos)
+    ++complete;
+  // diamond(3): source -> 3 middle jobs -> sink = 6 DAG edges, one flow
+  // arrow (s/f pair) each.
+  EXPECT_EQ(starts, 6u);
+  EXPECT_EQ(finishes, 6u);
+  EXPECT_GE(complete, spec.jobs.size());  // one X-slice per completed job
+}
+
 TEST(LogBridge, RoutesLogLinesOntoBusWithSimTime) {
   EventBus bus;
   bus.set_time_source([] { return SimTime{4242}; });

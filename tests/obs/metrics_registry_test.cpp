@@ -197,5 +197,49 @@ TEST(MetricsRegistry, MergeKindMismatchThrows) {
   EXPECT_THROW(target.merge(scratch), std::invalid_argument);
 }
 
+TEST(MetricsRegistry, QuantileEmptyHistogramIsZero) {
+  Histogram h({10.0, 100.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(MetricsRegistry, QuantileInterpolatesWithinBucket) {
+  // 100 samples spread uniformly through the (10, 100] bucket: the
+  // interpolated p50 sits mid-bucket, p95/p99 near its upper edge.
+  Histogram h({10.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h.observe(10.0 + 0.9 * i);
+  EXPECT_NEAR(h.quantile(0.5), 55.0, 10.0);
+  EXPECT_NEAR(h.p95(), 95.5, 10.0);
+  EXPECT_GE(h.p99(), h.p95());
+  // Quantiles are monotone in q and never leave [min, max].
+  EXPECT_GE(h.p95(), h.p50());
+  EXPECT_GE(h.quantile(1.0), h.p99());
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(MetricsRegistry, QuantileSingleObservationAndOverflowBucket) {
+  Histogram h({10.0});
+  h.observe(5.0);
+  EXPECT_EQ(h.p50(), 5.0);  // clamped into [min, max] = [5, 5]
+  EXPECT_EQ(h.p99(), 5.0);
+
+  Histogram over({10.0});
+  over.observe(50.0);
+  over.observe(90.0);  // both in the overflow bucket
+  EXPECT_GE(over.p50(), 50.0);
+  EXPECT_LE(over.p99(), 90.0);
+}
+
+TEST(MetricsRegistry, HistogramJsonCarriesPercentiles) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("lat", {10.0, 100.0});
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace woha::obs
