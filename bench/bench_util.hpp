@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "metrics/grid.hpp"
@@ -27,19 +29,26 @@ inline void note(const std::string& text) { std::printf("note: %s\n", text.c_str
 /// the flag from argv and exposes the requested experiment-level
 /// parallelism. Precedence: flag > WOHA_JOBS env > 1 (serial). N = 0 means
 /// "hardware concurrency". Any value is bit-identical to serial — the knob
-/// only trades wall clock (see src/metrics/grid.hpp).
+/// only trades wall clock (see src/metrics/grid.hpp). Malformed values
+/// ("-1", "2x", "" ) are a hard usage error — exit 2, never a silent
+/// serial run or a wrapped-around thousand-thread pool.
 class JobsFlag {
  public:
-  JobsFlag(int& argc, char** argv) : jobs_(metrics::jobs_from_env()) {
+  JobsFlag(int& argc, char** argv) {
+    try {
+      jobs_ = metrics::jobs_from_env();
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+      std::exit(2);
+    }
     int w = 1;
     for (int r = 1; r < argc; ++r) {
       const std::string arg = argv[r];
       if (arg == "--jobs" && r + 1 < argc) {
-        jobs_ = static_cast<unsigned>(std::strtoul(argv[++r], nullptr, 10));
+        jobs_ = parse_or_die(argv[0], argv[++r]);
       } else if (arg.rfind("--jobs=", 0) == 0) {
-        jobs_ = static_cast<unsigned>(
-            std::strtoul(arg.substr(std::string("--jobs=").size()).c_str(),
-                         nullptr, 10));
+        jobs_ = parse_or_die(
+            argv[0], arg.substr(std::string("--jobs=").size()).c_str());
       } else {
         argv[w++] = argv[r];
       }
@@ -52,6 +61,18 @@ class JobsFlag {
   [[nodiscard]] unsigned jobs() const { return jobs_; }
 
  private:
+  static unsigned parse_or_die(const char* prog, const char* text) {
+    const std::optional<unsigned> jobs = metrics::parse_jobs(text);
+    if (!jobs) {
+      std::fprintf(stderr,
+                   "%s: --jobs expects a plain decimal in [0, %u] "
+                   "(0 = hardware concurrency), got \"%s\"\n",
+                   prog, metrics::kMaxJobs, text);
+      std::exit(2);
+    }
+    return *jobs;
+  }
+
   unsigned jobs_ = 1;
 };
 

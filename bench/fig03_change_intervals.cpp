@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
           core::job_priority_ranks(spec, core::JobPriorityPolicy::kHlf);
       const auto plan = core::plan_for_submission(
           spec, rank, /*total_cluster_slots=*/480, core::CapPolicy::kMinFeasible);
-      for (std::size_t i = 1; i < plan.steps.size(); ++i) {
-        const Duration gap = plan.steps[i - 1].ttd - plan.steps[i].ttd;
+      for (std::size_t i = 1; i < plan.num_steps(); ++i) {
+        const Duration gap = plan.step_ttd(i - 1) - plan.step_ttd(i);
         hist.add(static_cast<double>(gap));
         ++intervals;
         over_10s += gap >= 10'000;

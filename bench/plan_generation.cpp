@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         reps);
     table.add_row({label, TextTable::num(static_cast<std::int64_t>(spec.total_tasks())),
                    TextTable::num(gen_us, 1), TextTable::num(search_us, 1),
-                   TextTable::num(static_cast<std::int64_t>(last.steps.size()))});
+                   TextTable::num(static_cast<std::int64_t>(last.num_steps()))});
   }
   std::printf("%s\n", table.to_string().c_str());
   bench::note("all of this runs on the client at submission; the master only "

@@ -11,13 +11,24 @@
 //
 // Usage:
 //   bench_scale_cluster [--points 80,500,2000] [--schedulers WOHA-LPF,FIFO]
-//                       [--jobs N] [--metrics-json out.json]
+//                       [--jobs N] [--hb-batch N] [--plan-jobs N]
+//                       [--metrics-json out.json]
 // Defaults sweep 80/200/500/1000/2000 for every scheduler; pass
-// --points 10000 for the full-scale run (minutes of wall clock pre-optimisation,
-// seconds after). `--jobs N` (or WOHA_JOBS) fans the (point, scheduler) grid
-// across N threads — results are bit-identical to --jobs 1; per-run
-// wall-clock is measured inside each run so rows stay meaningful under
-// parallelism (total elapsed shrinks; per-run wall does not).
+// --points 10000 (or 100000 for the 100k-tracker CI smoke) for the
+// full-scale run (minutes of wall clock pre-optimisation, seconds after).
+// `--jobs N` (or WOHA_JOBS) fans the (point, scheduler) grid across N
+// threads — results are bit-identical to --jobs 1; per-run wall-clock is
+// measured inside each run so rows stay meaningful under parallelism
+// (total elapsed shrinks; per-run wall does not). `--hb-batch N` sets
+// EngineConfig::heartbeat_batch (1 disables the same-tick empty-select
+// memo); `--plan-jobs N` sets WohaConfig::plan_jobs (parallel plan
+// prewarm; 0 = hardware concurrency). Both are bit-identical knobs too —
+// they move wall clock, never schedules. `--horizon-min N` stops the
+// simulation after N simulated minutes (EngineConfig::horizon): the
+// 100k-tracker CI smoke uses it to sample the hot path at full scale
+// under a bounded wall budget. Unlike the other knobs it IS part of the
+// simulated experiment — rows are deterministic for a given horizon but
+// not comparable across horizons.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -58,9 +69,32 @@ int main(int argc, char** argv) {
 
   std::vector<std::uint32_t> points = {80, 200, 500, 1000, 2000};
   std::vector<std::string> only_schedulers;
+  std::uint32_t hb_batch = 0;  // 0 = keep the engine default
+  unsigned plan_jobs = 1;
+  long long horizon_min = 0;  // 0 = run to completion
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
       points = parse_points(argv[++i]);
+    } else if (std::strcmp(argv[i], "--horizon-min") == 0 && i + 1 < argc) {
+      horizon_min = std::stoll(argv[++i]);
+      if (horizon_min <= 0) {
+        std::fprintf(stderr, "--horizon-min must be positive\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--hb-batch") == 0 && i + 1 < argc) {
+      hb_batch = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      if (hb_batch == 0) {
+        std::fprintf(stderr, "--hb-batch must be >= 1 (1 disables batching)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--plan-jobs") == 0 && i + 1 < argc) {
+      const auto parsed = metrics::parse_jobs(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "--plan-jobs expects a plain decimal in [0, %u]\n",
+                     metrics::kMaxJobs);
+        return 2;
+      }
+      plan_jobs = *parsed;
     } else if (std::strcmp(argv[i], "--schedulers") == 0 && i + 1 < argc) {
       std::size_t pos = 0;
       const std::string arg = argv[++i];
@@ -92,9 +126,11 @@ int main(int argc, char** argv) {
     config.cluster.num_trackers = n;
     config.cluster.map_slots_per_tracker = 2;
     config.cluster.reduce_slots_per_tracker = 1;
+    if (hb_batch != 0) config.heartbeat_batch = hb_batch;
+    if (horizon_min > 0) config.horizon = minutes(horizon_min);
     workloads.push_back(std::make_unique<std::vector<wf::WorkflowSpec>>(
         trace::scale_workload(n, trace::kScaleWorkloadSeed)));
-    for (const auto& entry : metrics::paper_schedulers()) {
+    for (const auto& entry : metrics::paper_schedulers(plan_jobs)) {
       if (!only_schedulers.empty()) {
         bool wanted = false;
         for (const auto& s : only_schedulers) wanted |= s == entry.label;

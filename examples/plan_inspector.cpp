@@ -59,15 +59,15 @@ int main(int argc, char** argv) {
                 "%zu requirement steps; serialized %zu bytes\n",
                 plan.resource_cap, slots,
                 format_duration(plan.simulated_makespan).c_str(),
-                plan.steps.size(), core::serialized_plan_size(plan));
+                plan.num_steps(), core::serialized_plan_size(plan));
 
     // Print the requirement curve coarsely (deciles of the step list).
     TextTable table({"ttd", "tasks required"});
-    const std::size_t stride = std::max<std::size_t>(1, plan.steps.size() / 8);
-    for (std::size_t i = 0; i < plan.steps.size(); i += stride) {
-      table.add_row({format_duration(plan.steps[i].ttd),
+    const std::size_t stride = std::max<std::size_t>(1, plan.num_steps() / 8);
+    for (std::size_t i = 0; i < plan.num_steps(); i += stride) {
+      table.add_row({format_duration(plan.step_ttd(i)),
                      TextTable::num(static_cast<std::int64_t>(
-                         plan.steps[i].cumulative_req))});
+                         plan.step_req(i)))});
     }
     std::printf("%s\n", table.to_string().c_str());
   }

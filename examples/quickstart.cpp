@@ -87,12 +87,12 @@ int main() {
   std::printf("\nscheduling plan: resource cap %u, simulated makespan %s, %zu steps\n",
               plan->resource_cap,
               format_duration(plan->simulated_makespan).c_str(),
-              plan->steps.size());
+              plan->num_steps());
   std::printf("first progress requirements (ttd -> cumulative tasks):\n");
-  for (std::size_t i = 0; i < plan->steps.size() && i < 5; ++i) {
+  for (std::size_t i = 0; i < plan->num_steps() && i < 5; ++i) {
     std::printf("  at %s before the deadline: %llu tasks scheduled\n",
-                format_duration(plan->steps[i].ttd).c_str(),
-                static_cast<unsigned long long>(plan->steps[i].cumulative_req));
+                format_duration(plan->step_ttd(i)).c_str(),
+                static_cast<unsigned long long>(plan->step_req(i)));
   }
   return 0;
 }

@@ -386,16 +386,16 @@ void InvariantAuditor::check_plan(std::uint32_t workflow, SimTime t) const {
     fail("plan-cap", t, 1, plan->resource_cap,
          "scheduling plan generated with a zero resource cap", workflow);
   }
-  for (std::size_t i = 1; i < plan->steps.size(); ++i) {
-    if (plan->steps[i].ttd >= plan->steps[i - 1].ttd) {
-      fail("plan-ttd-decreasing", t, plan->steps[i - 1].ttd - 1,
-           plan->steps[i].ttd,
+  for (std::size_t i = 1; i < plan->num_steps(); ++i) {
+    if (plan->step_ttd(i) >= plan->step_ttd(i - 1)) {
+      fail("plan-ttd-decreasing", t, plan->step_ttd(i - 1) - 1,
+           plan->step_ttd(i),
            "F_i steps must strictly decrease in time-to-deadline", workflow);
     }
-    if (plan->steps[i].cumulative_req < plan->steps[i - 1].cumulative_req) {
+    if (plan->step_req(i) < plan->step_req(i - 1)) {
       fail("plan-monotone", t,
-           static_cast<std::int64_t>(plan->steps[i - 1].cumulative_req),
-           static_cast<std::int64_t>(plan->steps[i].cumulative_req),
+           static_cast<std::int64_t>(plan->step_req(i - 1)),
+           static_cast<std::int64_t>(plan->step_req(i)),
            "F_i cumulative requirements must be non-decreasing", workflow);
     }
   }

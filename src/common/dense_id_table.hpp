@@ -1,0 +1,116 @@
+// A flat arena keyed by monotonically increasing dense ids.
+//
+// The engine hands out attempt ids from a counter (1, 2, 3, ...), and an
+// attempt's lifetime is roughly its task's duration, so at any instant the
+// live ids occupy a narrow sliding window near the top of the id space. A
+// hash map pays per-lookup hashing and per-node heap allocation for what is
+// really vector indexing; this table stores records contiguously and maps
+// id -> slot by subtracting a base offset.
+//
+// Window maintenance is amortized O(1): erasures mark the slot dead and
+// advance a head cursor past the dead prefix; once the dead prefix passes
+// half the backing vector (and a minimum size, so small tables never churn),
+// the prefix is released in one erase. The window is bounded by the number
+// of ids issued during the longest-lived record — for the engine, attempts
+// started during the longest task — not by the total issued over a run.
+//
+// Determinism: the table imposes no iteration order of its own (the engine
+// iterates attempts through tracker_attempts_); it is a pure id -> record
+// lookup, so swapping it for std::unordered_map is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace woha {
+
+template <typename T>
+class DenseIdTable {
+ public:
+  /// Insert a record under `id`. Ids must be strictly increasing across the
+  /// table's lifetime (the caller's counter guarantees this; re-using or
+  /// skipping backwards is a logic error). Gaps are allowed and cost one
+  /// dead slot each.
+  T& emplace(std::uint64_t id, T value) {
+    if (id < base_ + entries_.size()) {
+      throw std::logic_error("DenseIdTable: ids must be inserted in increasing order");
+    }
+    // Fill any id gap with dead slots so indexing stays a plain subtract.
+    entries_.resize(static_cast<std::size_t>(id - base_), Entry{});
+    entries_.push_back(Entry{std::move(value), true});
+    ++live_;
+    return entries_.back().value;
+  }
+
+  [[nodiscard]] T* find(std::uint64_t id) {
+    if (id < base_ + head_ || id >= base_ + entries_.size()) return nullptr;
+    Entry& e = entries_[static_cast<std::size_t>(id - base_)];
+    return e.alive ? &e.value : nullptr;
+  }
+  [[nodiscard]] const T* find(std::uint64_t id) const {
+    return const_cast<DenseIdTable*>(this)->find(id);
+  }
+
+  [[nodiscard]] T& at(std::uint64_t id) {
+    T* p = find(id);
+    if (!p) throw std::out_of_range("DenseIdTable: unknown id");
+    return *p;
+  }
+  [[nodiscard]] const T& at(std::uint64_t id) const {
+    return const_cast<DenseIdTable*>(this)->at(id);
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t id) const { return find(id) != nullptr; }
+
+  /// Remove `id` and return its record. Throws if absent.
+  T take(std::uint64_t id) {
+    T* p = find(id);
+    if (!p) throw std::out_of_range("DenseIdTable: erase of unknown id");
+    T out = std::move(*p);
+    entries_[static_cast<std::size_t>(id - base_)].alive = false;
+    --live_;
+    trim();
+    return out;
+  }
+
+  void erase(std::uint64_t id) { (void)take(id); }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Backing-slot count (live + dead window), for occupancy diagnostics.
+  [[nodiscard]] std::size_t window() const { return entries_.size() - head_; }
+
+ private:
+  struct Entry {
+    T value{};
+    bool alive = false;
+  };
+
+  void trim() {
+    while (head_ < entries_.size() && !entries_[head_].alive) ++head_;
+    if (head_ == entries_.size()) {
+      base_ += entries_.size();
+      head_ = 0;
+      entries_.clear();
+      return;
+    }
+    if (head_ >= kMinTrim && head_ * 2 >= entries_.size()) {
+      entries_.erase(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+      base_ += head_;
+      head_ = 0;
+    }
+  }
+
+  static constexpr std::size_t kMinTrim = 64;
+
+  std::vector<Entry> entries_;
+  std::uint64_t base_ = 0;  ///< id of entries_[0]
+  std::size_t head_ = 0;    ///< first possibly-live slot
+  std::size_t live_ = 0;
+};
+
+}  // namespace woha

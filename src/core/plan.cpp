@@ -9,17 +9,15 @@
 namespace woha::core {
 
 std::uint64_t SchedulingPlan::required_at(Duration ttd) const {
-  // Steps are sorted by strictly decreasing ttd. A step with step.ttd >= ttd
+  // Steps are sorted by strictly decreasing ttd. A step with step_ttd >= ttd
   // lies at or before the query instant, so its requirement applies.
-  // Find the last such step.
-  std::uint64_t req = 0;
-  // Binary search for the first step with step.ttd < ttd; everything before
+  // Binary search for the first step with step_ttd < ttd; everything before
   // it applies.
   const auto it = std::lower_bound(
-      steps.begin(), steps.end(), ttd,
-      [](const ProgressStep& s, Duration query) { return s.ttd >= query; });
-  if (it != steps.begin()) req = std::prev(it)->cumulative_req;
-  return req;
+      step_ttd_.begin(), step_ttd_.end(), ttd,
+      [](Duration step, Duration query) { return step >= query; });
+  if (it == step_ttd_.begin()) return 0;
+  return step_req_[static_cast<std::size_t>(it - step_ttd_.begin()) - 1];
 }
 
 namespace {
@@ -156,10 +154,10 @@ SchedulingPlan generate_plan(const wf::WorkflowSpec& spec,
   // Convert occurrence times to ttd (Algorithm 1 lines 37-39) and cumulative
   // counts; schedule_counts iterates in ascending time == descending ttd.
   std::uint64_t cumulative = 0;
-  plan.steps.reserve(schedule_counts.size());
+  plan.reserve_steps(schedule_counts.size());
   for (const auto& [when, count] : schedule_counts) {
     cumulative += count;
-    plan.steps.push_back(ProgressStep{plan.simulated_makespan - when, cumulative});
+    plan.append_step(plan.simulated_makespan - when, cumulative);
   }
   return plan;
 }

@@ -9,6 +9,14 @@
 // Because the simulated finish is anchored at the deadline, a plan generated
 // with a generous cap is "lazy" (requires nothing early, everything late) —
 // the resource-cap binary search in resource_cap.hpp fixes that.
+//
+// Storage is structure-of-arrays: the step function lives in two parallel
+// flat vectors (ttd and cumulative requirement) rather than an array of
+// structs. The scheduler's hot walk (ProgressTracker::advance_to) reads
+// *only* ttd until a step fires, so halving the bytes per step halves the
+// cache lines the per-heartbeat queue refresh touches. PlanView exposes the
+// arrays as raw pointers for that walk, extending the existing
+// shared_ptr<const SchedulingPlan> sharing with a zero-copy facade.
 #pragma once
 
 #include <cstdint>
@@ -19,19 +27,17 @@
 
 namespace woha::core {
 
-/// One step of the progress requirement list. Steps are stored in
-/// chronological order == strictly decreasing ttd; `cumulative_req` is the
-/// total number of tasks that must have been scheduled once ttd has been
-/// reached (i.e. at absolute time deadline - ttd).
-struct ProgressStep {
-  Duration ttd = 0;
-  std::uint64_t cumulative_req = 0;
-  friend constexpr bool operator==(const ProgressStep&, const ProgressStep&) = default;
+/// Trivially copyable, zero-copy view of a plan's step arrays. Valid only
+/// while the viewed plan is alive (recurrent instances share plans through
+/// shared_ptr<const SchedulingPlan>, so the owner outlives every tracker).
+struct PlanView {
+  const Duration* ttd = nullptr;        ///< strictly decreasing
+  const std::uint64_t* req = nullptr;   ///< strictly increasing cumulative
+  std::size_t size = 0;
 };
 
-struct SchedulingPlan {
-  /// Progress requirement list F_i, strictly decreasing in ttd.
-  std::vector<ProgressStep> steps;
+class SchedulingPlan {
+ public:
   /// Job indices from highest to lowest intra-workflow priority.
   std::vector<std::uint32_t> job_order;
   /// rank[j] = position of job j in job_order (0 = schedule first).
@@ -41,9 +47,34 @@ struct SchedulingPlan {
   /// Simulated makespan of the workflow under the cap (start at 0).
   Duration simulated_makespan = 0;
 
+  // ---- progress requirement list F_i ------------------------------------
+  // Steps are stored in chronological order == strictly decreasing ttd;
+  // req is the total number of tasks that must have been scheduled once
+  // that ttd has been reached (i.e. at absolute time deadline - ttd).
+
+  void reserve_steps(std::size_t n) {
+    step_ttd_.reserve(n);
+    step_req_.reserve(n);
+  }
+  void append_step(Duration ttd, std::uint64_t cumulative_req) {
+    step_ttd_.push_back(ttd);
+    step_req_.push_back(cumulative_req);
+  }
+
+  [[nodiscard]] std::size_t num_steps() const { return step_ttd_.size(); }
+  [[nodiscard]] Duration step_ttd(std::size_t i) const { return step_ttd_[i]; }
+  [[nodiscard]] std::uint64_t step_req(std::size_t i) const { return step_req_[i]; }
+  [[nodiscard]] const std::vector<Duration>& step_ttds() const { return step_ttd_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& step_reqs() const {
+    return step_req_;
+  }
+  [[nodiscard]] PlanView view() const {
+    return PlanView{step_ttd_.data(), step_req_.data(), step_ttd_.size()};
+  }
+
   /// Total tasks in the workflow (the last step's cumulative requirement).
   [[nodiscard]] std::uint64_t total_tasks() const {
-    return steps.empty() ? 0 : steps.back().cumulative_req;
+    return step_req_.empty() ? 0 : step_req_.back();
   }
 
   /// F_i(ttd): tasks that must have been scheduled when `ttd` remains until
@@ -56,6 +87,10 @@ struct SchedulingPlan {
   [[nodiscard]] bool feasible_for(Duration relative_deadline) const {
     return simulated_makespan <= relative_deadline;
   }
+
+ private:
+  std::vector<Duration> step_ttd_;
+  std::vector<std::uint64_t> step_req_;
 };
 
 /// Algorithm 1: simulate W_i on `resource_cap` slots, jobs picked by

@@ -66,6 +66,15 @@ std::shared_ptr<const SchedulingPlan> PlanCache::get_or_compute(
     std::uint64_t key, const std::function<SchedulingPlan()>& compute) {
   const auto it = plans_.find(key);
   if (it != plans_.end()) {
+    const auto pw = prewarmed_.find(key);
+    if (pw != prewarmed_.end()) {
+      // First claim of a prewarmed entry: without the prewarm this lookup
+      // would have computed, so account it as the miss it replaces.
+      prewarmed_.erase(pw);
+      ++misses_;
+      if (miss_counter_) miss_counter_->add();
+      return it->second;
+    }
     ++hits_;
     if (hit_counter_) hit_counter_->add();
     return it->second;
@@ -75,6 +84,12 @@ std::shared_ptr<const SchedulingPlan> PlanCache::get_or_compute(
   auto plan = std::make_shared<const SchedulingPlan>(compute());
   plans_.emplace(key, plan);
   return plan;
+}
+
+void PlanCache::insert(std::uint64_t key,
+                       std::shared_ptr<const SchedulingPlan> plan) {
+  if (!plan) return;
+  if (plans_.emplace(key, std::move(plan)).second) prewarmed_.insert(key);
 }
 
 }  // namespace woha::core

@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/job_priority.hpp"
 #include "core/plan.hpp"
@@ -52,10 +53,20 @@ class PlanCache {
   [[nodiscard]] std::shared_ptr<const SchedulingPlan> get_or_compute(
       std::uint64_t key, const std::function<SchedulingPlan()>& compute);
 
+  /// Plant a precomputed plan (parallel prewarm). The entry is marked
+  /// prewarmed: the first get_or_compute that claims it counts as a *miss*
+  /// — the computation did happen, just earlier and off-thread — so the
+  /// hit/miss tallies stay bit-identical to a serial, prewarm-free run.
+  /// A null plan or an already-present key is ignored.
+  void insert(std::uint64_t key, std::shared_ptr<const SchedulingPlan> plan);
+
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::size_t size() const { return plans_.size(); }
-  void clear() { plans_.clear(); }
+  void clear() {
+    plans_.clear();
+    prewarmed_.clear();
+  }
 
   /// Optional registry counters ("woha.plan_cache_hits"/"_misses");
   /// null detaches. Bumped alongside the local tallies.
@@ -66,6 +77,7 @@ class PlanCache {
 
  private:
   std::unordered_map<std::uint64_t, std::shared_ptr<const SchedulingPlan>> plans_;
+  std::unordered_set<std::uint64_t> prewarmed_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   obs::Counter* hit_counter_ = nullptr;

@@ -66,17 +66,17 @@ std::vector<std::uint8_t> serialize_plan(const SchedulingPlan& plan) {
   put_varint(out, static_cast<std::uint64_t>(plan.simulated_makespan));
   put_varint(out, plan.job_order.size());
   for (std::uint32_t j : plan.job_order) put_varint(out, j);
-  put_varint(out, plan.steps.size());
+  put_varint(out, plan.num_steps());
   // Steps are chronological: ttd strictly decreasing, cumulative_req
   // strictly increasing — delta-code both (ttd deltas from the previous
   // step going down, req deltas going up).
   Duration prev_ttd = plan.simulated_makespan;
   std::uint64_t prev_req = 0;
-  for (const ProgressStep& s : plan.steps) {
-    put_varint(out, static_cast<std::uint64_t>(prev_ttd - s.ttd));
-    put_varint(out, s.cumulative_req - prev_req);
-    prev_ttd = s.ttd;
-    prev_req = s.cumulative_req;
+  for (std::size_t i = 0; i < plan.num_steps(); ++i) {
+    put_varint(out, static_cast<std::uint64_t>(prev_ttd - plan.step_ttd(i)));
+    put_varint(out, plan.step_req(i) - prev_req);
+    prev_ttd = plan.step_ttd(i);
+    prev_req = plan.step_req(i);
   }
   return out;
 }
@@ -87,14 +87,14 @@ std::size_t serialized_plan_size(const SchedulingPlan& plan) {
   n += varint_size(static_cast<std::uint64_t>(plan.simulated_makespan));
   n += varint_size(plan.job_order.size());
   for (std::uint32_t j : plan.job_order) n += varint_size(j);
-  n += varint_size(plan.steps.size());
+  n += varint_size(plan.num_steps());
   Duration prev_ttd = plan.simulated_makespan;
   std::uint64_t prev_req = 0;
-  for (const ProgressStep& s : plan.steps) {
-    n += varint_size(static_cast<std::uint64_t>(prev_ttd - s.ttd));
-    n += varint_size(s.cumulative_req - prev_req);
-    prev_ttd = s.ttd;
-    prev_req = s.cumulative_req;
+  for (std::size_t i = 0; i < plan.num_steps(); ++i) {
+    n += varint_size(static_cast<std::uint64_t>(prev_ttd - plan.step_ttd(i)));
+    n += varint_size(plan.step_req(i) - prev_req);
+    prev_ttd = plan.step_ttd(i);
+    prev_req = plan.step_req(i);
   }
   return n;
 }
@@ -120,14 +120,14 @@ SchedulingPlan deserialize_plan(const std::vector<std::uint8_t>& bytes) {
     plan.job_rank[j] = pos;
   }
   const std::uint64_t nsteps = r.varint();
-  plan.steps.reserve(nsteps);
+  plan.reserve_steps(nsteps);
   Duration prev_ttd = plan.simulated_makespan;
   std::uint64_t prev_req = 0;
   for (std::uint64_t i = 0; i < nsteps; ++i) {
     const Duration ttd = prev_ttd - static_cast<Duration>(r.varint());
     const std::uint64_t req = prev_req + r.varint();
     if (ttd < 0) throw std::invalid_argument("plan: negative ttd");
-    plan.steps.push_back(ProgressStep{ttd, req});
+    plan.append_step(ttd, req);
     prev_ttd = ttd;
     prev_req = req;
   }

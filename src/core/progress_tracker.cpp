@@ -7,28 +7,28 @@ namespace woha::core {
 ProgressTracker::ProgressTracker(const SchedulingPlan* plan, SimTime deadline)
     : plan_(plan), deadline_(deadline) {
   if (!plan_) throw std::invalid_argument("ProgressTracker: null plan");
+  view_ = plan_->view();
 }
 
 SimTime ProgressTracker::next_change_time() const {
-  if (deadline_ == kTimeInfinity || index_ >= plan_->steps.size()) {
+  if (deadline_ == kTimeInfinity || index_ >= view_.size) {
     return kTimeInfinity;
   }
   // Step index_ fires at absolute time D - ttd. ttd can exceed the relative
   // deadline when the plan is lazier than the submission instant — such
   // steps fire "immediately" (clamped by advance_to's <= now test).
-  return deadline_ - plan_->steps[index_].ttd;
+  return deadline_ - view_.ttd[index_];
 }
 
 void ProgressTracker::advance_to(SimTime now) {
   if (deadline_ == kTimeInfinity) return;
-  while (index_ < plan_->steps.size() &&
-         deadline_ - plan_->steps[index_].ttd <= now) {
+  while (index_ < view_.size && deadline_ - view_.ttd[index_] <= now) {
     ++index_;
   }
 }
 
 std::uint64_t ProgressTracker::current_requirement() const {
-  return index_ == 0 ? 0 : plan_->steps[index_ - 1].cumulative_req;
+  return index_ == 0 ? 0 : view_.req[index_ - 1];
 }
 
 }  // namespace woha::core

@@ -58,6 +58,7 @@ class ProgressTracker {
 
  private:
   const SchedulingPlan* plan_;
+  PlanView view_;  // hot walk reads only view_.ttd until a step fires
   SimTime deadline_;
   std::size_t index_ = 0;  // first step that has NOT fired yet
   std::uint64_t rho_ = 0;

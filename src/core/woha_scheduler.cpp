@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
 
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/event_bus.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/scoped_timer.hpp"
@@ -31,6 +35,63 @@ void WohaScheduler::observe(obs::EventBus* bus, obs::MetricsRegistry* registry) 
 
 std::string WohaScheduler::name() const {
   return std::string("WOHA-") + core::to_string(config_.job_priority);
+}
+
+void WohaScheduler::on_pending_submissions(
+    const std::vector<wf::WorkflowSpec>& specs) {
+  const std::uint32_t total_slots =
+      config_.cluster_slots_override ? config_.cluster_slots_override : cluster_slots_;
+  // Prewarm only pays off with >= 2 distinct plans; an estimator makes
+  // planning inputs depend on submission order, so it must stay serial.
+  if (!config_.plan_cache || config_.plan_jobs == 1 || config_.estimator ||
+      total_slots == 0 || specs.size() < 2) {
+    return;
+  }
+  std::vector<std::pair<std::uint64_t, const wf::WorkflowSpec*>> unique;
+  std::unordered_set<std::uint64_t> seen;
+  for (const wf::WorkflowSpec& spec : specs) {
+    const std::uint64_t key =
+        plan_fingerprint(spec, total_slots, config_.job_priority,
+                         config_.cap_policy, config_.fixed_cap,
+                         config_.plan_deadline_factor);
+    if (seen.insert(key).second) unique.emplace_back(key, &spec);
+  }
+  if (unique.size() < 2) return;
+
+  // Plan generation is pure in (spec, slots, knobs): every worker reads
+  // only immutable inputs and writes its own slot, so no synchronization
+  // beyond wait_idle is needed. The bulk wall time lands in the same
+  // plan-generation histogram the serial path feeds.
+  std::vector<std::shared_ptr<const SchedulingPlan>> plans(unique.size());
+  std::vector<std::exception_ptr> errors(unique.size());
+  {
+    const obs::ScopedTimer plan_timer(plan_ns_);
+    ThreadPool pool(ThreadPool::resolve(config_.plan_jobs));
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      pool.submit([this, &plans, &errors, &unique, i, total_slots]() {
+        try {
+          const wf::WorkflowSpec& spec = *unique[i].second;
+          const auto rank = job_priority_ranks(spec, config_.job_priority);
+          plans[i] = std::make_shared<const SchedulingPlan>(plan_for_submission(
+              spec, rank, total_slots, config_.cap_policy, config_.fixed_cap,
+              config_.plan_deadline_factor));
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  // Install in submission order. A failed computation plants nothing: the
+  // corresponding on_workflow_submitted recomputes serially and surfaces
+  // the same exception at the same point a serial run would.
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    if (!errors[i]) plan_cache_.insert(unique[i].first, std::move(plans[i]));
+  }
+  WOHA_LOG(LogLevel::kInfo, "woha")
+      << "prewarmed " << plan_cache_.size() << " plan(s) for " << specs.size()
+      << " pending workflow(s) with " << ThreadPool::resolve(config_.plan_jobs)
+      << " thread(s)";
 }
 
 void WohaScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
@@ -68,11 +129,11 @@ void WohaScheduler::on_workflow_submitted(WorkflowId wf, SimTime now) {
   }
   WOHA_LOG(LogLevel::kInfo, "woha")
       << "plan for workflow " << wf.value() << ": cap=" << plan->resource_cap
-      << " makespan=" << plan->simulated_makespan << " steps=" << plan->steps.size();
+      << " makespan=" << plan->simulated_makespan << " steps=" << plan->num_steps();
   if (bus_ && bus_->active()) {
     bus_->publish(now, obs::PlanGenerated{wf.value(), plan->resource_cap,
                                           plan->simulated_makespan,
-                                          plan->steps.size(),
+                                          plan->num_steps(),
                                           plan->total_tasks()});
   }
 

@@ -54,6 +54,16 @@ struct WohaConfig {
   /// only trades memory for client CPU; disable to force per-instance
   /// generation (the plan-cache ablation does).
   bool plan_cache = true;
+  /// Worker threads for the pre-run plan prewarm (on_pending_submissions):
+  /// distinct fingerprints among the submitted workflows are planned in
+  /// parallel and planted in the cache before the simulation starts, so
+  /// on_workflow_submitted finds every plan already computed. 1 = serial
+  /// (prewarm off, the default); 0 = hardware concurrency. Results install
+  /// in submission order and a claimed prewarm counts as a cache miss, so
+  /// schedules, digests, and hit/miss tallies are bit-identical to serial.
+  /// Ignored when plan_cache is off or an estimator is configured (a
+  /// learning estimator's output depends on submission order).
+  unsigned plan_jobs = 1;
 };
 
 class WohaScheduler final : public hadoop::WorkflowScheduler {
@@ -71,6 +81,7 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
     set_cluster_slots(total_map_slots + total_reduce_slots);
   }
 
+  void on_pending_submissions(const std::vector<wf::WorkflowSpec>& specs) override;
   void on_workflow_submitted(WorkflowId wf, SimTime now) override;
   void on_job_activated(hadoop::JobRef job, SimTime now) override;
   void on_job_completed(hadoop::JobRef job, SimTime now) override;

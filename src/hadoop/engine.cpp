@@ -31,6 +31,12 @@ Engine::Engine(EngineConfig config, std::unique_ptr<WorkflowScheduler> scheduler
   if (config_.hdfs_replication == 0) {
     throw std::invalid_argument("Engine: hdfs_replication must be >= 1");
   }
+  if (config_.cluster.heartbeat_period <= 0) {
+    throw std::invalid_argument("Engine: heartbeat_period must be positive");
+  }
+  if (config_.heartbeat_batch == 0) {
+    throw std::invalid_argument("Engine: heartbeat_batch must be >= 1");
+  }
   config_.faults.validate(cluster_.tracker_count());
   config_.admission.validate();
   config_.elasticity.validate(cluster_.tracker_count());
@@ -137,6 +143,12 @@ void Engine::run() {
   const std::size_t expected_workflows = pending_submissions_.size();
   if (expected_workflows == 0) return;  // nothing to run
 
+  // Hand the scheduler the full submission list before the first event so
+  // it can precompute (WOHA's parallel plan prewarm). Only when admission
+  // control is off: every spec is then guaranteed to reach
+  // on_workflow_submitted, keeping cache tallies identical to serial.
+  if (!admission_) scheduler_->on_pending_submissions(pending_submissions_);
+
   // Schedule workflow submissions.
   for (auto& spec : pending_submissions_) {
     const SimTime at = std::max<SimTime>(0, spec.submit_time);
@@ -196,7 +208,6 @@ void Engine::run() {
 
   // Heartbeat loops, staggered so the master sees a steady request stream.
   const Duration hb = config_.cluster.heartbeat_period;
-  if (hb <= 0) throw std::invalid_argument("Engine: heartbeat_period must be positive");
   for (std::size_t i = 0; i < cluster_.tracker_count(); ++i) {
     const SimTime first =
         config_.cluster.stagger_heartbeats
@@ -233,6 +244,7 @@ void Engine::run() {
 }
 
 void Engine::do_submit(wf::WorkflowSpec spec) {
+  ++avail_version_;  // a new workflow can make empty select answers stale
   ++workflows_submitted_;
   if (admission_) {
     const AdmissionDecision decision = admission_->decide(spec, sim_.now());
@@ -317,10 +329,9 @@ void Engine::shed_workflow(std::uint32_t workflow, SimTime now) {
     const Attempt a =
         kill_attempt(id, fs.dead ? fs.crash_time : now, obs::KillCause::kShed);
     if (a.rival != 0) {
-      const auto rit = attempts_.find(a.rival);
-      if (rit != attempts_.end()) {
-        rit->second.rival = 0;
-        spec_candidate_add(a.rival, rit->second);
+      if (Attempt* rival = attempts_.find(a.rival)) {
+        rival->rival = 0;
+        spec_candidate_add(a.rival, *rival);
       }
     }
   }
@@ -335,6 +346,7 @@ void Engine::shed_workflow(std::uint32_t workflow, SimTime now) {
 void Engine::activate_job(JobRef ref) {
   // The workflow may have failed while the submitter task was loading.
   if (job_tracker_.workflow(WorkflowId(ref.workflow)).failed()) return;
+  ++avail_version_;  // the job's tasks become schedulable
   JobInProgress& job = job_tracker_.job(ref);
   job.mark_active(sim_.now());
   WOHA_LOG(LogLevel::kDebug, "engine")
@@ -361,20 +373,43 @@ void Engine::heartbeat(std::size_t tracker_index) {
 
   // Per-job blacklisting: the offered slot carries an eligibility filter so
   // a blacklisted job can still run elsewhere but never again on this node.
-  std::function<bool(JobRef)> eligible;
   const std::function<bool(JobRef)>* filter = nullptr;
   if (!blacklist_.empty()) {
-    eligible = [this, tracker_index](JobRef ref) {
-      return !blacklisted(ref, tracker_index);
-    };
-    filter = &eligible;
+    if (!blacklist_filter_) {
+      blacklist_filter_ = [this](JobRef ref) {
+        return !blacklisted(ref, heartbeat_tracker_);
+      };
+    }
+    heartbeat_tracker_ = tracker_index;
+    filter = &blacklist_filter_;
   }
+
+  // Same-tick batching: an empty select answer is a function of the instant
+  // and the availability state, never of the asking tracker (no baseline or
+  // WOHA scheduler reads the tracker index before deciding it has nothing
+  // to hand out, and an empty answer mutates no scheduler state). Serving
+  // sibling heartbeats of the same tick from the memo skips the scheduler
+  // walk and the clock reads; a filtered offer or an active tracing bus
+  // (skipped consults would drop SchedulerDecision events) disables it.
+  const bool memo_enabled =
+      config_.heartbeat_batch > 1 && filter == nullptr && !events_.active();
 
   // Offer every idle slot on this tracker; maps first (Hadoop-1's
   // assignTasks fills map slots before reduce slots).
   std::uint32_t assigned[2] = {0, 0};
   for (const SlotType type : {SlotType::kMap, SlotType::kReduce}) {
+    const auto ti = static_cast<std::size_t>(type);
     while (tracker.free_slots(type) > 0) {
+      if (memo_enabled && memo_empty_[ti] && memo_tick_ == sim_.now() &&
+          memo_version_[ti] == avail_version_ &&
+          memo_uses_[ti] < config_.heartbeat_batch - 1) {
+        // Served from the batch memo. The master still answered this offer,
+        // so it counts as a select call — summaries stay bit-identical to
+        // an unbatched run.
+        ++memo_uses_[ti];
+        ++select_calls_;
+        break;
+      }
       const SlotOffer offer{type, tracker_index, filter};
       const auto t0 = std::chrono::steady_clock::now();
       const auto choice = scheduler_->select_task(offer, sim_.now());
@@ -385,9 +420,17 @@ void Engine::heartbeat(std::size_t tracker_index) {
         handles_.select_ns->observe(
             std::chrono::duration<double, std::nano>(t1 - t0).count());
       }
-      if (!choice) break;
+      if (!choice) {
+        if (memo_enabled) {
+          memo_tick_ = sim_.now();
+          memo_version_[ti] = avail_version_;
+          memo_empty_[ti] = true;
+          memo_uses_[ti] = 0;
+        }
+        break;
+      }
       start_task(*choice, type, tracker_index);
-      ++assigned[static_cast<std::size_t>(type)];
+      ++assigned[ti];
     }
     // Slots no pending task wants may still host speculative backups.
     if (config_.faults.speculative_execution) {
@@ -515,12 +558,12 @@ void Engine::spec_candidate_remove(std::uint64_t id, const Attempt& a) {
 }
 
 void Engine::finish_attempt(std::uint64_t attempt_id) {
-  const auto it = attempts_.find(attempt_id);
-  if (it == attempts_.end()) {
+  if (!attempts_.contains(attempt_id)) {
     throw std::logic_error("Engine: finish event for unknown attempt");
   }
-  const Attempt a = it->second;
-  attempts_.erase(it);
+  // Retries, unlocked dependents, and rho changes can all create work.
+  ++avail_version_;
+  const Attempt a = attempts_.take(attempt_id);
   index_attempt_remove(attempt_id, a);
   std::erase(tracker_attempts_[a.tracker], attempt_id);
   cluster_.release(a.tracker, a.type);
@@ -542,10 +585,9 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
     if (a.rival != 0) {
       // The speculation twin keeps running the task alone; this failure
       // burns an attempt but re-queues nothing.
-      const auto rit = attempts_.find(a.rival);
-      if (rit != attempts_.end()) {
-        rit->second.rival = 0;
-        spec_candidate_add(a.rival, rit->second);
+      if (Attempt* rival = attempts_.find(a.rival)) {
+        rival->rival = 0;
+        spec_candidate_add(a.rival, *rival);
       }
       publish_ended(true);
       return;
@@ -625,9 +667,9 @@ void Engine::finish_attempt(std::uint64_t attempt_id) {
 
 Engine::Attempt Engine::kill_attempt(std::uint64_t attempt_id, SimTime stop_time,
                                      obs::KillCause cause) {
-  Attempt a = attempts_.at(attempt_id);
+  ++avail_version_;  // the killed attempt's task may re-enter the pool
+  Attempt a = attempts_.take(attempt_id);
   a.finish_event.cancel();
-  attempts_.erase(attempt_id);
   index_attempt_remove(attempt_id, a);
   std::erase(tracker_attempts_[a.tracker], attempt_id);
   cluster_.release(a.tracker, a.type);
@@ -728,6 +770,7 @@ void Engine::detect_tracker_loss(std::size_t tracker_index) {
   TrackerFaultState& fs = fault_state_[tracker_index];
   if (!fs.dead || fs.detected) return;
   fs.detected = true;
+  ++avail_version_;  // re-queued tasks and invalidated map outputs
   WOHA_LOG(LogLevel::kInfo, "engine")
       << "t=" << sim_.now() << " tracker " << tracker_index
       << " declared lost (crashed at " << fs.crash_time << ")";
@@ -741,10 +784,9 @@ void Engine::detect_tracker_loss(std::size_t tracker_index) {
     const Attempt a = kill_attempt(id, fs.crash_time, obs::KillCause::kNodeLoss);
     if (a.rival != 0) {
       // The task lives on in its speculation twin — nothing to re-queue.
-      const auto rit = attempts_.find(a.rival);
-      if (rit != attempts_.end()) {
-        rit->second.rival = 0;
-        spec_candidate_add(a.rival, rit->second);
+      if (Attempt* rival = attempts_.find(a.rival)) {
+        rival->rival = 0;
+        spec_candidate_add(a.rival, *rival);
       }
       continue;
     }
@@ -811,10 +853,9 @@ void Engine::fail_workflow(std::uint32_t workflow, SimTime now) {
     const Attempt a = kill_attempt(id, fs.dead ? fs.crash_time : now,
                                    obs::KillCause::kWorkflowFailed);
     if (a.rival != 0) {
-      const auto rit = attempts_.find(a.rival);
-      if (rit != attempts_.end()) {
-        rit->second.rival = 0;
-        spec_candidate_add(a.rival, rit->second);
+      if (Attempt* rival = attempts_.find(a.rival)) {
+        rival->rival = 0;
+        spec_candidate_add(a.rival, *rival);
       }
     }
   }
@@ -984,10 +1025,9 @@ std::uint32_t Engine::migrate_off(std::size_t tracker_index,
     const Attempt a = kill_attempt(id, sim_.now(), cause);
     if (a.rival != 0) {
       // The task lives on in its speculation twin — nothing to re-queue.
-      const auto rit = attempts_.find(a.rival);
-      if (rit != attempts_.end()) {
-        rit->second.rival = 0;
-        spec_candidate_add(a.rival, rit->second);
+      if (Attempt* rival = attempts_.find(a.rival)) {
+        rival->rival = 0;
+        spec_candidate_add(a.rival, *rival);
       }
       continue;
     }
@@ -1002,6 +1042,7 @@ std::uint32_t Engine::migrate_off(std::size_t tracker_index,
 
 void Engine::retire_tracker(std::size_t tracker_index, std::uint32_t migrated,
                             bool preempted) {
+  ++avail_version_;  // invalidated map outputs re-enter the pending pool
   // Map outputs stranded on the node's local disk leave with it, exactly as
   // in Hadoop's decommission: completed maps of in-flight jobs re-execute.
   for (const auto& [ref, count] : map_outputs_[tracker_index]) {

@@ -10,6 +10,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "hadoop/job.hpp"
@@ -66,6 +67,18 @@ class WorkflowScheduler {
                                      std::uint32_t total_reduce_slots) {
     (void)total_map_slots;
     (void)total_reduce_slots;
+  }
+
+  /// The full list of workflows the run will submit, in submission order,
+  /// delivered once before the first simulated event. Lets a scheduler
+  /// precompute per-workflow artifacts off the critical path (WOHA prewarms
+  /// its plan cache on a thread pool). Implementations must not change
+  /// observable scheduling behaviour: results may only be installed where a
+  /// later on_workflow_submitted would recompute them bit-identically. The
+  /// engine only calls this when every listed spec is guaranteed to reach
+  /// on_workflow_submitted (admission control disabled).
+  virtual void on_pending_submissions(const std::vector<wf::WorkflowSpec>& specs) {
+    (void)specs;
   }
 
   /// A new workflow arrived (its configuration — and, for WOHA, its

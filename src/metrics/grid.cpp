@@ -102,13 +102,27 @@ std::vector<ExperimentResult> run_grid(const std::vector<GridPoint>& points,
   return results;
 }
 
+std::optional<unsigned> parse_jobs(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  unsigned long v = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+    v = v * 10 + static_cast<unsigned long>(*p - '0');
+    if (v > kMaxJobs) return std::nullopt;
+  }
+  return static_cast<unsigned>(v);
+}
+
 unsigned jobs_from_env() {
   const char* env = std::getenv("WOHA_JOBS");
   if (env == nullptr || *env == '\0') return 1;
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(env, &end, 10);
-  if (end == env || *end != '\0') return 1;
-  return static_cast<unsigned>(v);
+  const std::optional<unsigned> jobs = parse_jobs(env);
+  if (!jobs) {
+    throw std::invalid_argument(
+        std::string("WOHA_JOBS: expected a plain decimal in [0, ") +
+        std::to_string(kMaxJobs) + "], got \"" + env + "\"");
+  }
+  return *jobs;
 }
 
 }  // namespace woha::metrics

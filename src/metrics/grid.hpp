@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "metrics/report.hpp"
@@ -68,8 +69,18 @@ struct GridOptions {
     const std::vector<GridPoint>& points, const GridOptions& options = {},
     const ObsHooks& hooks = {});
 
-/// The WOHA_JOBS environment knob: parses a non-negative integer (0 =
-/// hardware concurrency); absent or malformed = 1 (serial).
+/// Strict parser behind every jobs knob (`--jobs N`, WOHA_JOBS). Accepts
+/// only a plain decimal: 0 = hardware concurrency, N = exactly N workers.
+/// Anything else — empty, a sign (so "-1" can never wrap through strtoul
+/// into a four-billion-thread pool), non-digits, trailing garbage, or a
+/// value above kMaxJobs — returns nullopt so callers can fail loudly
+/// instead of silently running serial.
+inline constexpr unsigned kMaxJobs = 4096;
+[[nodiscard]] std::optional<unsigned> parse_jobs(const char* text);
+
+/// The WOHA_JOBS environment knob: absent or empty = 1 (serial); otherwise
+/// parse_jobs semantics. Throws std::invalid_argument on a malformed value
+/// — a typo must not silently degrade a sweep to one thread.
 [[nodiscard]] unsigned jobs_from_env();
 
 }  // namespace woha::metrics

@@ -17,11 +17,13 @@ namespace woha::metrics {
 
 namespace {
 
-SchedulerEntry woha_entry(core::JobPriorityPolicy policy) {
+SchedulerEntry woha_entry(core::JobPriorityPolicy policy,
+                          unsigned plan_jobs = 1) {
   return SchedulerEntry{
-      std::string("WOHA-") + core::to_string(policy), [policy]() {
+      std::string("WOHA-") + core::to_string(policy), [policy, plan_jobs]() {
         core::WohaConfig config;
         config.job_priority = policy;
+        config.plan_jobs = plan_jobs;
         return std::make_unique<core::WohaScheduler>(config);
       }};
 }
@@ -36,11 +38,13 @@ std::vector<SchedulerEntry> baseline_schedulers() {
   };
 }
 
-std::vector<SchedulerEntry> paper_schedulers() {
+std::vector<SchedulerEntry> paper_schedulers() { return paper_schedulers(1); }
+
+std::vector<SchedulerEntry> paper_schedulers(unsigned plan_jobs) {
   auto entries = baseline_schedulers();
-  entries.push_back(woha_entry(core::JobPriorityPolicy::kLpf));
-  entries.push_back(woha_entry(core::JobPriorityPolicy::kHlf));
-  entries.push_back(woha_entry(core::JobPriorityPolicy::kMpf));
+  entries.push_back(woha_entry(core::JobPriorityPolicy::kLpf, plan_jobs));
+  entries.push_back(woha_entry(core::JobPriorityPolicy::kHlf, plan_jobs));
+  entries.push_back(woha_entry(core::JobPriorityPolicy::kMpf, plan_jobs));
   return entries;
 }
 

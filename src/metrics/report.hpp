@@ -25,6 +25,12 @@ struct SchedulerEntry {
 /// min-feasible resource cap and the Double Skip List queue).
 [[nodiscard]] std::vector<SchedulerEntry> paper_schedulers();
 
+/// Same roster with the WOHA entries configured for the pre-run parallel
+/// plan prewarm (WohaConfig::plan_jobs; 1 = serial, 0 = hardware
+/// concurrency). Bit-identical results at any value — the knob only moves
+/// plan generation off the critical path.
+[[nodiscard]] std::vector<SchedulerEntry> paper_schedulers(unsigned plan_jobs);
+
 /// Just the three baselines (EDF, FIFO, Fair).
 [[nodiscard]] std::vector<SchedulerEntry> baseline_schedulers();
 

@@ -161,7 +161,8 @@ TEST(InvariantAuditor, EventTimeRegressionThrows) {
 template <class Queue>
 void expect_desync_detected() {
   core::SchedulingPlan plan;
-  plan.steps = {{minutes(10), 2}, {minutes(5), 4}};
+  plan.append_step(minutes(10), 2);
+  plan.append_step(minutes(5), 4);
   plan.resource_cap = 2;
   Queue queue;
   queue.insert(7, core::ProgressTracker(&plan, minutes(20)));

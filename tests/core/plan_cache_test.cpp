@@ -112,6 +112,43 @@ TEST(PlanCache, MissComputesHitShares) {
   EXPECT_EQ(computes, 3);
 }
 
+TEST(PlanCache, PrewarmedInsertClaimsAsMissThenHits) {
+  // The parallel prewarm plants plans before any submission. The tallies
+  // must stay indistinguishable from a serial run: the first claim of a
+  // prewarmed entry is the miss it replaced, later lookups are hits.
+  PlanCache cache;
+  int computes = 0;
+  const auto compute = [&computes] {
+    ++computes;
+    return SchedulingPlan{};
+  };
+  auto plan = std::make_shared<const SchedulingPlan>();
+  cache.insert(7, plan);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);  // nothing claimed yet
+
+  const auto first = cache.get_or_compute(7, compute);
+  EXPECT_EQ(computes, 0) << "the prewarmed plan must be reused, not recomputed";
+  EXPECT_EQ(first.get(), plan.get());
+  EXPECT_EQ(cache.misses(), 1u) << "a claimed prewarm counts as the serial miss";
+  EXPECT_EQ(cache.hits(), 0u);
+
+  (void)cache.get_or_compute(7, compute);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Null plans and duplicate keys are ignored; clear() also drops the
+  // prewarm markers.
+  cache.insert(7, std::make_shared<const SchedulingPlan>());
+  EXPECT_EQ(cache.get_or_compute(7, compute).get(), plan.get());
+  cache.insert(9, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  (void)cache.get_or_compute(7, compute);
+  EXPECT_EQ(computes, 1) << "clear() must forget prewarmed entries too";
+}
+
 TEST(PlanCache, BoundCountersTrackHitsAndMisses) {
   obs::MetricsRegistry registry;
   PlanCache cache;

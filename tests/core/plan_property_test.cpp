@@ -33,9 +33,9 @@ TEST_P(PlanProperty, InvariantsHold) {
     EXPECT_EQ(plan.total_tasks(), spec.total_tasks());
 
     // 2. Steps strictly ordered: descending ttd, increasing cumulative req.
-    for (std::size_t i = 1; i < plan.steps.size(); ++i) {
-      EXPECT_LT(plan.steps[i].ttd, plan.steps[i - 1].ttd);
-      EXPECT_GT(plan.steps[i].cumulative_req, plan.steps[i - 1].cumulative_req);
+    for (std::size_t i = 1; i < plan.num_steps(); ++i) {
+      EXPECT_LT(plan.step_ttd(i), plan.step_ttd(i - 1));
+      EXPECT_GT(plan.step_req(i), plan.step_req(i - 1));
     }
 
     // 3. Makespan bounded below by both lower bounds and above by serial
@@ -48,30 +48,31 @@ TEST_P(PlanProperty, InvariantsHold) {
     // 4. The first scheduling instant is the plan's own makespan (work
     //    starts immediately in the client simulation) and the last step is
     //    strictly before completion.
-    ASSERT_FALSE(plan.steps.empty());
-    EXPECT_EQ(plan.steps.front().ttd, plan.simulated_makespan);
-    EXPECT_GT(plan.steps.back().ttd, 0);
+    ASSERT_GT(plan.num_steps(), 0u);
+    EXPECT_EQ(plan.step_ttd(0), plan.simulated_makespan);
+    EXPECT_GT(plan.step_ttd(plan.num_steps() - 1), 0);
 
     // 5. At no instant does the requirement increase by more than the cap
     //    allows per wave... a single instant can schedule at most `cap`
     //    tasks (the pool size).
     std::uint64_t prev = 0;
-    for (const auto& step : plan.steps) {
-      EXPECT_LE(step.cumulative_req - prev, cap);
-      prev = step.cumulative_req;
+    for (std::size_t i = 0; i < plan.num_steps(); ++i) {
+      EXPECT_LE(plan.step_req(i) - prev, cap);
+      prev = plan.step_req(i);
     }
 
     // 6. required_at is the right-continuous step function of the list.
     EXPECT_EQ(plan.required_at(plan.simulated_makespan + 1), 0u);
     EXPECT_EQ(plan.required_at(0), spec.total_tasks());
-    for (const auto& step : plan.steps) {
-      EXPECT_EQ(plan.required_at(step.ttd), step.cumulative_req);
-      EXPECT_LT(plan.required_at(step.ttd + 1), step.cumulative_req + 1);
+    for (std::size_t i = 0; i < plan.num_steps(); ++i) {
+      EXPECT_EQ(plan.required_at(plan.step_ttd(i)), plan.step_req(i));
+      EXPECT_LT(plan.required_at(plan.step_ttd(i) + 1), plan.step_req(i) + 1);
     }
 
     // 7. Serialization round-trips.
     const auto restored = deserialize_plan(serialize_plan(plan));
-    EXPECT_EQ(restored.steps, plan.steps);
+    EXPECT_EQ(restored.step_ttds(), plan.step_ttds());
+    EXPECT_EQ(restored.step_reqs(), plan.step_reqs());
     EXPECT_EQ(restored.job_order, plan.job_order);
   }
 }

@@ -23,7 +23,8 @@ TEST(PlanSerialization, RoundTripPreservesEverything) {
   EXPECT_EQ(restored.simulated_makespan, plan.simulated_makespan);
   EXPECT_EQ(restored.job_order, plan.job_order);
   EXPECT_EQ(restored.job_rank, plan.job_rank);
-  EXPECT_EQ(restored.steps, plan.steps);
+  EXPECT_EQ(restored.step_ttds(), plan.step_ttds());
+  EXPECT_EQ(restored.step_reqs(), plan.step_reqs());
 }
 
 class PlanRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
@@ -40,7 +41,8 @@ TEST_P(PlanRoundTrip, RandomWorkflows) {
 
   const auto bytes = serialize_plan(plan);
   const auto restored = deserialize_plan(bytes);
-  EXPECT_EQ(restored.steps, plan.steps);
+  EXPECT_EQ(restored.step_ttds(), plan.step_ttds());
+  EXPECT_EQ(restored.step_reqs(), plan.step_reqs());
   EXPECT_EQ(restored.job_order, plan.job_order);
   EXPECT_EQ(restored.resource_cap, plan.resource_cap);
 }

@@ -31,10 +31,9 @@ TEST(Plan, HandComputedSingleJobTwoWaves) {
 
   const auto plan = generate_plan(spec, 2, identity_rank(1));
   EXPECT_EQ(plan.simulated_makespan, 40);
-  ASSERT_EQ(plan.steps.size(), 3u);
-  EXPECT_EQ(plan.steps[0], (ProgressStep{40, 2}));
-  EXPECT_EQ(plan.steps[1], (ProgressStep{30, 3}));
-  EXPECT_EQ(plan.steps[2], (ProgressStep{20, 5}));
+  ASSERT_EQ(plan.num_steps(), 3u);
+  EXPECT_EQ(plan.step_ttds(), (std::vector<Duration>{40, 30, 20}));
+  EXPECT_EQ(plan.step_reqs(), (std::vector<std::uint64_t>{2, 3, 5}));
   EXPECT_EQ(plan.total_tasks(), 5u);
 }
 
@@ -50,9 +49,9 @@ TEST(Plan, HandComputedChainOfMapOnlyJobs) {
   }
   const auto plan = generate_plan(spec, 1, identity_rank(2));
   EXPECT_EQ(plan.simulated_makespan, 20);
-  ASSERT_EQ(plan.steps.size(), 2u);
-  EXPECT_EQ(plan.steps[0], (ProgressStep{20, 1}));
-  EXPECT_EQ(plan.steps[1], (ProgressStep{10, 2}));
+  ASSERT_EQ(plan.num_steps(), 2u);
+  EXPECT_EQ(plan.step_ttds(), (std::vector<Duration>{20, 10}));
+  EXPECT_EQ(plan.step_reqs(), (std::vector<std::uint64_t>{1, 2}));
 }
 
 TEST(Plan, RequiredAtStepFunction) {
@@ -81,10 +80,10 @@ TEST(Plan, StepsStrictlyDecreasingTtdIncreasingReq) {
   const auto spec = wf::paper_fig7_topology();
   const auto rank = job_priority_ranks(spec, JobPriorityPolicy::kLpf);
   const auto plan = generate_plan(spec, 32, rank);
-  ASSERT_FALSE(plan.steps.empty());
-  for (std::size_t i = 1; i < plan.steps.size(); ++i) {
-    EXPECT_LT(plan.steps[i].ttd, plan.steps[i - 1].ttd);
-    EXPECT_GT(plan.steps[i].cumulative_req, plan.steps[i - 1].cumulative_req);
+  ASSERT_GT(plan.num_steps(), 0u);
+  for (std::size_t i = 1; i < plan.num_steps(); ++i) {
+    EXPECT_LT(plan.step_ttd(i), plan.step_ttd(i - 1));
+    EXPECT_GT(plan.step_req(i), plan.step_req(i - 1));
   }
   EXPECT_EQ(plan.total_tasks(), spec.total_tasks());
 }
@@ -154,8 +153,8 @@ TEST(Plan, JobOrderControlsSchedulingOrder) {
   EXPECT_EQ(plan_b_first.job_order, (std::vector<std::uint32_t>{1, 0}));
   // Same total but different step times from a-first.
   const auto plan_a_first = generate_plan(spec, 1, {0, 1});
-  EXPECT_EQ(plan_a_first.steps[1].ttd, 30);   // b scheduled at t=10
-  EXPECT_EQ(plan_b_first.steps[1].ttd, 10);   // a scheduled at t=30
+  EXPECT_EQ(plan_a_first.step_ttd(1), 30);   // b scheduled at t=10
+  EXPECT_EQ(plan_b_first.step_ttd(1), 10);   // a scheduled at t=30
 }
 
 TEST(Plan, RejectsBadArguments) {

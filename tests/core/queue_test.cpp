@@ -25,10 +25,11 @@ class QueueTest : public ::testing::TestWithParam<QueueKind> {
 
   /// Register a workflow whose requirement steps are given as (ttd, cum).
   void add(std::uint32_t id, SimTime deadline,
-           std::vector<ProgressStep> steps) {
+           std::vector<std::pair<Duration, std::uint64_t>> steps) {
     SchedulingPlan plan;
-    plan.steps = std::move(steps);
-    plan.simulated_makespan = plan.steps.empty() ? 0 : plan.steps.front().ttd;
+    plan.reserve_steps(steps.size());
+    for (const auto& [ttd, cum] : steps) plan.append_step(ttd, cum);
+    plan.simulated_makespan = steps.empty() ? 0 : steps.front().first;
     plans_.push_back(std::move(plan));
     queue_->insert(id, ProgressTracker(&plans_.back(), deadline));
   }
@@ -161,11 +162,11 @@ TEST_P(QueueEquivalence, AllThreeImplementationsAgree) {
     std::uint64_t cum = 0;
     for (int s = 0; s < n_steps; ++s) {
       cum += static_cast<std::uint64_t>(rng.uniform_int(1, 9));
-      plan.steps.push_back(ProgressStep{ttd, cum});
+      plan.append_step(ttd, cum);
       ttd -= rng.uniform_int(5, 40);
       if (ttd <= 0) break;
     }
-    plan.simulated_makespan = plan.steps.front().ttd;
+    plan.simulated_makespan = plan.step_ttd(0);
     plans.push_back(std::move(plan));
     deadlines.push_back(rng.uniform_int(100, 500));
   }
@@ -228,10 +229,9 @@ TEST(QueueEquivalence, EqualLagTieBreakIsIdenticalAcrossImplementations) {
   // ct structures).
   SchedulingPlan plan;
   for (Duration ttd = 400; ttd > 0; ttd -= 40) {
-    plan.steps.push_back(
-        ProgressStep{ttd, static_cast<std::uint64_t>((400 - ttd) / 40 + 1)});
+    plan.append_step(ttd, static_cast<std::uint64_t>((400 - ttd) / 40 + 1));
   }
-  plan.simulated_makespan = plan.steps.front().ttd;
+  plan.simulated_makespan = plan.step_ttd(0);
   constexpr SimTime kDeadline = 400;
 
   auto dsl = make_queue(QueueKind::kDsl);

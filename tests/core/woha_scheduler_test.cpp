@@ -66,7 +66,7 @@ TEST(WohaScheduler, GeneratesPlanPerWorkflow) {
   for (std::uint32_t w = 0; w < 3; ++w) {
     const SchedulingPlan* plan = raw->plan_of(WorkflowId(w));
     ASSERT_NE(plan, nullptr);
-    EXPECT_GT(plan->steps.size(), 0u);
+    EXPECT_GT(plan->num_steps(), 0u);
     EXPECT_EQ(plan->total_tasks(), wf::paper_fig7_topology().total_tasks());
     EXPECT_GE(plan->resource_cap, 1u);
     EXPECT_LE(plan->resource_cap, config.cluster.total_slots());

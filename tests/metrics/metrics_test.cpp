@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+
+#include "metrics/grid.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
 #include "metrics/timeline.hpp"
@@ -140,6 +145,41 @@ TEST(Sweep, RunsGridAndFormats) {
   EXPECT_NE(rendered.find("Deadline miss ratio (Fig. 8)"), std::string::npos);
   EXPECT_NE(rendered.find("6m-6r"), std::string::npos);
   EXPECT_NE(rendered.find("WOHA-LPF"), std::string::npos);
+}
+
+TEST(JobsKnob, ParseJobsAcceptsPlainDecimals) {
+  // 0 is the documented "hardware concurrency" request, not an error.
+  EXPECT_EQ(parse_jobs("0"), 0u);
+  EXPECT_EQ(parse_jobs("1"), 1u);
+  EXPECT_EQ(parse_jobs("8"), 8u);
+  EXPECT_EQ(parse_jobs("4096"), kMaxJobs);
+}
+
+TEST(JobsKnob, ParseJobsRejectsEverythingElse) {
+  // Regression: "--jobs -1" used to flow through strtoul, wrap to
+  // ULONG_MAX, and ask ThreadPool for four billion workers; non-numeric
+  // values silently became 0 (= hardware concurrency). Both must fail.
+  for (const char* bad : {"", "-1", "-0", "+2", "2x", "x2", " 4", "4 ",
+                          "1.5", "0x8", "4097", "99999999999999999999"}) {
+    EXPECT_EQ(parse_jobs(bad), std::nullopt) << '"' << bad << '"';
+  }
+  EXPECT_EQ(parse_jobs(nullptr), std::nullopt);
+}
+
+TEST(JobsKnob, JobsFromEnvParsesThrowsAndDefaults) {
+  ASSERT_EQ(unsetenv("WOHA_JOBS"), 0);
+  EXPECT_EQ(jobs_from_env(), 1u);  // absent = serial
+  ASSERT_EQ(setenv("WOHA_JOBS", "", 1), 0);
+  EXPECT_EQ(jobs_from_env(), 1u);  // empty = serial
+  ASSERT_EQ(setenv("WOHA_JOBS", "6", 1), 0);
+  EXPECT_EQ(jobs_from_env(), 6u);
+  ASSERT_EQ(setenv("WOHA_JOBS", "0", 1), 0);
+  EXPECT_EQ(jobs_from_env(), 0u);  // hardware concurrency, resolved later
+  for (const char* bad : {"-1", "2x", "garbage"}) {
+    ASSERT_EQ(setenv("WOHA_JOBS", bad, 1), 0);
+    EXPECT_THROW(jobs_from_env(), std::invalid_argument) << '"' << bad << '"';
+  }
+  ASSERT_EQ(unsetenv("WOHA_JOBS"), 0);
 }
 
 TEST(Sweep, PaperClusterSizes) {

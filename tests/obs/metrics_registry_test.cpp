@@ -231,6 +231,51 @@ TEST(MetricsRegistry, QuantileSingleObservationAndOverflowBucket) {
   EXPECT_LE(over.p99(), 90.0);
 }
 
+TEST(MetricsRegistry, QuantileDegenerateInputsPinned) {
+  // Exact values, not ranges: these inputs are where an interpolation bug
+  // (division by an empty bucket, NaN from 0/0, escaping [min, max]) would
+  // hide. Audited div-by-zero-free: a bucket is only interpolated when its
+  // count is nonzero, and every result clamps to the observed extrema.
+
+  // Empty histogram: every q, in range or not, is 0.
+  Histogram empty({10.0, 100.0});
+  for (const double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(empty.quantile(q), 0.0) << "q=" << q;
+  }
+
+  // Single sample: every quantile IS the sample; out-of-range q clamps.
+  Histogram single({10.0, 100.0});
+  single.observe(42.0);
+  for (const double q : {-0.5, 0.0, 0.25, 0.5, 0.99, 1.0, 7.0}) {
+    EXPECT_EQ(single.quantile(q), 42.0) << "q=" << q;
+  }
+
+  // All samples in the overflow bucket: interpolation runs from the last
+  // bound to the observed max, clamped to [min, max] = [50, 90].
+  Histogram over({10.0});
+  over.observe(50.0);
+  over.observe(90.0);
+  EXPECT_EQ(over.quantile(0.0), 50.0);
+  EXPECT_EQ(over.quantile(0.25), 50.0);  // raw lerp gives 30; clamp to min
+  EXPECT_EQ(over.quantile(0.5), 50.0);   // 10 + 0.5 * (90 - 10) = 50 exactly
+  EXPECT_EQ(over.quantile(1.0), 90.0);
+
+  // No bounds at all: one overflow bucket spanning [min, max].
+  Histogram boundless(std::vector<double>{});
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) boundless.observe(v);
+  EXPECT_EQ(boundless.quantile(0.0), 10.0);
+  EXPECT_EQ(boundless.quantile(0.5), 25.0);  // midpoint of [10, 40]
+  EXPECT_EQ(boundless.quantile(1.0), 40.0);
+
+  // Identical samples mid-bucket: the [min, max] clamp collapses the
+  // bucket-wide lerp to the one observed value.
+  Histogram constant({10.0, 100.0});
+  for (int i = 0; i < 10; ++i) constant.observe(50.0);
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(constant.quantile(q), 50.0) << "q=" << q;
+  }
+}
+
 TEST(MetricsRegistry, HistogramJsonCarriesPercentiles) {
   MetricsRegistry registry;
   auto& h = registry.histogram("lat", {10.0, 100.0});
