@@ -19,13 +19,18 @@
 // bit-identical to what recomputation would produce, so cached and
 // uncached runs yield identical scheduling decisions (pinned by
 // tests/core/plan_cache_test.cpp against the golden digests).
+//
+// Memory is bounded: an optional capacity evicts the least-recently-used
+// entry (single-threaded access order, hence deterministic). An evicted
+// fingerprint that recurs simply recomputes — a miss either way — so
+// capacity changes the hit/miss split but never a scheduling decision.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "core/job_priority.hpp"
 #include "core/plan.hpp"
@@ -48,8 +53,14 @@ namespace woha::core {
 
 class PlanCache {
  public:
+  /// Maximum retained entries; 0 (the default) = unbounded. Shrinking below
+  /// the current size evicts immediately, LRU-first.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
   /// Look `key` up; on a miss, invoke `compute` and remember the result.
-  /// The returned plan is shared and immutable.
+  /// The returned plan is shared and immutable. Hits (and prewarm claims)
+  /// refresh the entry's recency.
   [[nodiscard]] std::shared_ptr<const SchedulingPlan> get_or_compute(
       std::uint64_t key, const std::function<SchedulingPlan()>& compute);
 
@@ -62,26 +73,45 @@ class PlanCache {
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
   [[nodiscard]] std::size_t size() const { return plans_.size(); }
+  [[nodiscard]] bool contains(std::uint64_t key) const {
+    return plans_.count(key) != 0;
+  }
   void clear() {
     plans_.clear();
-    prewarmed_.clear();
+    lru_.clear();
   }
 
-  /// Optional registry counters ("woha.plan_cache_hits"/"_misses");
-  /// null detaches. Bumped alongside the local tallies.
-  void bind_counters(obs::Counter* hits, obs::Counter* misses) {
+  /// Optional registry counters ("woha.plan_cache_hits"/"_misses"/
+  /// "_evictions"); null detaches. Bumped alongside the local tallies.
+  void bind_counters(obs::Counter* hits, obs::Counter* misses,
+                     obs::Counter* evictions = nullptr) {
     hit_counter_ = hits;
     miss_counter_ = misses;
+    eviction_counter_ = evictions;
   }
 
  private:
-  std::unordered_map<std::uint64_t, std::shared_ptr<const SchedulingPlan>> plans_;
-  std::unordered_set<std::uint64_t> prewarmed_;
+  struct Entry {
+    std::shared_ptr<const SchedulingPlan> plan;
+    std::list<std::uint64_t>::iterator lru;  ///< position in lru_ (MRU front)
+    bool prewarmed = false;
+  };
+
+  void touch(Entry& entry);
+  void evict_over_capacity();
+
+  std::unordered_map<std::uint64_t, Entry> plans_;
+  /// Keys in recency order, most recent first; Entry::lru points into this.
+  std::list<std::uint64_t> lru_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
   obs::Counter* hit_counter_ = nullptr;
   obs::Counter* miss_counter_ = nullptr;
+  obs::Counter* eviction_counter_ = nullptr;
 };
 
 }  // namespace woha::core

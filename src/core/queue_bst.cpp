@@ -7,138 +7,258 @@
 
 namespace woha::core {
 
+constexpr BstQueue::PriKey BstQueue::kWalkFromHead;
+constexpr BstQueue::PriKey BstQueue::kWalkNothing;
+
 namespace {
 
-// std::map::emplace silently keeps the old entry on a duplicate key, which
-// here would unschedule a workflow forever. Same hardening as DslQueue.
-template <class Tree, class Key, class Value>
-void checked_emplace(Tree& tree, const Key& key, Value* st, const char* what) {
-  if (!tree.emplace(key, st).second) throw std::logic_error(what);
+// FlatTree::insert returns false on a duplicate key *without inserting*,
+// which here would unschedule a workflow forever. Same hardening as DslQueue.
+template <class Tree, class Key>
+void checked_emplace(Tree& tree, const Key& key, std::uint32_t slot,
+                     const char* what) {
+  if (!tree.insert(key, slot)) throw std::logic_error(what);
 }
 
 }  // namespace
 
+void BstQueue::note_moved(std::uint32_t slot, const PriKey& key) {
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    if (arena_.stamp(d, slot) != epoch_[d] && key < resume_[d]) {
+      resume_[d] = key;
+    }
+  }
+}
+
 void BstQueue::insert(std::uint32_t id, ProgressTracker tracker) {
-  if (states_.count(id)) throw std::invalid_argument("BstQueue: duplicate id");
-  auto st = std::make_unique<WfState>(WfState{id, std::move(tracker), 0, 0});
-  st->ct_key = st->tracker.next_change_time();
-  st->pri_key = -st->tracker.lag();
-  checked_emplace(ct_tree_, CtKey{st->ct_key, id}, st.get(),
+  if (arena_.slot_of(id) != WfStateArena::kNilSlot) {
+    throw std::invalid_argument("BstQueue: duplicate id");
+  }
+  const std::uint32_t slot = arena_.allocate(id, std::move(tracker));
+  const ProgressTracker& t = arena_.tracker(slot);
+  arena_.ct_key(slot) = t.next_change_time();
+  arena_.pri_key(slot) = -t.lag();
+  checked_emplace(ct_tree_, CtKey{arena_.ct_key(slot), id}, slot,
                   "BstQueue: duplicate ct key on insert");
-  checked_emplace(pri_tree_, PriKey{st->pri_key, id}, st.get(),
+  checked_emplace(pri_tree_, PriKey{arena_.pri_key(slot), id}, slot,
                   "BstQueue: duplicate pri key on insert");
-  states_.emplace(id, std::move(st));
+  ct_dirty_ = true;  // the newcomer's first step may already have fired
+  note_moved(slot, {arena_.pri_key(slot), id});
 }
 
 void BstQueue::remove(std::uint32_t id) {
-  const auto it = states_.find(id);
-  if (it == states_.end()) return;
-  ct_tree_.erase({it->second->ct_key, id});
-  pri_tree_.erase({it->second->pri_key, id});
-  states_.erase(it);
+  const std::uint32_t slot = arena_.slot_of(id);
+  if (slot == WfStateArena::kNilSlot) return;
+  ct_tree_.erase({arena_.ct_key(slot), id});
+  pri_tree_.erase({arena_.pri_key(slot), id});
+  arena_.release(slot);
+}
+
+void BstQueue::refresh(std::uint32_t slot, SimTime now) {
+  ProgressTracker& t = arena_.tracker(slot);
+  const std::uint32_t id = arena_.id(slot);
+  t.advance_to(now);
+  if (!pri_tree_.erase({arena_.pri_key(slot), id})) {
+    throw std::logic_error("BstQueue: stale pri key on refresh");
+  }
+  arena_.pri_key(slot) = -t.lag();
+  checked_emplace(pri_tree_, PriKey{arena_.pri_key(slot), id}, slot,
+                  "BstQueue: duplicate pri key on refresh");
+  arena_.ct_key(slot) = t.next_change_time();
+  checked_emplace(ct_tree_, CtKey{arena_.ct_key(slot), id}, slot,
+                  "BstQueue: duplicate ct key on refresh");
+  note_moved(slot, {arena_.pri_key(slot), id});
+}
+
+void BstQueue::refresh_fired(SimTime now) {
+  // Same per-instant memo as DslQueue::refresh_fired: once the orderings
+  // are clean for `now` and nothing was inserted since, skip the head peek.
+  if (!ct_dirty_ && ct_clean_now_ == now) return;
+  while (!ct_tree_.empty()) {
+    const std::uint32_t head = tree_head(ct_tree_);
+    if (ct_tree_.key(head).first > now) break;
+    const std::uint32_t slot = ct_tree_.value(head);
+    const CtKey head_key = ct_tree_.key(head);  // copy: erase invalidates
+    ct_tree_.erase(head_key);
+    refresh(slot, now);
+  }
+  ct_clean_now_ = now;
+  ct_dirty_ = false;
+}
+
+std::uint32_t BstQueue::commit_winner(std::uint32_t slot, const PriKey& old_key) {
+  ProgressTracker& t = arena_.tracker(slot);
+  const std::uint32_t id = arena_.id(slot);
+  t.count_scheduled();
+  arena_.pri_key(slot) = -t.lag();
+  checked_emplace(pri_tree_, PriKey{arena_.pri_key(slot), id}, slot,
+                  "BstQueue: duplicate pri key on assignment");
+  note_moved(slot, {arena_.pri_key(slot), id});
+  (void)old_key;
+  return id;
 }
 
 std::uint32_t BstQueue::assign(SimTime now,
                                const std::function<bool(std::uint32_t)>& can_use) {
-  while (!ct_tree_.empty()) {
-    const auto head = tree_begin(ct_tree_);
-    if (head->first.first > now) break;
-    WfState* st = head->second;
-    ct_tree_.erase(head);
-    st->tracker.advance_to(now);
-    if (pri_tree_.erase({st->pri_key, st->id}) != 1) {
-      throw std::logic_error("BstQueue: stale pri key on refresh");
-    }
-    st->pri_key = -st->tracker.lag();
-    checked_emplace(pri_tree_, PriKey{st->pri_key, st->id}, st,
-                    "BstQueue: duplicate pri key on refresh");
-    st->ct_key = st->tracker.next_change_time();
-    checked_emplace(ct_tree_, CtKey{st->ct_key, st->id}, st,
-                    "BstQueue: duplicate ct key on refresh");
-  }
+  refresh_fired(now);
 
-  WfState* chosen = nullptr;
-  for (auto it = tree_begin(pri_tree_); it != pri_tree_.end(); ++it) {
-    if (can_use(it->second->id)) {
-      chosen = it->second;
-      break;
+  if (pri_tree_.empty()) return kNone;
+  // Charge the ablation's per-consult head access (O(1) cached vs a
+  // root-to-min descent), then walk the priority order. Memo-free, like
+  // DslQueue::assign: only assign_batch consults the rejection memo.
+  (void)tree_head(pri_tree_);
+  std::uint32_t chosen = WfStateArena::kNilSlot;
+  PriKey chosen_key{};
+  pri_tree_.for_each([&](const PriKey& key, std::uint32_t slot) {
+    if (can_use(arena_.id(slot))) {
+      chosen = slot;
+      chosen_key = key;
+      return false;
     }
-  }
-  if (!chosen) return kNone;
+    return true;
+  });
+  if (chosen == WfStateArena::kNilSlot) return kNone;
 
-  if (pri_tree_.erase({chosen->pri_key, chosen->id}) != 1) {
+  if (!pri_tree_.erase(chosen_key)) {
     throw std::logic_error("BstQueue: stale pri key on assignment");
   }
-  chosen->tracker.count_scheduled();
-  chosen->pri_key = -chosen->tracker.lag();
-  checked_emplace(pri_tree_, PriKey{chosen->pri_key, chosen->id}, chosen,
-                  "BstQueue: duplicate pri key on assignment");
-  return chosen->id;
+  return commit_winner(chosen, chosen_key);
+}
+
+std::uint32_t BstQueue::assign_batch(
+    SimTime now, std::size_t domain, std::uint32_t k,
+    const std::function<bool(std::uint32_t)>& can_use,
+    const std::function<void(std::uint32_t)>& on_assign) {
+  if (k == 0) return 0;
+  refresh_fired(now);
+
+  const std::size_t d = domain;
+  std::uint32_t picks = 0;
+  while (picks < k) {
+    if (!cached_min_ && !pri_tree_.empty()) (void)pri_tree_.min_descend();
+    std::uint32_t chosen = WfStateArena::kNilSlot;
+    PriKey chosen_key{};
+    pri_tree_.for_each_from(resume_[d], [&](const PriKey& key,
+                                            std::uint32_t slot) {
+      if (arena_.stamp(d, slot) == epoch_[d]) return true;  // memoized "no"
+      if (can_use(arena_.id(slot))) {
+        chosen = slot;
+        chosen_key = key;
+        return false;
+      }
+      arena_.stamp(d, slot) = epoch_[d];
+      return true;
+    });
+    if (chosen == WfStateArena::kNilSlot) {
+      resume_[d] = kWalkNothing;
+      break;
+    }
+
+    if (!pri_tree_.erase(chosen_key)) {
+      throw std::logic_error("BstQueue: stale pri key on assignment");
+    }
+    // Resume at the winner's old key: its bumped key and the old successor
+    // both sort at or after it (see DslQueue::assign_batch).
+    resume_[d] = chosen_key;
+    const std::uint32_t id = commit_winner(chosen, chosen_key);
+    ++picks;
+    on_assign(id);
+  }
+  return picks;
+}
+
+void BstQueue::note_can_use_changed(std::uint32_t id) {
+  const std::uint32_t slot = arena_.slot_of(id);
+  if (slot == WfStateArena::kNilSlot) return;
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    arena_.stamp(d, slot) = 0;
+  }
+  note_moved(slot, {arena_.pri_key(slot), id});
+}
+
+void BstQueue::invalidate_probe_memo() {
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    ++epoch_[d];
+    resume_[d] = kWalkFromHead;
+  }
 }
 
 void BstQueue::top(std::size_t k, std::vector<QueueEntry>& out) const {
-  for (auto it = pri_tree_.begin(); it != pri_tree_.end() && out.size() < k;
-       ++it) {
-    const WfState* st = it->second;
-    out.push_back(QueueEntry{st->id, st->tracker.lag(),
-                             st->tracker.current_requirement(),
-                             st->tracker.rho()});
-  }
+  pri_tree_.for_each([&](const PriKey&, std::uint32_t slot) {
+    if (out.size() >= k) return false;
+    const ProgressTracker& t = arena_.tracker(slot);
+    out.push_back(QueueEntry{arena_.id(slot), t.lag(), t.current_requirement(),
+                             t.rho()});
+    return true;
+  });
 }
 
 void BstQueue::check_structure() const {
-  // std::map keeps its own ordering, so beyond sizes the checks are: cached
-  // keys in sync with trackers, tree keys matching the caches, and both
-  // trees covering the same id set (collected from the ordered trees, never
-  // by iterating the unordered states_ map).
-  if (ct_tree_.size() != states_.size() || pri_tree_.size() != states_.size()) {
+  arena_.check("BstQueue");
+  ct_tree_.validate();
+  pri_tree_.validate();
+  // The trees verify their own ordering and balance above; the remaining
+  // checks are: cached keys in sync with trackers, tree keys matching the
+  // caches, and both trees covering the same id set (collected from the
+  // ordered trees, never by iterating the arena's unordered id map).
+  if (ct_tree_.size() != arena_.size() || pri_tree_.size() != arena_.size()) {
     throw std::logic_error(
         "BstQueue::check_structure: index sizes diverged (states=" +
-        std::to_string(states_.size()) + " ct=" + std::to_string(ct_tree_.size()) +
+        std::to_string(arena_.size()) + " ct=" + std::to_string(ct_tree_.size()) +
         " pri=" + std::to_string(pri_tree_.size()) + ")");
   }
   std::vector<std::uint32_t> ct_ids, pri_ids;
-  ct_ids.reserve(states_.size());
-  pri_ids.reserve(states_.size());
-  for (const auto& [key, st] : ct_tree_) {
-    if (key.first != st->ct_key || key.second != st->id) {
+  ct_ids.reserve(arena_.size());
+  pri_ids.reserve(arena_.size());
+  ct_tree_.for_each([&](const CtKey& key, std::uint32_t slot) {
+    const std::uint32_t id = arena_.id(slot);
+    if (key.first != arena_.ct_key(slot) || key.second != id) {
       throw std::logic_error(
           "BstQueue::check_structure: ct node key disagrees with cached "
-          "ct_key for id " + std::to_string(st->id));
+          "ct_key for id " + std::to_string(id));
     }
-    if (st->ct_key != st->tracker.next_change_time()) {
+    if (arena_.ct_key(slot) != arena_.tracker(slot).next_change_time()) {
       throw std::logic_error(
           "BstQueue::check_structure: cached ct_key stale for id " +
-          std::to_string(st->id));
+          std::to_string(id));
     }
-    const auto it = states_.find(st->id);
-    if (it == states_.end() || it->second.get() != st) {
+    if (arena_.slot_of(id) != slot) {
       throw std::logic_error(
           "BstQueue::check_structure: ct entry not backed by states_ for id " +
-          std::to_string(st->id));
+          std::to_string(id));
     }
-    ct_ids.push_back(st->id);
-  }
-  for (const auto& [key, st] : pri_tree_) {
-    if (key.first != st->pri_key || key.second != st->id) {
+    ct_ids.push_back(id);
+    return true;
+  });
+  pri_tree_.for_each([&](const PriKey& key, std::uint32_t slot) {
+    const std::uint32_t id = arena_.id(slot);
+    if (key.first != arena_.pri_key(slot) || key.second != id) {
       throw std::logic_error(
           "BstQueue::check_structure: priority node key disagrees with "
-          "cached pri_key for id " + std::to_string(st->id));
+          "cached pri_key for id " + std::to_string(id));
     }
-    if (st->pri_key != -st->tracker.lag()) {
+    if (arena_.pri_key(slot) != -arena_.tracker(slot).lag()) {
       throw std::logic_error(
           "BstQueue::check_structure: cached pri_key stale for id " +
-          std::to_string(st->id) + " (cached=" + std::to_string(st->pri_key) +
-          " tracker=" + std::to_string(-st->tracker.lag()) + ")");
+          std::to_string(id) + " (cached=" + std::to_string(arena_.pri_key(slot)) +
+          " tracker=" + std::to_string(-arena_.tracker(slot).lag()) + ")");
     }
-    const auto it = states_.find(st->id);
-    if (it == states_.end() || it->second.get() != st) {
+    if (arena_.slot_of(id) != slot) {
       throw std::logic_error(
           "BstQueue::check_structure: priority entry not backed by states_ "
-          "for id " + std::to_string(st->id));
+          "for id " + std::to_string(id));
     }
-    pri_ids.push_back(st->id);
-  }
+    for (std::size_t dm = 0; dm < WfStateArena::kDomains; ++dm) {
+      if (arena_.stamp(dm, slot) != epoch_[dm] && key < resume_[dm]) {
+        throw std::logic_error(
+            "BstQueue::check_structure: unprobed workflow precedes the "
+            "domain-" + std::to_string(dm) + " resume key at id " +
+            std::to_string(id));
+      }
+    }
+    pri_ids.push_back(id);
+    return true;
+  });
   std::sort(ct_ids.begin(), ct_ids.end());
   std::sort(pri_ids.begin(), pri_ids.end());
   if (ct_ids != pri_ids ||
@@ -150,16 +270,20 @@ void BstQueue::check_structure() const {
 }
 
 void BstQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
-  const auto it = states_.find(id);
-  if (it == states_.end()) return;
-  WfState* st = it->second.get();
-  if (pri_tree_.erase({st->pri_key, st->id}) != 1) {
+  const std::uint32_t slot = arena_.slot_of(id);
+  if (slot == WfStateArena::kNilSlot) return;
+  ProgressTracker& t = arena_.tracker(slot);
+  if (!pri_tree_.erase({arena_.pri_key(slot), id})) {
     throw std::logic_error("BstQueue: stale pri key on progress loss");
   }
-  st->tracker.count_lost(count);
-  st->pri_key = -st->tracker.lag();
-  checked_emplace(pri_tree_, PriKey{st->pri_key, st->id}, st,
+  t.count_lost(count);
+  arena_.pri_key(slot) = -t.lag();
+  checked_emplace(pri_tree_, PriKey{arena_.pri_key(slot), id}, slot,
                   "BstQueue: duplicate pri key on progress loss");
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    arena_.stamp(d, slot) = 0;
+  }
+  note_moved(slot, {arena_.pri_key(slot), id});
 }
 
 }  // namespace woha::core

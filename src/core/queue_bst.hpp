@@ -1,24 +1,32 @@
 // Balanced-search-tree variant of the scheduler queue (paper Fig. 13(a),
 // "WOHA-BST"). Identical algorithm to the Double Skip List, but both
-// orderings live in red-black trees (std::map), so the frequent head
-// deletions cost O(log n) instead of O(1).
+// orderings live in balanced BSTs, so the frequent head deletions cost
+// O(log n) instead of O(1).
+//
+// The trees are arena-backed AVL trees (flat_tree.hpp): contiguous nodes,
+// 32-bit index links, allocation-free repositioning — the same memory
+// discipline as the skip lists, so Fig. 13(a) compares data structures, not
+// allocators. Workflow state lives in the shared SoA arena
+// (queue_arena.hpp) and the trees carry slot indices. The ct-refresh memo
+// and the per-domain probe-rejection memo mirror DslQueue exactly; see
+// queue_dsl.hpp.
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <map>
-#include <unordered_map>
 #include <utility>
 
+#include "core/flat_tree.hpp"
+#include "core/queue_arena.hpp"
 #include "core/scheduler_queue.hpp"
 
 namespace woha::core {
 
 class BstQueue final : public SchedulerQueue {
  public:
-  /// `cached_min` = true exploits std::map's O(1) begin(); false models the
-  /// textbook balanced BST of the paper's Fig. 13(a), paying a root-to-min
-  /// descent (lower_bound from the root) on every head access.
+  /// `cached_min` = true exploits the tree's O(1) cached leftmost node;
+  /// false models the textbook balanced BST of the paper's Fig. 13(a),
+  /// paying a root-to-min descent on every head access.
   explicit BstQueue(bool cached_min = true) : cached_min_(cached_min) {}
 
   [[nodiscard]] std::string name() const override {
@@ -28,36 +36,49 @@ class BstQueue final : public SchedulerQueue {
   void remove(std::uint32_t id) override;
   std::uint32_t assign(SimTime now,
                        const std::function<bool(std::uint32_t)>& can_use) override;
+  std::uint32_t assign_batch(
+      SimTime now, std::size_t domain, std::uint32_t k,
+      const std::function<bool(std::uint32_t)>& can_use,
+      const std::function<void(std::uint32_t)>& on_assign) override;
+  void note_can_use_changed(std::uint32_t id) override;
+  void invalidate_probe_memo() override;
   void on_progress_lost(std::uint32_t id, std::uint64_t count) override;
-  [[nodiscard]] std::size_t size() const override { return states_.size(); }
+  [[nodiscard]] std::size_t size() const override { return arena_.size(); }
   void top(std::size_t k, std::vector<QueueEntry>& out) const override;
   void check_structure() const override;
 
  private:
   /// Auditor failure-path tests corrupt cached keys through this peer.
   friend struct QueueTestPeer;
-  struct WfState {
-    std::uint32_t id;
-    ProgressTracker tracker;
-    SimTime ct_key;
-    std::int64_t pri_key;
-  };
 
   using CtKey = std::pair<SimTime, std::uint32_t>;
   using PriKey = std::pair<std::int64_t, std::uint32_t>;
 
+  static constexpr PriKey kWalkFromHead{std::numeric_limits<std::int64_t>::min(),
+                                        0};
+  static constexpr PriKey kWalkNothing{std::numeric_limits<std::int64_t>::max(),
+                                       0xffffffffu};
+
+  /// Head access under the ablation's cost model: O(1) cached leftmost for
+  /// "BST", a root-to-leftmost descent for "BSTplain". kNil when empty.
   template <class Tree>
-  [[nodiscard]] typename Tree::iterator tree_begin(Tree& tree) const {
-    if (cached_min_) return tree.begin();
-    // Textbook BST min: descend from the root.
-    return tree.lower_bound(typename Tree::key_type{
-        std::numeric_limits<typename Tree::key_type::first_type>::min(), 0});
+  [[nodiscard]] std::uint32_t tree_head(const Tree& tree) const {
+    return cached_min_ ? tree.min_node() : tree.min_descend();
   }
 
+  void refresh_fired(SimTime now);
+  void refresh(std::uint32_t slot, SimTime now);
+  std::uint32_t commit_winner(std::uint32_t slot, const PriKey& old_key);
+  void note_moved(std::uint32_t slot, const PriKey& key);
+
   bool cached_min_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<WfState>> states_;
-  std::map<CtKey, WfState*> ct_tree_;
-  std::map<PriKey, WfState*> pri_tree_;
+  WfStateArena arena_;
+  FlatTree<CtKey> ct_tree_;
+  FlatTree<PriKey> pri_tree_;
+  SimTime ct_clean_now_ = 0;
+  bool ct_dirty_ = true;
+  std::uint64_t epoch_[WfStateArena::kDomains] = {1, 1};
+  PriKey resume_[WfStateArena::kDomains] = {kWalkFromHead, kWalkFromHead};
 };
 
 }  // namespace woha::core

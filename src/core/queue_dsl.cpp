@@ -7,170 +7,303 @@
 
 namespace woha::core {
 
+constexpr DslQueue::PriKey DslQueue::kWalkFromHead;
+constexpr DslQueue::PriKey DslQueue::kWalkNothing;
+
 // SkipList::insert returns false on a duplicate key *without inserting*, so
 // an unchecked call would silently drop the workflow from one of the lists —
 // it would simply never be scheduled again. Every internal reposition goes
 // through these guards: a failure means the cached ct_key/pri_key went out
 // of sync with the list, which is a corruption bug, never a recoverable
 // condition.
-void DslQueue::checked_insert(SkipList<CtKey, WfState*>& list, const CtKey& key,
-                              WfState* st, const char* what) {
-  if (!list.insert(key, st)) throw std::logic_error(what);
+void DslQueue::checked_insert(SkipList<CtKey, std::uint32_t>& list,
+                              const CtKey& key, std::uint32_t slot,
+                              const char* what) {
+  if (!list.insert(key, slot)) throw std::logic_error(what);
+}
+
+void DslQueue::note_moved(std::uint32_t slot, const PriKey& key) {
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    if (arena_.stamp(d, slot) != epoch_[d] && key < resume_[d]) {
+      resume_[d] = key;
+    }
+  }
 }
 
 void DslQueue::insert(std::uint32_t id, ProgressTracker tracker) {
-  if (states_.count(id)) throw std::invalid_argument("DslQueue: duplicate id");
-  auto st = std::make_unique<WfState>(
-      WfState{id, std::move(tracker), 0, 0});
-  st->ct_key = st->tracker.next_change_time();
-  st->pri_key = -st->tracker.lag();
-  checked_insert(ct_list_, {st->ct_key, id}, st.get(),
+  if (arena_.slot_of(id) != WfStateArena::kNilSlot) {
+    throw std::invalid_argument("DslQueue: duplicate id");
+  }
+  const std::uint32_t slot = arena_.allocate(id, std::move(tracker));
+  const ProgressTracker& t = arena_.tracker(slot);
+  arena_.ct_key(slot) = t.next_change_time();
+  arena_.pri_key(slot) = -t.lag();
+  checked_insert(ct_list_, {arena_.ct_key(slot), id}, slot,
                  "DslQueue: duplicate ct key on insert");
-  checked_insert(pri_list_, {st->pri_key, id}, st.get(),
+  checked_insert(pri_list_, {arena_.pri_key(slot), id}, slot,
                  "DslQueue: duplicate pri key on insert");
-  states_.emplace(id, std::move(st));
+  // A fresh tracker's first requirement step may already have fired, so the
+  // memoized "clean at ct_clean_now_" claim no longer holds.
+  ct_dirty_ = true;
+  note_moved(slot, {arena_.pri_key(slot), id});
 }
 
 void DslQueue::remove(std::uint32_t id) {
-  const auto it = states_.find(id);
-  if (it == states_.end()) return;
-  ct_list_.erase({it->second->ct_key, id});
-  pri_list_.erase({it->second->pri_key, id});
-  states_.erase(it);
+  const std::uint32_t slot = arena_.slot_of(id);
+  if (slot == WfStateArena::kNilSlot) return;
+  ct_list_.erase({arena_.ct_key(slot), id});
+  pri_list_.erase({arena_.pri_key(slot), id});
+  // Resume keys may now point at the erased key; for_each_from treats them
+  // as lower bounds, so no fixup is needed. Stamps die with the slot
+  // (allocate() clears them on reuse).
+  arena_.release(slot);
 }
 
-void DslQueue::refresh(WfState& st, SimTime now) {
-  st.tracker.advance_to(now);
-  if (!pri_list_.erase({st.pri_key, st.id})) {
+void DslQueue::refresh(std::uint32_t slot, SimTime now) {
+  ProgressTracker& t = arena_.tracker(slot);
+  const std::uint32_t id = arena_.id(slot);
+  t.advance_to(now);
+  if (!pri_list_.erase({arena_.pri_key(slot), id})) {
     throw std::logic_error("DslQueue: stale pri key on refresh");
   }
-  st.pri_key = -st.tracker.lag();
-  checked_insert(pri_list_, {st.pri_key, st.id}, &st,
+  arena_.pri_key(slot) = -t.lag();
+  checked_insert(pri_list_, {arena_.pri_key(slot), id}, slot,
                  "DslQueue: duplicate pri key on refresh");
-  st.ct_key = st.tracker.next_change_time();
-  checked_insert(ct_list_, {st.ct_key, st.id}, &st,
+  arena_.ct_key(slot) = t.next_change_time();
+  checked_insert(ct_list_, {arena_.ct_key(slot), id}, slot,
                  "DslQueue: duplicate ct key on refresh");
+  // A refresh can only *raise* priority (lag grows as the requirement
+  // steps), so an unstamped workflow may now precede a resume key.
+  note_moved(slot, {arena_.pri_key(slot), id});
+}
+
+void DslQueue::refresh_fired(SimTime now) {
+  // Phase 1 (Algorithm 2, lines 4-19): workflows whose next requirement
+  // change has fired leave the ct head (O(1) pop), get a fresh priority,
+  // and re-enter both lists. Once this ran for an instant, re-running it at
+  // the same instant cannot move anything (next_change_time is strictly in
+  // the future after a refresh) unless an insert added a workflow whose
+  // first step already fired — so the (ct_clean_now_, ct_dirty_) memo skips
+  // even the head peek on the overwhelmingly common repeat-consult case.
+  if (!ct_dirty_ && ct_clean_now_ == now) return;
+  while (!ct_list_.empty() && ct_list_.front().first.first <= now) {
+    const auto [key, slot] = ct_list_.pop_front();
+    refresh(slot, now);
+  }
+  ct_clean_now_ = now;
+  ct_dirty_ = false;
+}
+
+std::uint32_t DslQueue::commit_winner(std::uint32_t slot, const PriKey& old_key) {
+  ProgressTracker& t = arena_.tracker(slot);
+  const std::uint32_t id = arena_.id(slot);
+  t.count_scheduled();  // rho+1 <=> p-1
+  arena_.pri_key(slot) = -t.lag();
+  checked_insert(pri_list_, {arena_.pri_key(slot), id}, slot,
+                 "DslQueue: duplicate pri key on assignment");
+  // The winner's key strictly grew ((old, id) -> (old+1, id) at minimum), so
+  // for stamp purposes it only moved away from the resume keys; but keep the
+  // invariant maintenance in one place in case a custom F ever steps here.
+  note_moved(slot, {arena_.pri_key(slot), id});
+  return id;
 }
 
 std::uint32_t DslQueue::assign(SimTime now,
                                const std::function<bool(std::uint32_t)>& can_use) {
-  // Phase 1 (Algorithm 2, lines 4-19): workflows whose next requirement
-  // change has fired leave the ct head (O(1) pop), get a fresh priority,
-  // and re-enter both lists.
-  while (!ct_list_.empty() && ct_list_.front().first.first <= now) {
-    auto [key, st] = ct_list_.pop_front();
-    refresh(*st, now);
-  }
+  refresh_fired(now);
 
   // Phase 2 (lines 20-24): serve the most-lagging workflow that can use the
   // slot. The head case is the common one — this is exactly where the
   // Double Skip List earns its O(1) head deletion; the forward walk covers
   // workflows that are temporarily unassignable (e.g. all jobs waiting on
   // predecessors), keeping the scheduler work-conserving.
-  WfState* chosen = nullptr;
+  //
+  // The sequential entry point stays memo-free: it probes every workflow
+  // from the head, so arbitrary (even impure) can_use callables keep their
+  // historical semantics. Only assign_batch consults the rejection memo.
+  std::uint32_t chosen = WfStateArena::kNilSlot;
+  PriKey chosen_key{};
   bool chosen_is_head = true;
-  pri_list_.for_each([&](const PriKey&, WfState* st) {
-    if (can_use(st->id)) {
-      chosen = st;
+  pri_list_.for_each([&](const PriKey& key, const std::uint32_t& slot) {
+    if (can_use(arena_.id(slot))) {
+      chosen = slot;
+      chosen_key = key;
       return false;
     }
     chosen_is_head = false;
     return true;
   });
-  if (!chosen) return kNone;
+  if (chosen == WfStateArena::kNilSlot) return kNone;
 
   if (chosen_is_head) {
     pri_list_.pop_front();  // O(1): the paper's common case
-  } else if (!pri_list_.erase({chosen->pri_key, chosen->id})) {
+  } else if (!pri_list_.erase(chosen_key)) {
     throw std::logic_error("DslQueue: stale pri key on assignment");
   }
-  chosen->tracker.count_scheduled();  // rho+1 <=> p-1
-  chosen->pri_key = -chosen->tracker.lag();
-  checked_insert(pri_list_, {chosen->pri_key, chosen->id}, chosen,
-                 "DslQueue: duplicate pri key on assignment");
-  return chosen->id;
+  return commit_winner(chosen, chosen_key);
+}
+
+std::uint32_t DslQueue::assign_batch(
+    SimTime now, std::size_t domain, std::uint32_t k,
+    const std::function<bool(std::uint32_t)>& can_use,
+    const std::function<void(std::uint32_t)>& on_assign) {
+  if (k == 0) return 0;
+  refresh_fired(now);
+
+  const std::size_t d = domain;
+  std::uint32_t picks = 0;
+  while (picks < k) {
+    // Resume the priority walk at the first key a consult in this domain
+    // has not yet settled: everything before resume_[d] is either stamped
+    // rejected (skipped below) or was repositioned — and repositions pull
+    // resume_[d] back (note_moved), so no unprobed workflow is ever jumped.
+    std::uint32_t chosen = WfStateArena::kNilSlot;
+    PriKey chosen_key{};
+    pri_list_.for_each_from(resume_[d], [&](const PriKey& key,
+                                            const std::uint32_t& slot) {
+      if (arena_.stamp(d, slot) == epoch_[d]) return true;  // memoized "no"
+      if (can_use(arena_.id(slot))) {
+        chosen = slot;
+        chosen_key = key;
+        return false;
+      }
+      arena_.stamp(d, slot) = epoch_[d];
+      return true;
+    });
+    if (chosen == WfStateArena::kNilSlot) {
+      // Every queued workflow is now stamped in this domain: future
+      // consults may skip the walk outright until a flip is announced.
+      resume_[d] = kWalkNothing;
+      break;
+    }
+
+    if (!(pri_list_.front().first < chosen_key)) {
+      pri_list_.pop_front();  // winner is the global head: O(1)
+    } else if (!pri_list_.erase(chosen_key)) {
+      throw std::logic_error("DslQueue: stale pri key on assignment");
+    }
+    // Sequential assign() rescans from the head, where it would re-skip the
+    // same rejected prefix and re-probe the winner first (its bumped key can
+    // still precede the old successor on lag ties). Resuming at the winner's
+    // *old* key reproduces exactly that: the bumped key (old+1, id) and the
+    // old successor both sort >= it.
+    resume_[d] = chosen_key;
+    const std::uint32_t id = commit_winner(chosen, chosen_key);
+    ++picks;
+    on_assign(id);
+  }
+  return picks;
+}
+
+void DslQueue::note_can_use_changed(std::uint32_t id) {
+  const std::uint32_t slot = arena_.slot_of(id);
+  if (slot == WfStateArena::kNilSlot) return;
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    arena_.stamp(d, slot) = 0;  // forget any memoized rejection
+  }
+  note_moved(slot, {arena_.pri_key(slot), id});
+}
+
+void DslQueue::invalidate_probe_memo() {
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    ++epoch_[d];  // all existing stamps become dead at once
+    resume_[d] = kWalkFromHead;
+  }
 }
 
 void DslQueue::top(std::size_t k, std::vector<QueueEntry>& out) const {
   // Walk the priority list head: O(k), never repositions anything.
-  pri_list_.for_each([&](const PriKey&, WfState* const& st) {
+  pri_list_.for_each([&](const PriKey&, const std::uint32_t& slot) {
     if (out.size() >= k) return false;
-    out.push_back(QueueEntry{st->id, st->tracker.lag(),
-                             st->tracker.current_requirement(),
-                             st->tracker.rho()});
+    const ProgressTracker& t = arena_.tracker(slot);
+    out.push_back(QueueEntry{arena_.id(slot), t.lag(), t.current_requirement(),
+                             t.rho()});
     return true;
   });
 }
 
 void DslQueue::check_structure() const {
-  if (ct_list_.size() != states_.size() || pri_list_.size() != states_.size()) {
+  arena_.check("DslQueue");
+  if (ct_list_.size() != arena_.size() || pri_list_.size() != arena_.size()) {
     throw std::logic_error(
         "DslQueue::check_structure: index sizes diverged (states=" +
-        std::to_string(states_.size()) + " ct=" + std::to_string(ct_list_.size()) +
+        std::to_string(arena_.size()) + " ct=" + std::to_string(ct_list_.size()) +
         " pri=" + std::to_string(pri_list_.size()) + ")");
   }
   // Walk both skip lists: keys strictly ascending, cached keys in sync with
-  // the trackers, every entry resolving into states_. Collecting the id
-  // sequences (instead of iterating the unordered states_ map) keeps this
+  // the trackers, every entry resolving into the arena. Collecting the id
+  // sequences (instead of iterating the arena's unordered id map) keeps this
   // check itself deterministic; equal sorted id sets plus equal sizes prove
   // both lists cover exactly the queued workflows.
   std::vector<std::uint32_t> ct_ids, pri_ids;
-  ct_ids.reserve(states_.size());
-  pri_ids.reserve(states_.size());
+  ct_ids.reserve(arena_.size());
+  pri_ids.reserve(arena_.size());
   const CtKey* prev_ct = nullptr;
-  ct_list_.for_each([&](const CtKey& key, WfState* const& st) {
+  ct_list_.for_each([&](const CtKey& key, const std::uint32_t& slot) {
+    const std::uint32_t id = arena_.id(slot);
     if (prev_ct != nullptr && !(*prev_ct < key)) {
       throw std::logic_error(
           "DslQueue::check_structure: ct list keys not strictly ascending at id " +
-          std::to_string(st->id));
+          std::to_string(id));
     }
     prev_ct = &key;
-    if (key.first != st->ct_key || key.second != st->id) {
+    if (key.first != arena_.ct_key(slot) || key.second != id) {
       throw std::logic_error(
           "DslQueue::check_structure: ct node key disagrees with cached "
-          "ct_key for id " + std::to_string(st->id));
+          "ct_key for id " + std::to_string(id));
     }
-    if (st->ct_key != st->tracker.next_change_time()) {
+    if (arena_.ct_key(slot) != arena_.tracker(slot).next_change_time()) {
       throw std::logic_error(
           "DslQueue::check_structure: cached ct_key stale for id " +
-          std::to_string(st->id) + " (cached=" + std::to_string(st->ct_key) +
-          " tracker=" + std::to_string(st->tracker.next_change_time()) + ")");
+          std::to_string(id) + " (cached=" + std::to_string(arena_.ct_key(slot)) +
+          " tracker=" +
+          std::to_string(arena_.tracker(slot).next_change_time()) + ")");
     }
-    const auto it = states_.find(st->id);
-    if (it == states_.end() || it->second.get() != st) {
+    if (arena_.slot_of(id) != slot) {
       throw std::logic_error(
           "DslQueue::check_structure: ct entry not backed by states_ for id " +
-          std::to_string(st->id));
+          std::to_string(id));
     }
-    ct_ids.push_back(st->id);
+    ct_ids.push_back(id);
     return true;
   });
   const PriKey* prev_pri = nullptr;
-  pri_list_.for_each([&](const PriKey& key, WfState* const& st) {
+  pri_list_.for_each([&](const PriKey& key, const std::uint32_t& slot) {
+    const std::uint32_t id = arena_.id(slot);
     if (prev_pri != nullptr && !(*prev_pri < key)) {
       throw std::logic_error(
           "DslQueue::check_structure: priority list keys not strictly "
-          "ascending at id " + std::to_string(st->id));
+          "ascending at id " + std::to_string(id));
     }
     prev_pri = &key;
-    if (key.first != st->pri_key || key.second != st->id) {
+    if (key.first != arena_.pri_key(slot) || key.second != id) {
       throw std::logic_error(
           "DslQueue::check_structure: priority node key disagrees with "
-          "cached pri_key for id " + std::to_string(st->id));
+          "cached pri_key for id " + std::to_string(id));
     }
-    if (st->pri_key != -st->tracker.lag()) {
+    if (arena_.pri_key(slot) != -arena_.tracker(slot).lag()) {
       throw std::logic_error(
           "DslQueue::check_structure: cached pri_key stale for id " +
-          std::to_string(st->id) + " (cached=" + std::to_string(st->pri_key) +
-          " tracker=" + std::to_string(-st->tracker.lag()) + ")");
+          std::to_string(id) + " (cached=" + std::to_string(arena_.pri_key(slot)) +
+          " tracker=" + std::to_string(-arena_.tracker(slot).lag()) + ")");
     }
-    const auto it = states_.find(st->id);
-    if (it == states_.end() || it->second.get() != st) {
+    if (arena_.slot_of(id) != slot) {
       throw std::logic_error(
           "DslQueue::check_structure: priority entry not backed by states_ "
-          "for id " + std::to_string(st->id));
+          "for id " + std::to_string(id));
     }
-    pri_ids.push_back(st->id);
+    // Probe-memo invariant R: a workflow with no live rejection stamp in a
+    // domain must sort at or after that domain's resume key, or a resumed
+    // walk could jump an unprobed candidate.
+    for (std::size_t dm = 0; dm < WfStateArena::kDomains; ++dm) {
+      if (arena_.stamp(dm, slot) != epoch_[dm] && key < resume_[dm]) {
+        throw std::logic_error(
+            "DslQueue::check_structure: unprobed workflow precedes the "
+            "domain-" + std::to_string(dm) + " resume key at id " +
+            std::to_string(id));
+      }
+    }
+    pri_ids.push_back(id);
     return true;
   });
   std::sort(ct_ids.begin(), ct_ids.end());
@@ -184,16 +317,22 @@ void DslQueue::check_structure() const {
 }
 
 void DslQueue::on_progress_lost(std::uint32_t id, std::uint64_t count) {
-  const auto it = states_.find(id);
-  if (it == states_.end()) return;
-  WfState& st = *it->second;
-  if (!pri_list_.erase({st.pri_key, st.id})) {
+  const std::uint32_t slot = arena_.slot_of(id);
+  if (slot == WfStateArena::kNilSlot) return;
+  ProgressTracker& t = arena_.tracker(slot);
+  if (!pri_list_.erase({arena_.pri_key(slot), id})) {
     throw std::logic_error("DslQueue: stale pri key on progress loss");
   }
-  st.tracker.count_lost(count);  // rho-n <=> p+n
-  st.pri_key = -st.tracker.lag();
-  checked_insert(pri_list_, {st.pri_key, st.id}, &st,
+  t.count_lost(count);  // rho-n <=> p+n
+  arena_.pri_key(slot) = -t.lag();
+  checked_insert(pri_list_, {arena_.pri_key(slot), id}, slot,
                  "DslQueue: duplicate pri key on progress loss");
+  // Lost tasks re-enter the pending pool: any memoized rejection may have
+  // flipped, and the workflow's priority just rose.
+  for (std::size_t d = 0; d < WfStateArena::kDomains; ++d) {
+    arena_.stamp(d, slot) = 0;
+  }
+  note_moved(slot, {arena_.pri_key(slot), id});
 }
 
 }  // namespace woha::core

@@ -7,12 +7,24 @@
 // Head deletions (the common case: the fired ct head and the chosen
 // priority head) are O(1); repositioning is O(log n). Total AssignTask cost
 // is O((n_w / (n_f * l) + 1) * log n_w) per the paper's analysis.
+//
+// Hot-path layout (ROADMAP item 4): per-workflow state lives in a flat SoA
+// arena (queue_arena.hpp) and both lists carry 32-bit slot indices, not
+// pointers into individually allocated records. On top of that sit two
+// incremental-maintenance devices, both decision-invisible:
+//   * the ct refresh is version-stamped — at an instant the orderings are
+//     already clean for, Phase 1 is skipped without even peeking the head;
+//   * probe rejections are memoized per slot-type domain (epoch stamps plus
+//     a resume key), so a consult continues the priority walk past the
+//     already-rejected prefix in O(log n) instead of re-probing it. See
+//     SchedulerQueue::assign_batch for the caller contract.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <limits>
 #include <utility>
 
+#include "core/queue_arena.hpp"
 #include "core/scheduler_queue.hpp"
 #include "core/skiplist.hpp"
 
@@ -25,34 +37,59 @@ class DslQueue final : public SchedulerQueue {
   void remove(std::uint32_t id) override;
   std::uint32_t assign(SimTime now,
                        const std::function<bool(std::uint32_t)>& can_use) override;
+  std::uint32_t assign_batch(
+      SimTime now, std::size_t domain, std::uint32_t k,
+      const std::function<bool(std::uint32_t)>& can_use,
+      const std::function<void(std::uint32_t)>& on_assign) override;
+  void note_can_use_changed(std::uint32_t id) override;
+  void invalidate_probe_memo() override;
   void on_progress_lost(std::uint32_t id, std::uint64_t count) override;
-  [[nodiscard]] std::size_t size() const override { return states_.size(); }
+  [[nodiscard]] std::size_t size() const override { return arena_.size(); }
   void top(std::size_t k, std::vector<QueueEntry>& out) const override;
   void check_structure() const override;
 
  private:
   /// Auditor failure-path tests corrupt cached keys through this peer.
   friend struct QueueTestPeer;
-  struct WfState {
-    std::uint32_t id;
-    ProgressTracker tracker;
-    SimTime ct_key;        // cached key in the ct list
-    std::int64_t pri_key;  // cached key in the priority list (= -lag)
-  };
 
   using CtKey = std::pair<SimTime, std::uint32_t>;
   using PriKey = std::pair<std::int64_t, std::uint32_t>;
 
-  void refresh(WfState& st, SimTime now);
+  /// "Walk everything": the resume key that precedes every real key.
+  static constexpr PriKey kWalkFromHead{std::numeric_limits<std::int64_t>::min(),
+                                        0};
+  /// "Everything rejected": the resume key that follows every real key.
+  static constexpr PriKey kWalkNothing{std::numeric_limits<std::int64_t>::max(),
+                                       0xffffffffu};
+
+  /// Phase 1 (Algorithm 2, lines 4-19), memoized per instant: pop fired ct
+  /// heads and reposition them. No-op when the orderings are already clean
+  /// for `now` and nothing was inserted since.
+  void refresh_fired(SimTime now);
+  void refresh(std::uint32_t slot, SimTime now);
+  /// Reposition the winner after its rho bump; returns its id.
+  std::uint32_t commit_winner(std::uint32_t slot, const PriKey& old_key);
+  /// Probe-memo invariant maintenance: a node not memoized-rejected in a
+  /// domain must never sit before that domain's resume key; call after any
+  /// reposition or un-stamping with the node's current priority key.
+  void note_moved(std::uint32_t slot, const PriKey& key);
   // Insert-or-throw: a failed (duplicate-key) insert into either skip list
   // would silently unschedule a workflow; see queue_dsl.cpp for the rationale.
   // CtKey and PriKey are the same pair type, so one helper serves both lists.
-  static void checked_insert(SkipList<CtKey, WfState*>& list, const CtKey& key,
-                             WfState* st, const char* what);
+  static void checked_insert(SkipList<CtKey, std::uint32_t>& list,
+                             const CtKey& key, std::uint32_t slot,
+                             const char* what);
 
-  std::unordered_map<std::uint32_t, std::unique_ptr<WfState>> states_;
-  SkipList<CtKey, WfState*> ct_list_;
-  SkipList<PriKey, WfState*> pri_list_;
+  WfStateArena arena_;
+  SkipList<CtKey, std::uint32_t> ct_list_;
+  SkipList<PriKey, std::uint32_t> pri_list_;
+  /// Instant the ct ordering was last refreshed to; valid while !ct_dirty_.
+  SimTime ct_clean_now_ = 0;
+  bool ct_dirty_ = true;
+  /// Per-domain rejection-memo epoch; a stamp equal to it is live.
+  std::uint64_t epoch_[WfStateArena::kDomains] = {1, 1};
+  /// First priority key a consult in this domain still has to probe.
+  PriKey resume_[WfStateArena::kDomains] = {kWalkFromHead, kWalkFromHead};
 };
 
 }  // namespace woha::core

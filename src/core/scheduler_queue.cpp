@@ -8,6 +8,21 @@
 
 namespace woha::core {
 
+std::uint32_t SchedulerQueue::assign_batch(
+    SimTime now, std::size_t domain, std::uint32_t k,
+    const std::function<bool(std::uint32_t)>& can_use,
+    const std::function<void(std::uint32_t)>& on_assign) {
+  (void)domain;
+  std::uint32_t n = 0;
+  while (n < k) {
+    const std::uint32_t id = assign(now, can_use);
+    if (id == kNone) break;
+    ++n;
+    on_assign(id);
+  }
+  return n;
+}
+
 const char* to_string(QueueKind kind) {
   switch (kind) {
     case QueueKind::kDsl: return "DSL";

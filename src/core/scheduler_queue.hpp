@@ -44,6 +44,48 @@ class SchedulerQueue {
   virtual std::uint32_t assign(SimTime now,
                                const std::function<bool(std::uint32_t)>& can_use) = 0;
 
+  /// Batched Algorithm 2: decision-equivalent to up to `k` successive
+  /// assign(now, can_use) calls, stopping after the first that would return
+  /// kNone. `on_assign(id)` runs after each acceptance (rho already bumped,
+  /// orderings repositioned) and must apply the slot-side effects — start
+  /// the task — before the next probe, so can_use reflects them. Returns
+  /// the number of assignments made; a return < k means the final probe
+  /// found no usable workflow (callers may memoize that emptiness for the
+  /// tick, exactly as for a kNone from assign()).
+  ///
+  /// `domain` names the can_use universe (in practice the slot type, 0 or
+  /// 1 — must be < kProbeDomains). Implementations may memoize *rejections*
+  /// per domain across calls: once can_use(id) probes false, the workflow
+  /// is skipped without re-probing until something could have flipped the
+  /// answer. The caller owns that contract: can_use(id) must depend only on
+  /// (id, domain), and every false -> true flip must be announced through
+  /// note_can_use_changed(id) / on_progress_lost(id, ...) — or the whole
+  /// memo dropped via invalidate_probe_memo() (e.g. when an offer carries a
+  /// per-tracker eligibility filter). The default implementation just loops
+  /// assign() and memoizes nothing.
+  virtual std::uint32_t assign_batch(SimTime now, std::size_t domain,
+                                     std::uint32_t k,
+                                     const std::function<bool(std::uint32_t)>& can_use,
+                                     const std::function<void(std::uint32_t)>& on_assign);
+
+  /// An external event may have flipped can_use(id) from false to true
+  /// (a job of the workflow activated, its map phase completed, lost tasks
+  /// returned to the pending pool): forget any memoized rejection of `id`.
+  /// No-op when the workflow is not queued, and for queues that memoize
+  /// nothing.
+  virtual void note_can_use_changed(std::uint32_t id) { (void)id; }
+
+  /// Drop every memoized rejection (all domains): the next assign_batch
+  /// re-probes from the priority head. Required before consults whose
+  /// can_use is outside the per-(id, domain) contract — e.g. offers with a
+  /// per-tracker eligibility filter — and again on the first unfiltered
+  /// consult after them.
+  virtual void invalidate_probe_memo() {}
+
+  /// Number of probe-memo domains implementations must support (one per
+  /// SlotType).
+  static constexpr std::size_t kProbeDomains = 2;
+
   /// Progress regression: `count` tasks previously handed to `id` were lost
   /// to a tracker crash and will be re-executed. Undoes that many
   /// count_scheduled() bumps (rho decreases, lag and hence priority grow)

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
+#include <variant>
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
@@ -16,7 +17,9 @@
 namespace woha::core {
 
 WohaScheduler::WohaScheduler(WohaConfig config)
-    : config_(config), queue_(make_queue(config.queue)) {}
+    : config_(config), queue_(make_queue(config.queue)) {
+  plan_cache_.set_capacity(config.plan_cache_capacity);
+}
 
 void WohaScheduler::observe(obs::EventBus* bus, obs::MetricsRegistry* registry) {
   WorkflowScheduler::observe(bus, registry);
@@ -30,7 +33,8 @@ void WohaScheduler::observe(obs::EventBus* bus, obs::MetricsRegistry* registry) 
                       : nullptr;
   plan_cache_.bind_counters(
       registry ? &registry->counter("woha.plan_cache_hits") : nullptr,
-      registry ? &registry->counter("woha.plan_cache_misses") : nullptr);
+      registry ? &registry->counter("woha.plan_cache_misses") : nullptr,
+      registry ? &registry->counter("woha.plan_cache_evictions") : nullptr);
 }
 
 std::string WohaScheduler::name() const {
@@ -154,6 +158,22 @@ void WohaScheduler::on_job_activated(hadoop::JobRef job, SimTime now) {
       st.active_jobs.begin(), st.active_jobs.end(), job.job,
       [&rank](std::uint32_t a, std::uint32_t b) { return rank[a] < rank[b]; });
   st.active_jobs.insert(pos, job.job);
+  // A job with pending tasks just became schedulable: any memoized "this
+  // workflow has nothing assignable" probe answer may have flipped.
+  queue_->note_can_use_changed(job.workflow);
+}
+
+void WohaScheduler::on_task_finished(hadoop::JobRef job, SlotType t, SimTime now) {
+  (void)now;
+  (void)t;
+  // Two false -> true probe flips can hide behind this callback. A finished
+  // map can complete a job's map phase, which is what gates its pending
+  // reduces (Job::has_available(kReduce) requires map_phase_done). And the
+  // engine reports *failed* attempts through the same hook after requeueing
+  // the task (fail_task), which restores availability of the task's own
+  // type. A successful reduce flips nothing, but the callback cannot tell
+  // success from retry, and a spurious note only costs one re-probe.
+  queue_->note_can_use_changed(job.workflow);
 }
 
 void WohaScheduler::on_job_completed(hadoop::JobRef job, SimTime now) {
@@ -230,25 +250,91 @@ std::optional<hadoop::JobRef> WohaScheduler::select_task(
     // Explainability snapshot: the queue head as left by this decision (the
     // orderings were refreshed inside assign; the winner's rho is already
     // bumped). Read-only — tracing can never perturb the next decision.
-    obs::SchedulerDecision d;
-    d.scheduler = name();
+    //
+    // The event object is long-lived and published borrowed: its ranking
+    // vector and scheduler-name string keep their buffers, so a traced run
+    // makes no per-decision allocations (the old code rebuilt both on every
+    // consult — measurable at heartbeat-storm rates).
+    if (!std::holds_alternative<obs::SchedulerDecision>(trace_event_.payload)) {
+      trace_event_.payload.emplace<obs::SchedulerDecision>();
+      std::get<obs::SchedulerDecision>(trace_event_.payload).scheduler = name();
+    }
+    auto& d = std::get<obs::SchedulerDecision>(trace_event_.payload);
+    trace_event_.time = now;
     d.slot = slot.type;
     d.tracker = slot.tracker;
     d.assigned = choice.has_value();
-    if (choice) {
-      d.workflow = choice->workflow;
-      d.job = choice->job;
-    }
+    d.workflow = choice ? choice->workflow : 0;
+    d.job = choice ? choice->job : obs::SchedulerDecision::kNoJob;
     top_scratch_.clear();
     queue_->top(obs::kMaxRankedCandidates, top_scratch_);
-    d.ranking.reserve(top_scratch_.size());
+    d.ranking.clear();
     for (const SchedulerQueue::QueueEntry& e : top_scratch_) {
       d.ranking.push_back(obs::SchedulerDecision::Candidate{
           e.id, obs::SchedulerDecision::kNoJob, e.lag, e.requirement, e.rho});
     }
-    bus_->publish(now, std::move(d));
+    bus_->publish_borrowed(trace_event_);
   }
   return choice;
+}
+
+std::uint32_t WohaScheduler::select_tasks(
+    const hadoop::SlotOffer& slot, std::uint32_t limit,
+    const std::function<void(hadoop::JobRef)>& start, SimTime now) {
+  // Traced runs keep the historical one-decision-per-consult cadence (and
+  // its per-decision SchedulerDecision events) by falling back to the base
+  // sequential loop.
+  if (bus_ && bus_->active()) {
+    return WorkflowScheduler::select_tasks(slot, limit, start, now);
+  }
+
+  // A per-tracker eligibility filter makes can_use depend on the offering
+  // tracker, which is outside the rejection memo's (id, domain) contract —
+  // drop the memo before the filtered consult, and again on the first
+  // unfiltered consult after it (stamps written under a filter do not imply
+  // rejection without it).
+  const bool filtered = slot.eligible != nullptr;
+  if (filtered || last_offer_filtered_) queue_->invalidate_probe_memo();
+  last_offer_filtered_ = filtered;
+
+  std::chrono::steady_clock::time_point t0;
+  if (assign_ns_) t0 = std::chrono::steady_clock::now();
+  std::uint32_t started = 0;
+  // Cluster-wide availability early-out, checked once per batch: with
+  // nothing assignable the whole batch would come up empty. Mid-batch
+  // exhaustion is caught by the queue walk itself (and memoized).
+  if (!nothing_available(slot.type)) {
+    // One stack pointer per closure keeps both inside std::function's
+    // small-buffer storage — no per-consult allocation.
+    struct ProbeContext {
+      WohaScheduler* self;
+      const hadoop::SlotOffer* slot;
+      const std::function<void(hadoop::JobRef)>* start;
+    };
+    ProbeContext ctx{this, &slot, &start};
+    ProbeContext* const pc = &ctx;
+    const std::function<bool(std::uint32_t)> can_use = [pc](std::uint32_t id) {
+      return pc->self->pick_job(id, *pc->slot).has_value();
+    };
+    const std::function<void(std::uint32_t)> on_assign = [pc](std::uint32_t wf) {
+      const auto j = pc->self->pick_job(wf, *pc->slot);
+      if (!j) {
+        throw std::logic_error(
+            "WohaScheduler: queue accepted a workflow without tasks");
+      }
+      (*pc->start)(hadoop::JobRef{wf, *j});
+    };
+    started = queue_->assign_batch(now, static_cast<std::size_t>(slot.type),
+                                   limit, can_use, on_assign);
+  }
+  if (assign_ns_) {
+    // One latency sample per batch: the histogram then measures the cost of
+    // a consult as the engine experiences it, whatever the batch width.
+    assign_ns_->observe(std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+  }
+  return started;
 }
 
 const SchedulingPlan* WohaScheduler::plan_of(WorkflowId wf) const {

@@ -23,6 +23,7 @@
 #include "estimate/estimator.hpp"
 #include "hadoop/job_tracker.hpp"
 #include "hadoop/scheduler.hpp"
+#include "obs/event.hpp"
 
 namespace woha::obs {
 class Histogram;
@@ -64,6 +65,13 @@ struct WohaConfig {
   /// Ignored when plan_cache is off or an estimator is configured (a
   /// learning estimator's output depends on submission order).
   unsigned plan_jobs = 1;
+  /// Maximum plans retained in the cache; 0 = unbounded (the historical
+  /// behaviour). Eviction is least-recently-used over the single-threaded
+  /// access order, so it is deterministic; an evicted recurrent fingerprint
+  /// recomputes on its next submission — a miss either way — so capacity
+  /// never changes a scheduling decision, only the hit/miss/eviction
+  /// tallies and the resident memory.
+  std::size_t plan_cache_capacity = 0;
 };
 
 class WohaScheduler final : public hadoop::WorkflowScheduler {
@@ -84,12 +92,16 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   void on_pending_submissions(const std::vector<wf::WorkflowSpec>& specs) override;
   void on_workflow_submitted(WorkflowId wf, SimTime now) override;
   void on_job_activated(hadoop::JobRef job, SimTime now) override;
+  void on_task_finished(hadoop::JobRef job, SlotType t, SimTime now) override;
   void on_job_completed(hadoop::JobRef job, SimTime now) override;
   void on_workflow_completed(WorkflowId wf, SimTime now) override;
   void on_tasks_lost(hadoop::JobRef job, SlotType t, std::uint32_t count,
                      SimTime now) override;
   std::optional<hadoop::JobRef> select_task(const hadoop::SlotOffer& slot,
                                             SimTime now) override;
+  std::uint32_t select_tasks(const hadoop::SlotOffer& slot, std::uint32_t limit,
+                             const std::function<void(hadoop::JobRef)>& start,
+                             SimTime now) override;
 
   /// Resolves the decision-latency histogram once; select_task then records
   /// into a raw pointer (no registry lookups on the hot path).
@@ -126,6 +138,16 @@ class WohaScheduler final : public hadoop::WorkflowScheduler {
   obs::Histogram* plan_ns_ = nullptr;
   /// Scratch buffer for decision-trace snapshots (reused across calls).
   std::vector<SchedulerQueue::QueueEntry> top_scratch_;
+  /// Long-lived decision-trace event: the SchedulerDecision payload (its
+  /// ranking vector, its scheduler-name string) keeps its buffers across
+  /// publishes via EventBus::publish_borrowed, so a traced run makes no
+  /// per-decision allocations.
+  obs::Event trace_event_;
+  /// True when the previous consult carried a per-tracker eligibility
+  /// filter: such can_use answers are outside the queue's rejection-memo
+  /// contract, so the memo is dropped before the filtered consult and
+  /// again before the first unfiltered one after it.
+  bool last_offer_filtered_ = false;
 };
 
 }  // namespace woha::core

@@ -374,14 +374,19 @@ void Engine::heartbeat(std::size_t tracker_index) {
   // Per-job blacklisting: the offered slot carries an eligibility filter so
   // a blacklisted job can still run elsewhere but never again on this node.
   const std::function<bool(JobRef)>* filter = nullptr;
+  heartbeat_tracker_ = tracker_index;  // retargets blacklist_filter_ and start_sink_
   if (!blacklist_.empty()) {
     if (!blacklist_filter_) {
       blacklist_filter_ = [this](JobRef ref) {
         return !blacklisted(ref, heartbeat_tracker_);
       };
     }
-    heartbeat_tracker_ = tracker_index;
     filter = &blacklist_filter_;
+  }
+  if (!start_sink_) {
+    start_sink_ = [this](JobRef ref) {
+      start_task(ref, heartbeat_slot_type_, heartbeat_tracker_);
+    };
   }
 
   // Same-tick batching: an empty select answer is a function of the instant
@@ -395,11 +400,16 @@ void Engine::heartbeat(std::size_t tracker_index) {
       config_.heartbeat_batch > 1 && filter == nullptr && !events_.active();
 
   // Offer every idle slot on this tracker; maps first (Hadoop-1's
-  // assignTasks fills map slots before reduce slots).
+  // assignTasks fills map slots before reduce slots). All same-type slots
+  // go out as ONE batched consult: select_tasks is contractually
+  // decision-equivalent to the sequential consult-start loop this replaces,
+  // and the start sink runs start_task between picks exactly where the old
+  // loop did.
   std::uint32_t assigned[2] = {0, 0};
   for (const SlotType type : {SlotType::kMap, SlotType::kReduce}) {
     const auto ti = static_cast<std::size_t>(type);
-    while (tracker.free_slots(type) > 0) {
+    const std::uint32_t limit = tracker.free_slots(type);
+    if (limit > 0) {
       if (memo_enabled && memo_empty_[ti] && memo_tick_ == sim_.now() &&
           memo_version_[ti] == avail_version_ &&
           memo_uses_[ti] < config_.heartbeat_batch - 1) {
@@ -408,29 +418,31 @@ void Engine::heartbeat(std::size_t tracker_index) {
         // an unbatched run.
         ++memo_uses_[ti];
         ++select_calls_;
-        break;
-      }
-      const SlotOffer offer{type, tracker_index, filter};
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto choice = scheduler_->select_task(offer, sim_.now());
-      const auto t1 = std::chrono::steady_clock::now();
-      ++select_calls_;
-      select_wall_ms_ += std::chrono::duration<double, std::milli>(t1 - t0).count();
-      if (handles_.select_ns) {
-        handles_.select_ns->observe(
-            std::chrono::duration<double, std::nano>(t1 - t0).count());
-      }
-      if (!choice) {
-        if (memo_enabled) {
+      } else {
+        heartbeat_slot_type_ = type;  // retargets start_sink_
+        const SlotOffer offer{type, tracker_index, filter};
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint32_t started =
+            scheduler_->select_tasks(offer, limit, start_sink_, sim_.now());
+        const auto t1 = std::chrono::steady_clock::now();
+        // One batched consult stands for `started` successful sequential
+        // consults plus, when the batch under-filled, the final empty one —
+        // the select_calls tally stays bit-identical to an unbatched run.
+        select_calls_ += started + (started < limit ? 1 : 0);
+        select_wall_ms_ +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (handles_.select_ns) {
+          handles_.select_ns->observe(
+              std::chrono::duration<double, std::nano>(t1 - t0).count());
+        }
+        assigned[ti] += started;
+        if (started < limit && memo_enabled) {
           memo_tick_ = sim_.now();
           memo_version_[ti] = avail_version_;
           memo_empty_[ti] = true;
           memo_uses_[ti] = 0;
         }
-        break;
       }
-      start_task(*choice, type, tracker_index);
-      ++assigned[ti];
     }
     // Slots no pending task wants may still host speculative backups.
     if (config_.faults.speculative_execution) {

@@ -474,6 +474,12 @@ class Engine {
   // std::function per heartbeat.
   std::function<bool(JobRef)> blacklist_filter_;
   std::size_t heartbeat_tracker_ = 0;
+  // Start-task sink handed to WorkflowScheduler::select_tasks, built once
+  // and retargeted per offer through heartbeat_tracker_ /
+  // heartbeat_slot_type_ (same no-per-heartbeat-allocation idiom as
+  // blacklist_filter_).
+  std::function<void(JobRef)> start_sink_;
+  SlotType heartbeat_slot_type_ = SlotType::kMap;
 
   // Hot-path attempt indices. Both are ordered sets so their iteration
   // reproduces, bit for bit, the (tracker ascending, launch order within

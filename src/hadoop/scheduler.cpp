@@ -10,4 +10,17 @@ bool WorkflowScheduler::nothing_available(SlotType t) const {
   return tracker_ != nullptr && tracker_->available_jobs(t) == 0;
 }
 
+std::uint32_t WorkflowScheduler::select_tasks(
+    const SlotOffer& slot, std::uint32_t limit,
+    const std::function<void(JobRef)>& start, SimTime now) {
+  std::uint32_t started = 0;
+  while (started < limit) {
+    const std::optional<JobRef> choice = select_task(slot, now);
+    if (!choice.has_value()) break;
+    start(*choice);
+    ++started;
+  }
+  return started;
+}
+
 }  // namespace woha::hadoop

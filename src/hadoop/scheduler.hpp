@@ -136,6 +136,20 @@ class WorkflowScheduler {
   /// heartbeat.
   virtual std::optional<JobRef> select_task(const SlotOffer& slot, SimTime now) = 0;
 
+  /// Fill up to `limit` identical slots in one consult. Must be
+  /// decision-equivalent to up to `limit` successive select_task calls with
+  /// the engine starting one task after each: `start(ref)` is invoked per
+  /// pick (the engine's callback starts the task on slot.tracker, which may
+  /// change what is available for the next pick). Returns the number of
+  /// tasks started; a return < limit means the final consult came up empty,
+  /// which the engine may memoize for the rest of the heartbeat batch. The
+  /// default simply loops select_task — baselines inherit it unchanged;
+  /// WOHA overrides it to amortize queue-ordering maintenance and probe
+  /// rejections across the batch.
+  virtual std::uint32_t select_tasks(const SlotOffer& slot, std::uint32_t limit,
+                                     const std::function<void(JobRef)>& start,
+                                     SimTime now);
+
  protected:
   /// O(1) hot-path guard: true when no job anywhere in the cluster has an
   /// assignable task of this slot type, so a queue scan cannot possibly

@@ -53,6 +53,17 @@ class EventBus {
     for (const auto& [id, handler] : handlers_) handler(event);
   }
 
+  /// Fan out an event the caller keeps: no copy or move of the payload, so
+  /// hot-path publishers can hold a long-lived Event and reuse its internal
+  /// buffers (ranking vectors, strings) across publishes. Handlers receive
+  /// const Event& either way; they must not retain references past return —
+  /// the same rule publish() already implies.
+  void publish_borrowed(const Event& event) {
+    if (handlers_.empty()) return;
+    ++published_;
+    for (const auto& [id, handler] : handlers_) handler(event);
+  }
+
   /// Convenience: stamp `payload` with `time` and publish.
   template <class P>
   void publish(SimTime time, P payload) {

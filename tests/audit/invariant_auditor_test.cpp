@@ -20,10 +20,10 @@ namespace woha::core {
 // cached pri_key stale — exactly the corruption check_structure exists for.
 struct QueueTestPeer {
   static void desync_rho(DslQueue& queue, std::uint32_t id) {
-    queue.states_.at(id)->tracker.count_scheduled();
+    queue.arena_.tracker(queue.arena_.slot_of(id)).count_scheduled();
   }
   static void desync_rho(BstQueue& queue, std::uint32_t id) {
-    queue.states_.at(id)->tracker.count_scheduled();
+    queue.arena_.tracker(queue.arena_.slot_of(id)).count_scheduled();
   }
 };
 
