@@ -1,0 +1,159 @@
+#include "analysis/race_detector.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace woha::analysis {
+
+namespace {
+
+// Analysis-layer globals: the installed detector, the perturbation flag, and
+// the id wells. All are instrumentation plumbing — none is read by decision
+// code, and the ids never influence results (they only key touch histories).
+static std::atomic<RaceDetector*> g_detector{nullptr};      // lint: allowlisted shared-mutable-static
+static std::atomic<bool> g_perturb{false};                  // lint: allowlisted shared-mutable-static
+static std::atomic<std::uint32_t> g_next_thread{0};         // lint: allowlisted shared-mutable-static
+static std::atomic<std::uint64_t> g_next_instance{1};       // lint: allowlisted shared-mutable-static
+static thread_local std::uint32_t t_thread_index = 0xffffffffu;  // lint: allowlisted shared-mutable-static
+
+}  // namespace
+
+void set_detector(RaceDetector* det) {
+  g_detector.store(det, std::memory_order_release);
+}
+
+RaceDetector* detector() { return g_detector.load(std::memory_order_acquire); }
+
+void set_perturb(bool enabled) {
+  g_perturb.store(enabled, std::memory_order_relaxed);
+}
+
+bool perturb_active() { return g_perturb.load(std::memory_order_relaxed); }
+
+std::uint32_t thread_index() {
+  if (t_thread_index == 0xffffffffu) {
+    t_thread_index = g_next_thread.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_index;
+}
+
+std::uint64_t new_instance_id() {
+  return g_next_instance.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t new_instance_block(std::uint64_t count) {
+  return g_next_instance.fetch_add(count == 0 ? 1 : count,
+                                   std::memory_order_relaxed);
+}
+
+std::string Violation::describe() const {
+  std::ostringstream out;
+  out << "race on " << point << "[" << instance << "]: "
+      << (first_write ? "write" : "read") << " by thread " << first_thread
+      << " at " << first_site << " is unordered with "
+      << (second_write ? "write" : "read") << " by thread " << second_thread
+      << " at " << second_site;
+  return out.str();
+}
+
+void RaceDetector::hb_release(std::uint64_t sync) {
+  if (sync == 0) return;
+  const std::uint32_t t = thread_index();
+  const std::unique_lock<std::mutex> lock(mutex_);
+  if (clocks_.size() <= t) clocks_.resize(t + 1);
+  syncs_[sync].join(clocks_[t]);
+  clocks_[t].tick(t);
+}
+
+void RaceDetector::hb_acquire(std::uint64_t sync) {
+  if (sync == 0) return;
+  const std::uint32_t t = thread_index();
+  const std::unique_lock<std::mutex> lock(mutex_);
+  if (clocks_.size() <= t) clocks_.resize(t + 1);
+  const auto it = syncs_.find(sync);
+  if (it != syncs_.end()) clocks_[t].join(it->second);
+}
+
+void RaceDetector::touch(const char* point, std::uint64_t instance, bool write,
+                         const char* site) {
+  const std::uint32_t t = thread_index();
+  const std::unique_lock<std::mutex> lock(mutex_);
+  if (clocks_.size() <= t) clocks_.resize(t + 1);
+  VectorClock& clock = clocks_[t];
+  const std::uint32_t epoch = clock.tick(t);
+
+  Touchpoint& tp = points_[{point, instance}];
+  if (tp.reads.size() <= t) tp.reads.resize(t + 1);
+  if (tp.writes.size() <= t) tp.writes.resize(t + 1);
+
+  // A write conflicts with every unordered prior access; a read only with
+  // unordered prior writes (read/read is always fine).
+  for (std::uint32_t u = 0; u < tp.writes.size(); ++u) {
+    if (u == t) continue;
+    const Access& w = tp.writes[u];
+    if (w.epoch != 0 && !clock.covers(u, w.epoch)) {
+      record_violation(point, instance, u, true, w.site, t, write, site);
+    }
+  }
+  if (write) {
+    for (std::uint32_t u = 0; u < tp.reads.size(); ++u) {
+      if (u == t) continue;
+      const Access& r = tp.reads[u];
+      if (r.epoch != 0 && !clock.covers(u, r.epoch)) {
+        record_violation(point, instance, u, false, r.site, t, write, site);
+      }
+    }
+  }
+
+  Access& slot = write ? tp.writes[t] : tp.reads[t];
+  slot.epoch = epoch;
+  slot.site = site;
+}
+
+void RaceDetector::record_violation(const std::string& point_name,
+                                    std::uint64_t instance,
+                                    std::uint32_t prior_thread, bool prior_write,
+                                    const char* prior_site, std::uint32_t thread,
+                                    bool write, const char* site) {
+  if (violations_.size() >= kMaxViolations) return;
+  Violation v;
+  v.point = point_name;
+  v.instance = instance;
+  v.first_thread = prior_thread;
+  v.second_thread = thread;
+  v.first_write = prior_write;
+  v.second_write = write;
+  v.first_site = prior_site;
+  v.second_site = site;
+  violations_.push_back(std::move(v));
+}
+
+std::vector<Violation> RaceDetector::violations() const {
+  const std::unique_lock<std::mutex> lock(mutex_);
+  return violations_;
+}
+
+std::size_t RaceDetector::violation_count() const {
+  const std::unique_lock<std::mutex> lock(mutex_);
+  return violations_.size();
+}
+
+std::string RaceDetector::report() const {
+  const std::unique_lock<std::mutex> lock(mutex_);
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += v.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+void RaceDetector::clear() {
+  const std::unique_lock<std::mutex> lock(mutex_);
+  syncs_.clear();
+  points_.clear();
+  violations_.clear();
+  clocks_.clear();
+}
+
+}  // namespace woha::analysis

@@ -1,0 +1,140 @@
+// Deterministic happens-before race detection over annotated touchpoints.
+//
+// TSan observes the ONE interleaving a test happened to execute; a data race
+// that needs a different schedule stays invisible. This layer instead tracks
+// the happens-before order the *program structure* guarantees — ThreadPool
+// task boundaries (submit -> task start, task end -> wait_idle/destructor
+// return) modelled as release/acquire edges over vector clocks — and checks
+// every annotated shared-state touchpoint (PlanCache insert/claim,
+// MetricsRegistry merge, EventBus publish/subscribe, grid result slots,
+// plan-prewarm slots) against it. Two touches of the same touchpoint
+// instance that are not HB-ordered are reported as a violation regardless of
+// how the schedule actually interleaved them, so a single run under any seed
+// finds ordering bugs TSan's observed schedule would miss.
+//
+// The annotations are compiled in unconditionally and cost one relaxed
+// atomic load plus a branch while no detector is installed — the golden
+// digest suites run with them present, pinning that the layer is inert.
+// Install a detector (tests only) with set_detector(); enable the
+// schedule-perturbation yields with set_perturb(). Everything here is
+// instrumentation: it never draws from an RNG stream, never reads simulated
+// time, and never feeds a scheduling decision.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/vector_clock.hpp"
+
+namespace woha::analysis {
+
+/// One unordered pair of touches on the same touchpoint instance.
+struct Violation {
+  std::string point;        ///< touchpoint name
+  std::uint64_t instance;   ///< instance id (which cache / slot / bus)
+  std::uint32_t first_thread = 0;
+  std::uint32_t second_thread = 0;
+  bool first_write = false;
+  bool second_write = false;
+  std::string first_site;   ///< annotation site of the earlier touch
+  std::string second_site;  ///< annotation site of the flagged touch
+  [[nodiscard]] std::string describe() const;
+};
+
+class RaceDetector {
+ public:
+  /// Publish the calling thread's history into sync object `sync`, then
+  /// advance the thread's clock (a release edge; sync 0 is a no-op).
+  void hb_release(std::uint64_t sync);
+
+  /// Observe everything published into `sync` (an acquire edge).
+  void hb_acquire(std::uint64_t sync);
+
+  /// Record an access to (point, instance) by the calling thread and check
+  /// it against every recorded access not ordered before it: write/write
+  /// and read/write pairs without a happens-before edge are violations.
+  void touch(const char* point, std::uint64_t instance, bool write,
+             const char* site);
+
+  [[nodiscard]] std::vector<Violation> violations() const;
+  [[nodiscard]] std::size_t violation_count() const;
+  /// All violations, one describe() line each; empty string when clean.
+  [[nodiscard]] std::string report() const;
+  void clear();
+
+ private:
+  struct Access {
+    std::uint32_t epoch = 0;  ///< 0 = never touched by that thread
+    const char* site = "";
+  };
+  struct Touchpoint {
+    std::vector<Access> reads;   ///< indexed by thread
+    std::vector<Access> writes;  ///< indexed by thread
+  };
+
+  void record_violation(const std::string& point_name, std::uint64_t instance,
+                        std::uint32_t prior_thread, bool prior_write,
+                        const char* prior_site, std::uint32_t thread, bool write,
+                        const char* site);
+
+  static constexpr std::size_t kMaxViolations = 256;
+
+  mutable std::mutex mutex_;  // lint: lock-rank(mutex_)=90
+  std::vector<VectorClock> clocks_;                       ///< per thread
+  std::map<std::uint64_t, VectorClock> syncs_;            ///< per sync object
+  /// Deterministically ordered by (point, instance) so reports are stable.
+  std::map<std::pair<std::string, std::uint64_t>, Touchpoint> points_;
+  std::vector<Violation> violations_;
+};
+
+/// Install/read the process-wide detector (tests only; null = annotations
+/// are inert). The pointer is read with relaxed atomics on every annotation.
+void set_detector(RaceDetector* detector);
+[[nodiscard]] RaceDetector* detector();
+
+/// Schedule-perturbation mode: annotated touchpoints additionally yield the
+/// CPU, widening the interleaving space the seeded pool sweep explores.
+void set_perturb(bool enabled);
+[[nodiscard]] bool perturb_active();
+
+/// Dense per-thread index (assigned on first use, process-wide).
+[[nodiscard]] std::uint32_t thread_index();
+
+/// Fresh instance ids for annotated objects and slot arrays. Ids are unique
+/// for the process lifetime, so recycled heap addresses can never alias two
+/// different objects' touch histories.
+[[nodiscard]] std::uint64_t new_instance_id();
+[[nodiscard]] std::uint64_t new_instance_block(std::uint64_t count);
+
+// --- annotation entry points (cheap when no detector is installed) ---------
+
+inline void maybe_yield() {
+  if (perturb_active()) std::this_thread::yield();
+}
+
+inline void hb_release(std::uint64_t sync) {
+  if (RaceDetector* d = detector()) d->hb_release(sync);
+}
+
+inline void hb_acquire(std::uint64_t sync) {
+  if (RaceDetector* d = detector()) d->hb_acquire(sync);
+}
+
+inline void touch_read(const char* point, std::uint64_t instance,
+                       const char* site) {
+  maybe_yield();
+  if (RaceDetector* d = detector()) d->touch(point, instance, false, site);
+}
+
+inline void touch_write(const char* point, std::uint64_t instance,
+                        const char* site) {
+  maybe_yield();
+  if (RaceDetector* d = detector()) d->touch(point, instance, true, site);
+}
+
+}  // namespace woha::analysis

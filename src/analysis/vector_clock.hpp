@@ -1,0 +1,54 @@
+// Vector clocks for the happens-before race detector (analysis/race_detector).
+//
+// A clock maps dense thread indices (assigned by the detector on first use,
+// never std::thread::id — thread ids are nondeterministic across runs, which
+// is exactly what the thread-id-as-key lint rule exists to keep out of the
+// codebase) to per-thread event counters. Component i of a thread's clock is
+// the newest event of thread i the owner has (transitively) observed through
+// acquire edges.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace woha::analysis {
+
+class VectorClock {
+ public:
+  /// Component for thread `t` (0 when the clock has never seen `t`).
+  [[nodiscard]] std::uint32_t at(std::size_t t) const {
+    return t < ticks_.size() ? ticks_[t] : 0u;
+  }
+
+  /// Advance this thread's own component; returns the new epoch.
+  std::uint32_t tick(std::size_t t) {
+    grow(t);
+    return ++ticks_[t];
+  }
+
+  /// Pointwise maximum: observe everything `other` has observed.
+  void join(const VectorClock& other) {
+    if (other.ticks_.size() > ticks_.size()) ticks_.resize(other.ticks_.size(), 0);
+    for (std::size_t i = 0; i < other.ticks_.size(); ++i) {
+      ticks_[i] = std::max(ticks_[i], other.ticks_[i]);
+    }
+  }
+
+  /// True when this clock has observed thread `t` at least to `epoch` —
+  /// i.e. the event (t, epoch) happens-before the owner's current point.
+  [[nodiscard]] bool covers(std::size_t t, std::uint32_t epoch) const {
+    return at(t) >= epoch;
+  }
+
+  [[nodiscard]] std::size_t size() const { return ticks_.size(); }
+
+ private:
+  void grow(std::size_t t) {
+    if (t >= ticks_.size()) ticks_.resize(t + 1, 0);
+  }
+
+  std::vector<std::uint32_t> ticks_;
+};
+
+}  // namespace woha::analysis

@@ -4,12 +4,52 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/race_detector.hpp"
+
 namespace woha {
 
-ThreadPool::ThreadPool(unsigned threads) {
+// Performs the occupancy decrement and busy-time/task bookkeeping on every
+// exit path from a task, including an escaping exception: before this guard,
+// a throwing task skipped the decrement and left wait_idle() blocked forever.
+class ThreadPool::OccupancyGuard {
+ public:
+  explicit OccupancyGuard(ThreadPool& pool)
+      : pool_(pool), start_(std::chrono::steady_clock::now()) {}
+
+  OccupancyGuard(const OccupancyGuard&) = delete;
+  OccupancyGuard& operator=(const OccupancyGuard&) = delete;
+
+  ~OccupancyGuard() {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    // Task end -> wait_idle()/destructor return: publish before the
+    // decrement that lets a waiter proceed.
+    analysis::hb_release(pool_.done_sync_);
+    const std::unique_lock<std::mutex> lock(pool_.mutex_);
+    pool_.busy_seconds_ += secs;
+    ++pool_.tasks_run_;
+    if (failed_) ++pool_.tasks_failed_;
+    --pool_.active_;
+    if (pool_.queue_.empty() && pool_.active_ == 0) pool_.idle_.notify_all();
+  }
+
+  void mark_failed() { failed_ = true; }
+
+ private:
+  ThreadPool& pool_;
+  std::chrono::steady_clock::time_point start_;
+  bool failed_ = false;
+};
+
+ThreadPool::ThreadPool(unsigned threads, SchedulePerturb perturb)
+    : perturb_(perturb),
+      perturb_rng_(perturb.seed),
+      done_sync_(analysis::new_instance_id()) {
   if (threads == 0) {
     throw std::invalid_argument("ThreadPool: thread count must be >= 1");
   }
+  if (perturb_.enabled) analysis::set_perturb(true);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -23,22 +63,33 @@ ThreadPool::~ThreadPool() {
   }
   task_ready_.notify_all();
   for (std::thread& w : workers_) w.join();
+  analysis::hb_acquire(done_sync_);
+  if (perturb_.enabled) analysis::set_perturb(false);
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.body = std::move(task);
+  queued.hb_sync = analysis::new_instance_id();
+  // Submit -> task start: everything the submitter did is visible to the
+  // worker that picks this task up.
+  analysis::hb_release(queued.hb_sync);
   {
     const std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) {
       throw std::logic_error("ThreadPool: submit after shutdown");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
   task_ready_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+  analysis::hb_acquire(done_sync_);
 }
 
 double ThreadPool::busy_seconds() const {
@@ -51,36 +102,54 @@ std::uint64_t ThreadPool::tasks_run() const {
   return tasks_run_;
 }
 
+std::uint64_t ThreadPool::tasks_failed() const {
+  const std::unique_lock<std::mutex> lock(mutex_);
+  return tasks_failed_;
+}
+
 unsigned ThreadPool::resolve(unsigned requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
+std::size_t ThreadPool::pick_index() {
+  if (!perturb_.enabled || queue_.size() <= 1) return 0;
+  // Seeded random pick = PCT-style random task priorities: the same seed
+  // replays the same dequeue decisions for the same submission sequence.
+  return static_cast<std::size_t>(perturb_rng_.next() % queue_.size());
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       // Drain the queue even when stopping: the destructor promises every
       // submitted task runs.
       if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      const std::size_t idx = pick_index();
+      task = std::move(queue_[idx]);
+      queue_.erase(queue_.begin() +
+                   static_cast<std::deque<QueuedTask>::difference_type>(idx));
       ++active_;
     }
-    const auto t0 = std::chrono::steady_clock::now();
-    task();
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    analysis::hb_acquire(task.hb_sync);
+    analysis::maybe_yield();
     {
-      const std::unique_lock<std::mutex> lock(mutex_);
-      busy_seconds_ += secs;
-      ++tasks_run_;
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      OccupancyGuard guard(*this);
+      try {
+        task.body();
+      } catch (...) {
+        // Swallowed by design: the pool's contract is that occupancy and
+        // quiescence survive any task. Callers that need the exception must
+        // capture it inside the task (run_grid keeps a per-point
+        // exception_ptr).
+        guard.mark_failed();
+      }
     }
+    analysis::maybe_yield();
   }
 }
 

@@ -9,7 +9,19 @@
 // scheduling order.
 //
 // The pool also keeps occupancy accounting (busy seconds, tasks run) so
-// run_grid can report how well a sweep filled the workers.
+// run_grid can report how well a sweep filled the workers. Accounting is
+// exception-safe: a throwing task is counted (tasks_failed) and its worker
+// keeps serving the queue — occupancy can never wedge on an escape path.
+//
+// Analysis support (src/analysis/): the pool annotates its task boundaries
+// as happens-before edges (submit -> task start, task end -> wait_idle /
+// destructor return), which is the ordering contract tasks may rely on and
+// the only one. A SchedulePerturb config additionally makes dequeue order a
+// seeded pseudo-random draw (PCT-style random priorities) with injected
+// yields around task pickup, so tests can sweep interleavings and replay
+// any failing schedule from its seed. Perturbation changes *schedules
+// only*: a deterministic grid must produce bit-identical results under
+// every seed (tests/analysis/interleaving_sweep_test.cpp pins that).
 #pragma once
 
 #include <cstdint>
@@ -21,13 +33,23 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace woha {
+
+/// Seeded schedule exploration: when enabled, workers dequeue a pseudo-random
+/// queue entry instead of the FIFO front and yield around task boundaries.
+/// The same seed replays the same dequeue-priority sequence.
+struct SchedulePerturb {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+};
 
 class ThreadPool {
  public:
   /// Spawns exactly `threads` workers (use resolve() to map a user-facing
   /// "--jobs N" value, where 0 means hardware concurrency, to a count).
-  explicit ThreadPool(unsigned threads);
+  explicit ThreadPool(unsigned threads, SchedulePerturb perturb = {});
 
   /// Drains the queue (waits for every submitted task), then joins.
   ~ThreadPool();
@@ -35,9 +57,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Tasks must not throw — wrap run bodies that can fail
-  /// and capture the exception (run_grid stores std::exception_ptr per
-  /// point). Submitting after destruction has begun is a logic error.
+  /// Enqueue a task. A task that throws is swallowed and counted in
+  /// tasks_failed() — callers needing the exception must capture it inside
+  /// the task (run_grid stores std::exception_ptr per point). Submitting
+  /// after destruction has begun is a logic error.
   void submit(std::function<void()> task);
 
   /// Block until the queue is empty and every worker is idle. Tasks
@@ -50,23 +73,42 @@ class ThreadPool {
   /// Read after wait_idle() for a consistent value.
   [[nodiscard]] double busy_seconds() const;
   [[nodiscard]] std::uint64_t tasks_run() const;
+  /// Tasks whose body threw (they still count in tasks_run()).
+  [[nodiscard]] std::uint64_t tasks_failed() const;
 
   /// Map a user-facing jobs value to a worker count: 0 = hardware
   /// concurrency (at least 1); anything else is taken as-is.
   [[nodiscard]] static unsigned resolve(unsigned requested);
 
  private:
-  void worker_loop();
+  /// RAII occupancy accounting: constructed after a task is dequeued
+  /// (active_ already incremented under the lock), the destructor performs
+  /// the decrement and the busy-time/tasks-run bookkeeping even when the
+  /// task body throws — an escaping exception can never wedge wait_idle.
+  class OccupancyGuard;
 
-  mutable std::mutex mutex_;
+  struct QueuedTask {
+    std::function<void()> body;
+    std::uint64_t hb_sync = 0;  ///< submit -> start happens-before edge id
+  };
+
+  void worker_loop();
+  /// Index of the next task to pop; front unless perturbation is enabled.
+  [[nodiscard]] std::size_t pick_index();
+
+  mutable std::mutex mutex_;  // lint: lock-rank(mutex_)=10
   std::condition_variable task_ready_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> workers_;
   unsigned active_ = 0;
   bool stopping_ = false;
   double busy_seconds_ = 0.0;
   std::uint64_t tasks_run_ = 0;
+  std::uint64_t tasks_failed_ = 0;
+  SchedulePerturb perturb_;
+  Rng perturb_rng_;             ///< guarded by mutex_; draws only when enabled
+  std::uint64_t done_sync_ = 0; ///< task end -> wait_idle/join edge id
 };
 
 }  // namespace woha

@@ -83,6 +83,7 @@ void PlanCache::evict_over_capacity() {
 
 std::shared_ptr<const SchedulingPlan> PlanCache::get_or_compute(
     std::uint64_t key, const std::function<SchedulingPlan()>& compute) {
+  analysis::touch_write("plan_cache", analysis_id_, "PlanCache::get_or_compute");
   const auto it = plans_.find(key);
   if (it != plans_.end()) {
     touch(it->second);
@@ -109,6 +110,7 @@ std::shared_ptr<const SchedulingPlan> PlanCache::get_or_compute(
 
 void PlanCache::insert(std::uint64_t key,
                        std::shared_ptr<const SchedulingPlan> plan) {
+  analysis::touch_write("plan_cache", analysis_id_, "PlanCache::insert");
   if (!plan) return;
   if (plans_.count(key)) return;
   lru_.push_front(key);

@@ -32,6 +32,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "analysis/race_detector.hpp"
 #include "core/job_priority.hpp"
 #include "core/plan.hpp"
 #include "core/resource_cap.hpp"
@@ -112,6 +113,12 @@ class PlanCache {
   obs::Counter* hit_counter_ = nullptr;
   obs::Counter* miss_counter_ = nullptr;
   obs::Counter* eviction_counter_ = nullptr;
+  /// Race-detector touchpoint instance: the cache is single-writer by
+  /// contract (mutations happen on the scheduler thread; prewarm workers
+  /// compute plans privately and insert() runs after the pool drains), and
+  /// every mutation is annotated so a schedule that breaks that contract
+  /// fails the interleaving sweep instead of corrupting the LRU list.
+  std::uint64_t analysis_id_ = analysis::new_instance_id();
 };
 
 }  // namespace woha::core

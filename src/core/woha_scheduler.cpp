@@ -8,6 +8,7 @@
 #include <utility>
 #include <variant>
 
+#include "analysis/race_detector.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/event_bus.hpp"
@@ -68,12 +69,17 @@ void WohaScheduler::on_pending_submissions(
   // plan-generation histogram the serial path feeds.
   std::vector<std::shared_ptr<const SchedulingPlan>> plans(unique.size());
   std::vector<std::exception_ptr> errors(unique.size());
+  // Touchpoint instances for the per-plan output slots: workers write their
+  // own slot, the install loop reads them only after wait_idle's HB edge.
+  const std::uint64_t slot_base = analysis::new_instance_block(unique.size());
   {
     const obs::ScopedTimer plan_timer(plan_ns_);
     ThreadPool pool(ThreadPool::resolve(config_.plan_jobs));
     for (std::size_t i = 0; i < unique.size(); ++i) {
-      pool.submit([this, &plans, &errors, &unique, i, total_slots]() {
+      pool.submit([this, &plans, &errors, &unique, i, total_slots, slot_base]() {
         try {
+          analysis::touch_write("prewarm.plan", slot_base + i,
+                                "WohaScheduler prewarm worker");
           const wf::WorkflowSpec& spec = *unique[i].second;
           const auto rank = job_priority_ranks(spec, config_.job_priority);
           plans[i] = std::make_shared<const SchedulingPlan>(plan_for_submission(
@@ -90,6 +96,8 @@ void WohaScheduler::on_pending_submissions(
   // corresponding on_workflow_submitted recomputes serially and surfaces
   // the same exception at the same point a serial run would.
   for (std::size_t i = 0; i < unique.size(); ++i) {
+    analysis::touch_read("prewarm.plan", slot_base + i,
+                         "WohaScheduler prewarm install");
     if (!errors[i]) plan_cache_.insert(unique[i].first, std::move(plans[i]));
   }
   WOHA_LOG(LogLevel::kInfo, "woha")

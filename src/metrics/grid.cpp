@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/race_detector.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics_registry.hpp"
 
@@ -55,19 +56,27 @@ std::vector<ExperimentResult> run_grid(const std::vector<GridPoint>& points,
   const auto grid_t0 = std::chrono::steady_clock::now();
   double busy_seconds = 0.0;
 
+  // Touchpoint instances for the per-point result slot and scratch registry.
+  // Fresh ids per run_grid call — recycled heap addresses can never alias
+  // another grid's touch history.
+  const std::uint64_t slot_base = analysis::new_instance_block(points.size());
+
   if (jobs == 1 || points.size() <= 1) {
     // Serial path: no pool, no thread hop — the reference execution the
     // parallel path must reproduce bit for bit.
     for (std::size_t i = 0; i < points.size(); ++i) {
+      analysis::touch_write("grid.result", slot_base + i, "run_grid serial store");
       results[i] = run_point(points[i], i, options, hooks, scratch[i] ? scratch[i].get() : nullptr);
       busy_seconds += results[i].wall_seconds;
     }
   } else {
     std::vector<std::exception_ptr> errors(points.size());
-    ThreadPool pool(jobs);
+    ThreadPool pool(jobs, options.perturb);
     for (std::size_t i = 0; i < points.size(); ++i) {
       pool.submit([&, i] {
         try {
+          analysis::touch_write("grid.result", slot_base + i,
+                                "run_grid worker store");
           results[i] = run_point(points[i], i, options, hooks,
                                  scratch[i] ? scratch[i].get() : nullptr);
         } catch (...) {
@@ -89,8 +98,13 @@ std::vector<ExperimentResult> run_grid(const std::vector<GridPoint>& points,
   if (hooks.registry != nullptr) {
     // Submission-order merge: the aggregate is independent of which worker
     // ran which point, so grid metrics are as deterministic as the runs
-    // themselves (wall-clock histograms excepted, as always).
-    for (const auto& r : scratch) hooks.registry->merge(*r);
+    // themselves (wall-clock histograms excepted, as always). The reads are
+    // annotated: they are only HB-ordered after the workers' writes through
+    // wait_idle(), which is exactly the edge the detector checks.
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      analysis::touch_read("grid.result", slot_base + i, "run_grid merge");
+      hooks.registry->merge(*scratch[i]);
+    }
     hooks.registry->counter("grid.runs").add(points.size());
     obs::Histogram& wall_ms = hooks.registry->histogram(
         "grid.run_wall_ms", obs::exponential_buckets(1.0, 4.0, 10));

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "metrics/report.hpp"
 
 namespace woha::metrics {
@@ -50,6 +51,11 @@ struct GridOptions {
   /// runs concurrently across points, so it must only touch state owned by
   /// that point's index.
   std::function<void(hadoop::Engine&, std::size_t)> configure_point;
+  /// Seeded schedule exploration (tests): workers dequeue points in a
+  /// pseudo-random replayable order and yield at annotated touchpoints. A
+  /// correct grid produces bit-identical results under every seed — the
+  /// interleaving sweep pins that against the golden digests.
+  SchedulePerturb perturb;
 };
 
 /// Run every grid point, at most `options.jobs` concurrently, and return

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/race_detector.hpp"
 #include "obs/event.hpp"
 
 namespace woha::obs {
@@ -29,6 +30,7 @@ class EventBus {
   /// Register a handler; it sees every subsequent publish. Returns an id
   /// for unsubscribe(). Handlers fire in subscription order.
   SubscriptionId subscribe(Handler handler) {
+    analysis::touch_write("event_bus", analysis_id_, "EventBus::subscribe");
     const SubscriptionId id = next_id_++;
     handlers_.emplace_back(id, std::move(handler));
     return id;
@@ -36,6 +38,7 @@ class EventBus {
 
   /// Remove a handler. No-op if the id is unknown.
   void unsubscribe(SubscriptionId id) {
+    analysis::touch_write("event_bus", analysis_id_, "EventBus::unsubscribe");
     std::erase_if(handlers_, [id](const auto& e) { return e.first == id; });
   }
 
@@ -48,7 +51,8 @@ class EventBus {
 
   /// Fan an event out to every subscriber, in subscription order.
   void publish(Event event) {
-    if (handlers_.empty()) return;
+    if (handlers_.empty()) return;  // inactive bus stays a single branch
+    analysis::touch_write("event_bus", analysis_id_, "EventBus::publish");
     ++published_;
     for (const auto& [id, handler] : handlers_) handler(event);
   }
@@ -59,7 +63,8 @@ class EventBus {
   /// const Event& either way; they must not retain references past return —
   /// the same rule publish() already implies.
   void publish_borrowed(const Event& event) {
-    if (handlers_.empty()) return;
+    if (handlers_.empty()) return;  // inactive bus stays a single branch
+    analysis::touch_write("event_bus", analysis_id_, "EventBus::publish");
     ++published_;
     for (const auto& [id, handler] : handlers_) handler(event);
   }
@@ -82,6 +87,11 @@ class EventBus {
   std::function<SimTime()> time_source_;
   SubscriptionId next_id_ = 1;
   std::uint64_t published_ = 0;
+  /// Race-detector touchpoint: a bus belongs to exactly one engine, and an
+  /// engine to one grid worker — annotated publishes from two unordered
+  /// threads mean a shared bus, the exact bug the obs thread-confinement
+  /// rule forbids.
+  std::uint64_t analysis_id_ = analysis::new_instance_id();
 };
 
 }  // namespace woha::obs

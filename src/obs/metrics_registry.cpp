@@ -82,6 +82,8 @@ std::vector<double> exponential_buckets(double start, double factor,
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  analysis::touch_write("metrics_registry", analysis_id_,
+                        "MetricsRegistry::counter");
   Instrument& inst = instruments_[name];
   if (!inst.counter) {
     if (inst.gauge || inst.histogram) {
@@ -94,6 +96,8 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  analysis::touch_write("metrics_registry", analysis_id_,
+                        "MetricsRegistry::gauge");
   Instrument& inst = instruments_[name];
   if (!inst.gauge) {
     if (inst.counter || inst.histogram) {
@@ -107,6 +111,8 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  analysis::touch_write("metrics_registry", analysis_id_,
+                        "MetricsRegistry::histogram");
   Instrument& inst = instruments_[name];
   if (!inst.histogram) {
     if (inst.counter || inst.gauge) {
@@ -137,6 +143,10 @@ const Histogram* MetricsRegistry::find_histogram(const std::string& name) const 
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+  analysis::touch_write("metrics_registry", analysis_id_,
+                        "MetricsRegistry::merge dst");
+  analysis::touch_read("metrics_registry", other.analysis_id_,
+                       "MetricsRegistry::merge src");
   for (const auto& [name, inst] : other.instruments_) {
     if (inst.counter) {
       counter(name).add(inst.counter->value());

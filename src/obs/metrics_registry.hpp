@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_detector.hpp"
+
 namespace woha::obs {
 
 class Counter {
@@ -125,6 +127,12 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
   std::map<std::string, Instrument> instruments_;
+  /// Race-detector touchpoint: registries are thread-confined (each grid
+  /// run owns a private scratch registry; merges happen after the pool
+  /// drains). merge() annotates a write on the destination and a read on
+  /// the source so a schedule that shares a registry across workers fails
+  /// the interleaving sweep.
+  std::uint64_t analysis_id_ = analysis::new_instance_id();
 };
 
 }  // namespace woha::obs

@@ -1,0 +1,83 @@
+// The interleaving sweep: run the chaos-overload grid under seeded schedule
+// perturbation (random dequeue order + injected yields) with the
+// happens-before detector installed, and require, for every seed, (a) zero
+// HB violations and (b) a result digest bit-identical to the serial golden.
+// A failure names the seed; replay it alone with WOHA_SWEEP_SEED=<seed>.
+//
+// WOHA_SWEEP_SEEDS=<n> widens the sweep (CI runs 16); the local default
+// stays small so the suite remains quick.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "../integration/overload_scenario.hpp"
+#include "analysis/race_detector.hpp"
+#include "metrics/grid.hpp"
+
+namespace woha::testing {
+namespace {
+
+std::vector<std::uint64_t> sweep_seeds() {
+  if (const char* one = std::getenv("WOHA_SWEEP_SEED");
+      one != nullptr && *one != '\0') {
+    return {std::stoull(one)};
+  }
+  std::size_t count = 4;
+  if (const char* n = std::getenv("WOHA_SWEEP_SEEDS");
+      n != nullptr && *n != '\0') {
+    count = std::stoull(n);
+  }
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 1; i <= count; ++i) seeds.push_back(i);
+  return seeds;
+}
+
+TEST(InterleavingSweepTest, SerialReferenceMatchesGolden) {
+  const auto workload = overload_workload();
+  const auto results = metrics::run_grid(overload_grid(workload));
+  EXPECT_EQ(digest_overload(results), kOverloadChaosGolden)
+      << "serial reference drifted — the sweep below compares against this";
+}
+
+TEST(InterleavingSweepTest, EverySeedIsCleanAndBitIdentical) {
+  const auto workload = overload_workload();
+  const auto grid = overload_grid(workload);
+
+  for (const std::uint64_t seed : sweep_seeds()) {
+    analysis::RaceDetector detector;
+    analysis::set_detector(&detector);
+
+    metrics::GridOptions options;
+    options.jobs = 4;
+    options.perturb = SchedulePerturb{/*enabled=*/true, seed};
+    const auto results = metrics::run_grid(grid, options);
+
+    analysis::set_detector(nullptr);
+
+    EXPECT_EQ(detector.violation_count(), 0u)
+        << "happens-before violation under perturbation seed " << seed
+        << " — replay with WOHA_SWEEP_SEED=" << seed << "\n"
+        << detector.report();
+    EXPECT_EQ(digest_overload(results), kOverloadChaosGolden)
+        << "result divergence under perturbation seed " << seed
+        << " — replay with WOHA_SWEEP_SEED=" << seed;
+  }
+}
+
+// Perturbation reorders schedules only; with the detector *not* installed
+// the annotations stay inert, and the digest must still match. This is the
+// configuration the CI sweep job runs at higher seed counts.
+TEST(InterleavingSweepTest, PerturbedRunWithoutDetectorMatchesGolden) {
+  const auto workload = overload_workload();
+  metrics::GridOptions options;
+  options.jobs = 3;
+  options.perturb = SchedulePerturb{/*enabled=*/true, 0xd1cef00dull};
+  const auto results = metrics::run_grid(overload_grid(workload), options);
+  EXPECT_EQ(digest_overload(results), kOverloadChaosGolden);
+}
+
+}  // namespace
+}  // namespace woha::testing

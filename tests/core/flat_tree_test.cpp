@@ -118,6 +118,93 @@ TEST(FlatTree, ForEachFromResumesAtLowerBound) {
   EXPECT_EQ(visits, 3);
 }
 
+// Promoted from an adversarial fuzz case: a two-child erase frees the
+// *successor's* arena slot, so the free list hands out an index whose old
+// key is still live in the tree. Duplicate-insert rejection must key off the
+// tree's ordering, never off recycled node identity.
+TEST(FlatTree, DuplicateInsertAfterFreeListRecycling) {
+  Tree tree;
+  Reference ref;
+  const auto put = [&](std::int64_t k, std::uint32_t id, std::uint32_t v) {
+    ASSERT_EQ(tree.insert({k, id}, v), ref.emplace(Key{k, id}, v).second);
+  };
+  for (std::int64_t k = 0; k < 16; ++k) {
+    put(k, 0, static_cast<std::uint32_t>(k));
+  }
+  expect_equal(tree, ref);
+
+  // Interior key with two children: the successor's slot hits the free list.
+  ASSERT_TRUE(tree.erase({7, 0}));
+  ref.erase({7, 0});
+  expect_equal(tree, ref);
+
+  // The next insert recycles that slot for a brand-new key...
+  put(100, 0, 100);
+  expect_equal(tree, ref);
+
+  // ...and duplicate inserts of every still-live key must be rejected with
+  // values untouched, including the key whose node changed slots.
+  for (const auto& entry : ref) {
+    EXPECT_FALSE(tree.insert(entry.first, 9999));
+  }
+  expect_equal(tree, ref);
+
+  // Erase/reinsert churn across the same universe: reinserted keys must be
+  // accepted exactly once no matter how the free list reordered slots.
+  for (std::int64_t k = 0; k < 16; k += 2) {
+    EXPECT_EQ(tree.erase({k, 0}), ref.erase(Key{k, 0}) > 0);
+  }
+  expect_equal(tree, ref);
+  for (std::int64_t k = 0; k < 16; ++k) {
+    put(k, 0, static_cast<std::uint32_t>(k + 500));
+  }
+  expect_equal(tree, ref);
+}
+
+// Promoted from an adversarial fuzz case: resuming a walk exactly at a key
+// that was just erased. for_each_from must land on the next greater *live*
+// key (map::lower_bound semantics), not chase stale node identity — even
+// after the freed slots are recycled into different keys.
+TEST(FlatTree, ForEachFromResumesAtErasedKey) {
+  Tree tree;
+  Reference ref;
+  for (std::int64_t k = 0; k < 32; k += 2) {
+    tree.insert({k, 1}, static_cast<std::uint32_t>(k));
+    ref.emplace(Key{k, 1}, static_cast<std::uint32_t>(k));
+  }
+  const auto expect_walk_from = [&](const Key& from) {
+    std::vector<Key> got;
+    tree.for_each_from(from, [&](const Key& key, std::uint32_t) {
+      got.push_back(key);
+      return true;
+    });
+    std::vector<Key> want;
+    for (auto it = ref.lower_bound(from); it != ref.end(); ++it) {
+      want.push_back(it->first);
+    }
+    EXPECT_EQ(got, want) << "from (" << from.first << "," << from.second << ")";
+  };
+
+  // Interior, minimum, and maximum victims: every erase shape.
+  for (const Key victim : {Key{8, 1}, Key{0, 1}, Key{30, 1}}) {
+    ASSERT_TRUE(tree.erase(victim));
+    ref.erase(victim);
+    expect_walk_from(victim);
+    expect_equal(tree, ref);
+  }
+
+  // Recycle the freed slots into nearby-but-different keys, then resume at
+  // each erased key again: still pure lower_bound over the live keys.
+  for (const std::int64_t k : {9, 1, 31}) {
+    tree.insert({k, 0}, static_cast<std::uint32_t>(k));
+    ref.emplace(Key{k, 0}, static_cast<std::uint32_t>(k));
+  }
+  for (const Key victim : {Key{8, 1}, Key{0, 1}, Key{30, 1}}) {
+    expect_walk_from(victim);
+  }
+  expect_equal(tree, ref);
+}
+
 TEST(FlatTree, EraseMinMaintainsCachedMin) {
   Tree tree;
   Reference ref;

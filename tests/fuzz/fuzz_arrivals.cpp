@@ -1,0 +1,102 @@
+// The arrivals-process config: validate() as the single gate, and the
+// generator's documented invariants on everything validate() accepts.
+//
+// Bytes decode to an ArrivalConfig (all three shapes reachable, knobs
+// swept across valid and nonsensical ranges) plus a small workload. If
+// validate() throws, that must be the end of it — the config is rejected
+// before any generation. If it accepts, assign_open_loop_arrivals must
+// uphold its contract: submit times nondecreasing in vector order, purely
+// deterministic in (workload, seed, config), and deadlines untouched.
+//
+// Mutant (WOHA_FUZZ_MUTANT=1): the replayed run's first submit time is
+// shifted — the determinism comparison must fail for any accepted config.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "trace/arrivals.hpp"
+#include "workflow/workflow.hpp"
+
+namespace {
+
+std::vector<woha::wf::WorkflowSpec> decode_workload(woha::fuzz::ByteReader& in) {
+  const std::size_t count = 1 + in.u8() % 6;
+  std::vector<woha::wf::WorkflowSpec> workflows;
+  for (std::size_t i = 0; i < count; ++i) {
+    woha::wf::WorkflowSpec spec;
+    spec.name = "wf" + std::to_string(i);
+    spec.relative_deadline = woha::seconds(30 + in.u8() % 60);
+    const std::size_t jobs = 1 + in.u8() % 3;
+    for (std::size_t j = 0; j < jobs; ++j) {
+      woha::wf::JobSpec job;
+      job.name = "job" + std::to_string(j);
+      job.num_maps = 1 + in.u8() % 4;
+      job.num_reduces = in.u8() % 3;
+      job.map_duration = woha::seconds(1 + in.u8() % 8);
+      job.reduce_duration = woha::seconds(1 + in.u8() % 8);
+      if (j > 0) job.prerequisites.push_back(static_cast<std::uint32_t>(j - 1));
+      spec.jobs.push_back(std::move(job));
+    }
+    workflows.push_back(std::move(spec));
+  }
+  return workflows;
+}
+
+woha::trace::ArrivalConfig decode_config(woha::fuzz::ByteReader& in) {
+  woha::trace::ArrivalConfig config;
+  switch (in.u8() % 3) {
+    case 0: config.shape = woha::trace::ArrivalShape::kPoisson; break;
+    case 1: config.shape = woha::trace::ArrivalShape::kMmpp; break;
+    case 2: config.shape = woha::trace::ArrivalShape::kFlashCrowd; break;
+  }
+  // Sweep past both valid ranges and the rejection regions (zero/negative
+  // rho, zero slots, flash_fraction at and above 1) so the fuzzer exercises
+  // validate()'s gate, not just the generators.
+  config.rho = in.unit() * 4.0 - 0.5;
+  config.cluster_slots = in.u8() % 64;
+  config.burst_rate_factor = in.unit() * 16.0;
+  config.calm_mean = woha::seconds(in.u8() % 240);
+  config.burst_mean = woha::seconds(in.u8() % 120);
+  config.flash_fraction = in.unit() * 1.25;
+  config.flash_duration = woha::seconds(in.u8() % 180);
+  return config;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  woha::fuzz::ByteReader in(data, size);
+  const std::uint64_t seed = in.u64();
+  const woha::trace::ArrivalConfig config = decode_config(in);
+  std::vector<woha::wf::WorkflowSpec> workflows = decode_workload(in);
+
+  try {
+    config.validate();
+  } catch (const std::invalid_argument&) {
+    return 0;  // rejected by the gate: generation must never be reached
+  }
+
+  std::vector<woha::wf::WorkflowSpec> replay = workflows;  // pristine copy
+  assign_open_loop_arrivals(workflows, seed, config);
+
+  for (std::size_t i = 0; i < workflows.size(); ++i) {
+    WOHA_FUZZ_CHECK(workflows[i].submit_time >= 0, "negative submit time");
+    WOHA_FUZZ_CHECK(
+        i == 0 || workflows[i].submit_time >= workflows[i - 1].submit_time,
+        "submit times not nondecreasing at index " + std::to_string(i));
+    WOHA_FUZZ_CHECK(workflows[i].relative_deadline == replay[i].relative_deadline,
+                    "deadline clobbered at index " + std::to_string(i));
+  }
+
+  assign_open_loop_arrivals(replay, seed, config);
+  if (woha::fuzz::mutant()) {
+    replay[0].submit_time += 1;  // break replay: determinism check must bite
+  }
+  for (std::size_t i = 0; i < workflows.size(); ++i) {
+    WOHA_FUZZ_CHECK(workflows[i].submit_time == replay[i].submit_time,
+                    "nondeterministic submit time at index " + std::to_string(i));
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared scaffolding for the fuzz harnesses.
+//
+// Every harness is one LLVMFuzzerTestOneInput definition that builds in two
+// modes:
+//   * libFuzzer (-DWOHA_FUZZ=ON, clang): coverage-guided under ASan/UBSan;
+//     a failed check abort()s so the fuzzer saves the crashing input.
+//   * standalone (always built): standalone_main.cpp replays the checked-in
+//     seed corpus under ctest on any compiler; a failed check throws so the
+//     runner can report the offending file and exit nonzero cleanly.
+//
+// WOHA_FUZZ_MUTANT=1 flips each harness into a deliberately-broken-oracle
+// mode (the break is harness-specific). The paired WILL_FAIL ctest entry
+// replays the corpus in that mode: if the harness no longer fails, its
+// checks have gone inert and the fuzz target is testing nothing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace woha::fuzz {
+
+/// Thrown by fail() in standalone mode; the corpus runner catches it.
+class Failure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void fail(const std::string& message) {
+#if defined(WOHA_FUZZ_STANDALONE)
+  throw Failure(message);
+#else
+  std::fprintf(stderr, "FUZZ CHECK FAILED: %s\n", message.c_str());
+  std::abort();
+#endif
+}
+
+#define WOHA_FUZZ_CHECK(cond, message)                \
+  do {                                                \
+    if (!(cond)) ::woha::fuzz::fail((message));       \
+  } while (0)
+
+/// Deliberately-broken-oracle mode (see header comment).
+inline bool mutant() {
+  const char* env = std::getenv("WOHA_FUZZ_MUTANT");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// Little-endian byte reader for structured inputs. Exhaustion returns
+/// zeros instead of throwing: every byte string decodes to *some* op
+/// sequence, which keeps the whole input space reachable for the fuzzer.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0u; }
+
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+
+  std::uint32_t u32() {
+    return static_cast<std::uint32_t>(u16()) |
+           (static_cast<std::uint32_t>(u16()) << 16);
+  }
+
+  std::uint64_t u64() {
+    return static_cast<std::uint64_t>(u32()) |
+           (static_cast<std::uint64_t>(u32()) << 32);
+  }
+
+  /// A value in [0, 1), from 16 bits.
+  double unit() { return static_cast<double>(u16()) / 65536.0; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace woha::fuzz

@@ -1,0 +1,45 @@
+// The XML workflow parser: crash-freedom on arbitrary bytes and a
+// serialize/reparse fixpoint on everything it accepts.
+//
+// The input is fed to xml::parse verbatim. Rejection (XmlError) is a valid
+// outcome — workflow configs are untrusted files — but anything accepted
+// must round-trip: to_string() output must reparse, and reparse must
+// serialize to the identical string (the second pass is the fixpoint; the
+// first may legitimately normalize whitespace/entities). Under ASan/UBSan
+// the parse itself is also checked for memory errors on malformed input.
+//
+// Mutant (WOHA_FUZZ_MUTANT=1): the serialized form is corrupted before the
+// reparse — the round-trip checks must fail on any accepted input.
+#include <cstdint>
+#include <string>
+
+#include "fuzz_util.hpp"
+#include "xml/xml.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  woha::xml::Document doc = [&] {
+    try {
+      return woha::xml::parse(input);
+    } catch (const woha::xml::XmlError&) {
+      return woha::xml::Document();  // rejected: nothing more to check
+    }
+  }();
+  if (doc.root().name().empty()) return 0;  // empty default root = rejected
+
+  std::string serialized = doc.to_string();
+  if (woha::fuzz::mutant()) {
+    serialized += "<unclosed>";  // corrupt: the reparse below must now fail
+  }
+
+  try {
+    const woha::xml::Document reparsed = woha::xml::parse(serialized);
+    WOHA_FUZZ_CHECK(reparsed.to_string() == serialized,
+                    "serialize/reparse is not a fixpoint");
+  } catch (const woha::xml::XmlError& error) {
+    woha::fuzz::fail(std::string("serialized form failed to reparse: ") +
+                     error.what());
+  }
+  return 0;
+}

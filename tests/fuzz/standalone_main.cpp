@@ -1,0 +1,69 @@
+// Corpus replay driver for the standalone (non-libFuzzer) fuzz builds.
+//
+// Usage: <runner> [corpus-file-or-dir]...
+// Feeds every file (directories are walked, entries sorted by path so runs
+// are deterministic) plus the empty input to LLVMFuzzerTestOneInput. Any
+// WOHA_FUZZ_CHECK failure names the offending file and the process exits 1
+// — which is what the WILL_FAIL mutant tests under ctest rely on.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::vector<std::string> collect_inputs(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> files = collect_inputs(argc, argv);
+  std::size_t ran = 0;
+  std::string current = "<empty input>";
+  try {
+    (void)LLVMFuzzerTestOneInput(nullptr, 0);  // empty input is always legal
+    for (const std::string& file : files) {
+      current = file;
+      const std::vector<std::uint8_t> bytes = read_bytes(file);
+      (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+      ++ran;
+    }
+  } catch (const woha::fuzz::Failure& failure) {
+    std::fprintf(stderr, "FUZZ CHECK FAILED: %s\n  input: %s\n", failure.what(),
+                 current.c_str());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "unexpected exception: %s\n  input: %s\n", error.what(),
+                 current.c_str());
+    return 1;
+  }
+  std::printf("replayed %zu corpus input(s): OK\n", ran);
+  return 0;
+}

@@ -10,6 +10,7 @@
 // (per-run sinks see exactly their own run's events).
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,6 +73,31 @@ TEST(ParallelDeterminism, MorePointsThanWorkers) {
   }
   metrics::GridOptions options;
   options.jobs = 2;  // 6 points over 2 workers
+  const auto results = metrics::run_grid(points, options);
+  EXPECT_EQ(testing::digest_comparison(results), kFig8Paper80Golden);
+}
+
+// Regression for the throwing-grid-point path: the error must surface as an
+// exception from run_grid (lowest index), the pool must reach quiescence
+// rather than wedge on a lost occupancy decrement, and the runner must stay
+// usable afterwards with unchanged results.
+TEST(ParallelDeterminism, ThrowingGridPointSurfacesAndDoesNotWedge) {
+  hadoop::EngineConfig config;
+  config.audit = true;
+  config.cluster = hadoop::ClusterConfig::paper_80_servers();
+  const auto workload = trace::fig8_trace();
+  std::vector<metrics::GridPoint> points;
+  for (const auto& entry : metrics::paper_schedulers()) {
+    points.push_back(metrics::GridPoint{config, &workload, entry});
+  }
+  points[2].workload = nullptr;  // run_point throws for this index
+  metrics::GridOptions options;
+  options.jobs = 2;
+  EXPECT_THROW((void)metrics::run_grid(points, options), std::invalid_argument);
+
+  // The failure left nothing wedged or dirty: the same grid, repaired, still
+  // reproduces the golden digest.
+  points[2].workload = &workload;
   const auto results = metrics::run_grid(points, options);
   EXPECT_EQ(testing::digest_comparison(results), kFig8Paper80Golden);
 }

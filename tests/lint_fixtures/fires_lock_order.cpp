@@ -1,0 +1,20 @@
+// Lint fixture: lock-order must fire. Both mutexes carry rank annotations
+// and the second acquisition takes a LOWER rank while the higher one is
+// held — the inversion hazard the rule exists to catch. The well-ordered
+// function below must stay quiet.
+#include <mutex>
+
+struct TwoLocks {
+  std::mutex pool_mutex;      // lint: lock-rank(pool_mutex)=10
+  std::mutex detector_mutex;  // lint: lock-rank(detector_mutex)=90
+
+  void inverted() {
+    std::lock_guard<std::mutex> outer(detector_mutex);
+    std::lock_guard<std::mutex> inner(pool_mutex);  // rank 10 under rank 90
+  }
+
+  void well_ordered() {
+    std::lock_guard<std::mutex> outer(pool_mutex);
+    std::lock_guard<std::mutex> inner(detector_mutex);  // 10 then 90: fine
+  }
+};

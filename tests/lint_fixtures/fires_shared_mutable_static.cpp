@@ -1,0 +1,22 @@
+// Lint fixture: shared-mutable-static must fire on the naked mutable
+// statics (file-scope, thread_local, and function-local) and must stay
+// quiet on constants, on static member functions, and on the site carrying
+// the inline allowlist tag.
+#include <atomic>
+#include <cstdint>
+
+static std::uint64_t g_naked_counter = 0;       // fires: mutable file-scope
+thread_local std::uint32_t t_scratch = 0;       // fires: thread-local state
+static std::atomic<int> g_justified{0};  // lint: allowlisted shared-mutable-static
+static constexpr std::uint32_t kLimit = 64;     // quiet: compile-time const
+
+struct Helper {
+  static std::uint64_t clamp(std::uint64_t v);  // quiet: function declaration
+};
+
+std::uint64_t bump() {
+  static std::uint64_t calls = 0;  // fires: function-local mutable static
+  t_scratch += kLimit;
+  g_justified.fetch_add(1);
+  return ++calls + g_naked_counter;
+}

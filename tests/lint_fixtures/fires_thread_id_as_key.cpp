@@ -1,0 +1,15 @@
+// Lint fixture: thread-id-as-key must fire. std::thread::id is assigned by
+// the OS and differs run to run, so any container keyed or hashed by it
+// iterates (or groups) nondeterministically.
+#include <cstddef>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+std::size_t count_per_thread_slots() {
+  std::map<std::thread::id, int> ordered_by_id;         // fires: ordered key
+  std::unordered_map<std::thread::id, int> hashed_by_id;  // fires: hashed key
+  hashed_by_id[std::this_thread::get_id()] = 1;         // fires: get_id index
+  ordered_by_id[std::this_thread::get_id()] = 2;
+  return ordered_by_id.size() + hashed_by_id.size();
+}

@@ -156,12 +156,33 @@ int main(int argc, char** argv) {
   hadoop::Engine engine(config, entry.make());
   forensics::SpanRecorder recorder(engine.events(), &engine.job_tracker());
 
+  // Open every output stream before the (expensive) run so an unwritable
+  // path fails fast with a diagnosis instead of silently discarding output.
+  std::ofstream spans_out;
+  if (!opt.spans_path.empty()) {
+    spans_out.open(opt.spans_path);
+    if (!spans_out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   opt.spans_path.c_str());
+      return 1;
+    }
+  }
+  std::ofstream attribution_out;
+  if (!opt.attribution_path.empty()) {
+    attribution_out.open(opt.attribution_path);
+    if (!attribution_out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   opt.attribution_path.c_str());
+      return 1;
+    }
+  }
   std::ofstream trace_out;
   std::unique_ptr<obs::ChromeTraceExporter> chrome;
   if (!opt.trace_path.empty()) {
     trace_out.open(opt.trace_path);
     if (!trace_out) {
-      std::fprintf(stderr, "cannot open %s\n", opt.trace_path.c_str());
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   opt.trace_path.c_str());
       return 1;
     }
     obs::ChromeTraceOptions copts;
@@ -198,28 +219,33 @@ int main(int argc, char** argv) {
       pick = &r;
     }
   }
+  int status = 0;
   if (pick != nullptr) {
     std::printf("%s", forensics::format_workflow_detail(*pick).c_str());
   } else if (opt.workflow >= 0) {
-    std::printf("workflow %lld was not recorded\n",
-                static_cast<long long>(opt.workflow));
+    // A typo'd id must not exit 0: scripts diffing explain output would
+    // treat "was not recorded" as a healthy run.
+    std::fprintf(stderr,
+                 "error: workflow %lld was not recorded in this scenario "
+                 "(%zu workflows, ids dense from 0)\n",
+                 static_cast<long long>(opt.workflow), records.size());
+    status = 1;
   } else {
     std::printf("no deadline misses — nothing to explain\n");
   }
 
-  if (!opt.spans_path.empty()) {
-    std::ofstream out(opt.spans_path);
-    forensics::export_spans_jsonl(recorder.workflows(), recorder.rejected(), out);
+  if (spans_out.is_open()) {
+    forensics::export_spans_jsonl(recorder.workflows(), recorder.rejected(),
+                                  spans_out);
     std::printf("spans written to %s\n", opt.spans_path.c_str());
   }
-  if (!opt.attribution_path.empty()) {
-    std::ofstream out(opt.attribution_path);
-    forensics::export_attribution_jsonl(records, out);
+  if (attribution_out.is_open()) {
+    forensics::export_attribution_jsonl(records, attribution_out);
     std::printf("attribution written to %s\n", opt.attribution_path.c_str());
   }
   if (chrome) {
     std::printf("trace written to %s (%llu events)\n", opt.trace_path.c_str(),
                 static_cast<unsigned long long>(chrome->events_written()));
   }
-  return 0;
+  return status;
 }

@@ -25,6 +25,24 @@ property depends on:
   pointer-sort-key     No pointer-valued sort keys or pointer-keyed ordered
                        containers in decision-path code: pointer order is
                        allocation order, which varies run to run.
+  lock-order           Mutexes annotated `// lint: lock-rank(name)=N` must be
+                       acquired in strictly increasing rank order. A guard
+                       taking rank <= any held rank is a lock-inversion
+                       hazard; ranks declared in a header cover the matching
+                       .cpp (same path stem). Unannotated mutexes are ignored.
+  shared-mutable-static
+                       No non-const static-duration state (file-scope or
+                       function-local `static`, `thread_local`) in scanned
+                       code: hidden shared state is invisible to the race
+                       annotations and outlives the runs that mutate it.
+                       Suppress a justified site with an inline
+                       `// lint: allowlisted shared-mutable-static` tag or an
+                       allowlist entry.
+  thread-id-as-key     No containers keyed (or hashed) by std::thread::id and
+                       no get_id()-subscripted maps: OS thread ids vary run
+                       to run, so any id-keyed order or grouping is
+                       nondeterministic. Use analysis::thread_index() or
+                       another dense deterministic id.
 
 Violations may be suppressed through the allowlist file (one entry per line):
 
@@ -95,6 +113,28 @@ ITER_COMPARE = re.compile(r"[!=]=\s*[\w.>\-]*\bc?(?:end|begin)\s*\(\s*\)|"
 POINTER_KEYED = re.compile(
     r"\bstd::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*[,>]")
 
+# --- lock-order machinery ---------------------------------------------------
+# Rank annotations live in comments, so they are parsed from the RAW text
+# (strip_comments_and_strings would blank them).
+LOCK_RANK = re.compile(r"//\s*lint:\s*lock-rank\((\w+)\)\s*=\s*(\d+)")
+# A scoped guard construction: std::lock_guard<std::mutex> lock(mutex_);
+# The first constructor argument is the mutex expression; its trailing
+# identifier (mutex_ in pool_.mutex_) is matched against declared ranks.
+GUARD_ACQ = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*"
+    r"(?:<[^<>;]*>)?\s+\w+\s*[({]([^;)}]*)[)}]")
+
+# --- shared-mutable-static machinery ----------------------------------------
+STATIC_DECL = re.compile(r"^(\s*(?:inline\s+)?(?:(?:static|thread_local)\s+)+)(.*)$")
+SMS_INLINE_TAG = "lint: allowlisted shared-mutable-static"
+
+# --- thread-id-as-key machinery ---------------------------------------------
+THREAD_ID_KEY = re.compile(
+    r"\bstd::(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
+    r"std::thread::id\b|"
+    r"\bstd::hash\s*<\s*std::thread::id\b|"
+    r"\[\s*std::this_thread::get_id\s*\(\s*\)\s*\]")
+
 
 def strip_comments_and_strings(text: str) -> str:
     """Blank out comments, string and char literals, preserving line structure
@@ -145,7 +185,8 @@ def line_of(text: str, offset: int) -> int:
     return text.count("\n", 0, offset) + 1
 
 
-def scan_file(rel_path: str, raw: str) -> list[Finding]:
+def scan_file(rel_path: str, raw: str,
+              extra_ranks: dict[str, int] | None = None) -> list[Finding]:
     text = strip_comments_and_strings(raw)
     lines = text.splitlines()
     raw_lines = raw.splitlines()
@@ -215,6 +256,76 @@ def scan_file(rel_path: str, raw: str) -> list[Finding]:
                 "ordered container keyed by a pointer type: iteration order "
                 "would be allocation order, which is nondeterministic")
 
+    # --- lock-order --------------------------------------------------------
+    # Ranks come from this file's own annotations plus the companion file
+    # sharing its path stem (a header declares the rank, the .cpp locks it).
+    ranks: dict[str, int] = dict(extra_ranks or {})
+    for m in LOCK_RANK.finditer(raw):
+        ranks[m.group(1)] = int(m.group(2))
+    if ranks:
+        events: list[tuple[int, str, tuple[str, int] | None]] = []
+        for m in re.finditer(r"[{}]", text):
+            events.append((m.start(), m.group(0), None))
+        for m in GUARD_ACQ.finditer(text):
+            arg = m.group(1).split(",")[0]
+            idents = re.findall(r"\w+", arg)
+            if idents and idents[-1] in ranks:
+                name = idents[-1]
+                events.append((m.start(), "acq", (name, ranks[name])))
+        events.sort(key=lambda e: e[0])
+        depth = 0
+        held: list[tuple[int, str, int]] = []  # (depth, name, rank)
+        for off, kind, payload in events:
+            if kind == "{":
+                depth += 1
+            elif kind == "}":
+                depth -= 1
+                while held and held[-1][0] > depth:
+                    held.pop()
+            else:
+                assert payload is not None
+                name, rank = payload
+                for _, hname, hrank in held:
+                    if hrank >= rank:
+                        add("lock-order", line_of(text, off),
+                            f"acquires '{name}' (rank {rank}) while "
+                            f"'{hname}' (rank {hrank}) is held; annotated "
+                            "mutexes must be taken in strictly increasing "
+                            "rank order")
+                        break
+                held.append((depth, name, rank))
+
+    # --- shared-mutable-static ---------------------------------------------
+    for i, line in enumerate(lines, start=1):
+        m = STATIC_DECL.match(line)
+        if not m:
+            continue
+        rest = m.group(2)
+        if re.match(r"(?:const|constexpr|constinit|consteval)\b", rest):
+            continue
+        raw_line = raw_lines[i - 1] if i - 1 < len(raw_lines) else ""
+        if SMS_INLINE_TAG in raw_line:
+            continue
+        # A '(' before any initializer/terminator means this declares a
+        # function (static member/free function), not an object.
+        paren = rest.find("(")
+        stops = [x for x in (rest.find("="), rest.find("{"), rest.find(";"))
+                 if x != -1]
+        if paren != -1 and (not stops or paren < min(stops)):
+            continue
+        add("shared-mutable-static", i,
+            "non-const static-duration state: shared mutable statics are "
+            "invisible to the race annotations and leak state across runs — "
+            "pass state explicitly, or tag a justified site with "
+            "'// lint: allowlisted shared-mutable-static'")
+
+    # --- thread-id-as-key ---------------------------------------------------
+    for m in THREAD_ID_KEY.finditer(text):
+        add("thread-id-as-key", line_of(text, m.start()),
+            "std::thread::id used as a container key: OS thread ids vary run "
+            "to run, so id-keyed order or grouping is nondeterministic — use "
+            "analysis::thread_index() or another dense deterministic id")
+
     return findings
 
 
@@ -265,10 +376,22 @@ def collect_files(root: Path) -> list[Path]:
 def run_lint(root: Path) -> int:
     allowlist = load_allowlist(root / "tools" / "lint" /
                                "determinism_allowlist.txt")
-    failures: list[Finding] = []
-    for path in collect_files(root):
+    files = collect_files(root)
+    # First pass: lock-rank annotations grouped by path stem, so a rank
+    # declared on a member in foo.hpp governs acquisitions in foo.cpp.
+    ranks_by_stem: dict[str, dict[str, int]] = {}
+    for path in files:
         rel = path.relative_to(root).as_posix()
-        findings = scan_file(rel, path.read_text())
+        stem = rel.rsplit(".", 1)[0]
+        for m in LOCK_RANK.finditer(path.read_text()):
+            ranks_by_stem.setdefault(stem, {})[m.group(1)] = int(m.group(2))
+
+    failures: list[Finding] = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        stem = rel.rsplit(".", 1)[0]
+        findings = scan_file(rel, path.read_text(),
+                             extra_ranks=ranks_by_stem.get(stem))
         for f in findings:
             matched = False
             for e in allowlist:
@@ -305,6 +428,9 @@ def run_self_test(root: Path) -> int:
         "fires_unordered_iteration.cpp": "unordered-iteration",
         "fires_float_equality.cpp": "float-equality",
         "fires_pointer_sort_key.cpp": "pointer-sort-key",
+        "fires_lock_order.cpp": "lock-order",
+        "fires_shared_mutable_static.cpp": "shared-mutable-static",
+        "fires_thread_id_as_key.cpp": "thread-id-as-key",
     }
     status = 0
     for name, rule in expected.items():
